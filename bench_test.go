@@ -1,0 +1,431 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section VI), plus the ablations called out in DESIGN.md §6
+// and the micro-benchmarks of the Section VII discussion (cloak lookup,
+// cloaked nearest-neighbour query).
+//
+// Each benchmark runs at a reduced default scale so `go test -bench=.`
+// finishes quickly; the full paper-scale sweep (to 1.75M users) is
+// available via `go run ./cmd/lbsbench -scale paper`. EXPERIMENTS.md
+// records paper-vs-measured for both scales.
+package policyanon
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/baseline"
+	"policyanon/internal/core"
+	"policyanon/internal/experiments"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/parallel"
+	"policyanon/internal/tree"
+	"policyanon/internal/workload"
+)
+
+const benchK = 50
+
+var (
+	benchOnce    sync.Once
+	benchDataset experiments.Dataset
+)
+
+// benchData lazily generates a shared ~50k-user synthetic snapshot.
+func benchData() experiments.Dataset {
+	benchOnce.Do(func() {
+		benchDataset = experiments.NewDataset(workload.Config{
+			MapSide: 1 << 15, Intersections: 10000, UsersPerIntersection: 5, SpreadSigma: 150,
+		}, 42)
+	})
+	return benchDataset
+}
+
+func benchSample(b *testing.B, n int) *location.DB {
+	b.Helper()
+	db, err := benchData().Sample(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkTable1Example regenerates the Table I / Example 1 scenario:
+// anonymize the five-user database both ways and audit the breach.
+func BenchmarkTable1Example(b *testing.B) {
+	recs := []location.Record{
+		{UserID: "Alice", Loc: geo.Point{X: 1, Y: 1}},
+		{UserID: "Bob", Loc: geo.Point{X: 1, Y: 2}},
+		{UserID: "Carol", Loc: geo.Point{X: 1, Y: 5}},
+		{UserID: "Sam", Loc: geo.Point{X: 5, Y: 1}},
+		{UserID: "Tom", Loc: geo.Point{X: 6, Y: 2}},
+	}
+	bounds := geo.NewRect(0, 0, 8, 8)
+	for i := 0; i < b.N; i++ {
+		db, err := location.FromRecords(recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		puq, err := baseline.PUQ(db, bounds, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if breaches, _ := attacker.Audit(puq, 2, attacker.PolicyAware); len(breaches) != 1 {
+			b.Fatal("Example 1 breach not reproduced")
+		}
+		anon, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pol, err := anon.Policy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !attacker.IsKAnonymous(pol, 2, attacker.PolicyAware) {
+			b.Fatal("optimal policy breached")
+		}
+	}
+}
+
+// BenchmarkFig2MasterGeneration regenerates the synthetic intersection-
+// derived location data of Figure 2.
+func BenchmarkFig2MasterGeneration(b *testing.B) {
+	cfg := workload.Config{MapSide: 1 << 15, Intersections: 5000, UsersPerIntersection: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := workload.Generate(cfg, int64(i))
+		if db.Len() != 50000 {
+			b.Fatal("bad size")
+		}
+	}
+}
+
+// BenchmarkFig3TreeShape builds the lazy binary cloaking tree (Figure 3).
+func BenchmarkFig3TreeShape(b *testing.B) {
+	for _, n := range []int{10000, 25000, 50000} {
+		db := benchSample(b, n)
+		pts := db.Points()
+		b.Run(fmt.Sprintf("D=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var height int
+			for i := 0; i < b.N; i++ {
+				t, err := tree.Build(pts, benchData().Bounds, tree.Options{
+					Kind: tree.Binary, MinCountToSplit: benchK,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				height = t.Stats().MaxHeight
+			}
+			b.ReportMetric(float64(height), "tree-height")
+		})
+	}
+}
+
+// BenchmarkFig4aBulkTime measures bulk anonymization over |D| and server
+// pool size (Figure 4a).
+func BenchmarkFig4aBulkTime(b *testing.B) {
+	for _, n := range []int{10000, 25000, 50000} {
+		for _, servers := range []int{1, 4, 16} {
+			db := benchSample(b, n)
+			b.Run(fmt.Sprintf("D=%d/servers=%d", n, servers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					eng, err := parallel.NewEngine(db, benchData().Bounds,
+						parallel.Options{K: benchK, Servers: servers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := eng.TotalCost(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4bVaryK measures bulk anonymization across k (Figure 4b).
+func BenchmarkFig4bVaryK(b *testing.B) {
+	db := benchSample(b, 50000)
+	for _, k := range []int{10, 25, 50, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				anon, err := core.NewAnonymizer(db, benchData().Bounds, core.AnonymizerOptions{K: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := anon.OptimalCost(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5aCostOverhead runs the four policies of Figure 5(a) and
+// reports the policy-aware/Casper average-area ratio as a custom metric.
+func BenchmarkFig5aCostOverhead(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5a(benchData(), []int{25000}, benchK)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = rows[0].RatioToCasper
+	}
+	b.ReportMetric(ratio, "PA/Casper-ratio")
+}
+
+// BenchmarkFig5bIncremental measures incremental maintenance per snapshot
+// at varying movement rates (Figure 5b). Each iteration applies one
+// snapshot's worth of movement and refreshes the matrix.
+func BenchmarkFig5bIncremental(b *testing.B) {
+	for _, pct := range []float64{0.001, 0.01, 0.05} {
+		b.Run(fmt.Sprintf("move=%.1f%%", 100*pct), func(b *testing.B) {
+			db := benchSample(b, 50000).Clone()
+			anon, err := core.NewAnonymizer(db, benchData().Bounds, core.AnonymizerOptions{K: benchK})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				moves := workload.PlanMoves(rng, db, pct, 200, benchData().Bounds.MaxX)
+				for _, mv := range moves {
+					if err := anon.Move(mv.Index, mv.To); err != nil {
+						b.Fatal(err)
+					}
+				}
+				anon.Refresh()
+			}
+		})
+	}
+}
+
+// BenchmarkFig5bBulkRecompute is the Figure 5(b) reference: full
+// recomputation of the same snapshot.
+func BenchmarkFig5bBulkRecompute(b *testing.B) {
+	db := benchSample(b, 50000)
+	for i := 0; i < b.N; i++ {
+		anon, err := core.NewAnonymizer(db, benchData().Bounds, core.AnonymizerOptions{K: benchK})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := anon.OptimalCost(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelUtilityLoss reproduces the Section VI-D stress test and
+// reports the divergence from the single-server optimum as a metric.
+func BenchmarkParallelUtilityLoss(b *testing.B) {
+	var div float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ParallelUtility(benchData(), 50000, benchK, []int{64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		div = rows[0].DivergencePct
+	}
+	b.ReportMetric(div, "divergence-%")
+}
+
+// BenchmarkCloakLookup measures per-request cloak lookup under a computed
+// policy — the paper reports 0.3-0.5 ms per lookup; a map-backed policy
+// should be far below that.
+func BenchmarkCloakLookup(b *testing.B) {
+	db := benchSample(b, 50000)
+	anon, err := core.NewAnonymizer(db, benchData().Bounds, core.AnonymizerOptions{K: benchK})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol, err := anon.Policy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]string, db.Len())
+	for i := range ids {
+		ids[i] = db.At(i).UserID
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pol.CloakOf(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCloakedNN measures the LBS-side candidate nearest-neighbour
+// query over a 10k-POI store (the Section VII comparison with Casper's
+// reported 2 ms per query).
+func BenchmarkCloakedNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	side := int32(1 << 15)
+	pois := make([]lbs.POI, 10000)
+	for i := range pois {
+		pois[i] = lbs.POI{
+			ID: fmt.Sprintf("p%d", i), Loc: geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)},
+			Category: "gas",
+		}
+	}
+	store, err := lbs.NewPOIStore(pois, geo.NewRect(0, 0, side, side), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := benchSample(b, 50000)
+	anon, err := core.NewAnonymizer(db, benchData().Bounds, core.AnonymizerOptions{K: benchK})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol, err := anon.Policy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cloak := pol.CloakAt(i % db.Len())
+		if got := store.CandidateNearest(cloak, "gas"); len(got) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// BenchmarkCircularExactVsGreedy exhibits the Theorem 1 hardness gap: the
+// exact solver is exponential in |D| while the greedy heuristic stays
+// polynomial.
+func BenchmarkCircularExactVsGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	mk := func(n int) (*location.DB, []geo.Point) {
+		db := location.New(n)
+		for i := 0; i < n; i++ {
+			if err := db.Add(fmt.Sprintf("u%d", i),
+				geo.Point{X: rng.Int31n(256), Y: rng.Int31n(256)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		centers := []geo.Point{{X: 64, Y: 64}, {X: 192, Y: 64}, {X: 128, Y: 192}}
+		return db, centers
+	}
+	for _, n := range []int{8, 12, 14} {
+		db, centers := mk(n)
+		b.Run(fmt.Sprintf("exact/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.OptimalCircular(db, centers, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("greedy/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.GreedyCircular(db, centers, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations of the Section V design choices (DESIGN.md §6). ---
+
+// BenchmarkAblationQuadVsBinary compares the dynamic program over quad
+// and binary trees at equal k.
+func BenchmarkAblationQuadVsBinary(b *testing.B) {
+	db := benchSample(b, 25000)
+	for _, kind := range []tree.Kind{tree.Binary, tree.Quad} {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				anon, err := core.NewAnonymizer(db, benchData().Bounds, core.AnonymizerOptions{
+					K: benchK, Kind: kind,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := anon.OptimalCost(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPruning toggles the Lemma 5 pass-up bound.
+func BenchmarkAblationPruning(b *testing.B) {
+	db := benchSample(b, 25000)
+	for _, opt := range []struct {
+		name string
+		dp   core.Options
+	}{{"pruned", core.Options{}}, {"unpruned", core.Options{NoPrune: true}}} {
+		b.Run(opt.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				anon, err := core.NewAnonymizer(db, benchData().Bounds, core.AnonymizerOptions{
+					K: benchK, DP: opt.dp,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := anon.OptimalCost(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTempMatrix toggles the two-stage temp-profile combine
+// against the first-cut tuple enumeration.
+func BenchmarkAblationTempMatrix(b *testing.B) {
+	db := benchSample(b, 25000)
+	for _, opt := range []struct {
+		name string
+		dp   core.Options
+	}{{"two-stage", core.Options{}}, {"naive-combine", core.Options{NaiveCombine: true}}} {
+		b.Run(opt.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				anon, err := core.NewAnonymizer(db, benchData().Bounds, core.AnonymizerOptions{
+					K: benchK, DP: opt.dp,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := anon.OptimalCost(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLazyTree compares the lazy materialization rule with an
+// eagerly materialized tree of bounded depth.
+func BenchmarkAblationLazyTree(b *testing.B) {
+	db := benchSample(b, 25000)
+	pts := db.Points()
+	for _, opt := range []struct {
+		name  string
+		split int
+		depth int
+	}{{"lazy", benchK, 0}, {"eager-depth14", 1, 14}} {
+		b.Run(opt.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t, err := tree.Build(pts, benchData().Bounds, tree.Options{
+					Kind: tree.Binary, MinCountToSplit: opt.split, MaxDepth: opt.depth,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := core.NewMatrix(t, benchK, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.OptimalCost(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+	"policyanon/internal/workload"
+)
+
+func writeSnapshot(t *testing.T, path string, n int) *location.DB {
+	t.Helper()
+	db := workload.Generate(workload.Config{
+		MapSide: 1 << 12, Intersections: n / 4, UsersPerIntersection: 4, SpreadSigma: 50,
+	}, 5)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := db.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRunAnonymizesCSV(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	out := filepath.Join(dir, "out.csv")
+	db := writeSnapshot(t, in, 400)
+	const k = 10
+	if err := run(in, out, k, 1<<12); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != db.Len() {
+		t.Fatalf("wrote %d cloaks for %d users", len(rows), db.Len())
+	}
+	groupSize := make(map[geo.Rect]int)
+	cloakOf := make(map[string]geo.Rect)
+	for _, row := range rows {
+		if len(row) != 5 {
+			t.Fatalf("bad row %v", row)
+		}
+		minx, _ := strconv.ParseInt(row[1], 10, 32)
+		miny, _ := strconv.ParseInt(row[2], 10, 32)
+		maxx, _ := strconv.ParseInt(row[3], 10, 32)
+		maxy, _ := strconv.ParseInt(row[4], 10, 32)
+		r := geo.NewRect(int32(minx), int32(miny), int32(maxx), int32(maxy))
+		groupSize[r]++
+		cloakOf[row[0]] = r
+	}
+	// Masking + policy-aware k-anonymity of the emitted cloaking.
+	for _, rec := range db.Records() {
+		c, ok := cloakOf[rec.UserID]
+		if !ok {
+			t.Fatalf("no cloak for %q", rec.UserID)
+		}
+		if !c.ContainsClosed(rec.Loc) {
+			t.Fatalf("cloak %v does not mask %q at %v", c, rec.UserID, rec.Loc)
+		}
+		if groupSize[c] < k {
+			t.Fatalf("cloaking group of %q has %d < k members", rec.UserID, groupSize[c])
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	writeSnapshot(t, in, 40)
+	if err := run(in, filepath.Join(dir, "out.csv"), 0, 1<<12); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.csv"), "-", 5, 1<<12); err == nil {
+		t.Error("missing input accepted")
+	}
+	// Too few users for k.
+	if err := run(in, filepath.Join(dir, "out2.csv"), 10000, 1<<12); err == nil {
+		t.Error("k > |D| accepted")
+	}
+}

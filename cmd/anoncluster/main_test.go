@@ -1,0 +1,58 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"policyanon/internal/server"
+	"policyanon/internal/workload"
+)
+
+func TestRunAgainstLivePool(t *testing.T) {
+	var urls []string
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewServer(server.New().Handler())
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "snap.csv")
+	out := filepath.Join(dir, "cloaks.csv")
+	const mapSide = 1 << 12
+	db := workload.Generate(workload.Config{
+		MapSide: mapSide, Intersections: 150, UsersPerIntersection: 5, SpreadSigma: 60,
+	}, 9)
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := run(strings.Join(urls, ","), in, out, 10, mapSide, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if len(lines) != db.Len() {
+		t.Fatalf("wrote %d cloaks for %d users", len(lines), db.Len())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "-", "-", 5, 1<<10, time.Second); err == nil {
+		t.Error("empty worker list accepted")
+	}
+	if err := run("http://127.0.0.1:1", "/nonexistent.csv", "-", 5, 1<<10, time.Second); err == nil {
+		t.Error("missing input accepted")
+	}
+}

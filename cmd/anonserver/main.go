@@ -1,0 +1,108 @@
+// Command anonserver runs the anonymizing CSP as an HTTP service; see
+// internal/server for the endpoint list.
+//
+// Usage:
+//
+//	anonserver -addr :8080 -state state.ck
+//
+// With -state, the server restores the snapshot and policy from the file
+// at startup (when it exists) and checkpoints back to it on SIGINT or
+// SIGTERM, so a restarted server resumes serving cloak lookups without
+// recomputation.
+//
+// Quick exercise:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/snapshot -d '{"k":2,"mapSide":8,
+//	  "users":[{"id":"Alice","x":1,"y":1},{"id":"Bob","x":1,"y":2},
+//	           {"id":"Carol","x":1,"y":4},{"id":"Sam","x":3,"y":1},
+//	           {"id":"Tom","x":4,"y":4}]}'
+//	curl -s 'localhost:8080/v1/cloak?user=Carol'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"policyanon/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		state = flag.String("state", "", "checkpoint file: restored at startup, written on shutdown")
+	)
+	flag.Parse()
+
+	srv := server.New()
+	if *state != "" {
+		if f, err := os.Open(*state); err == nil {
+			err := srv.RestoreFrom(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("anonserver: restore %s: %v", *state, err)
+			}
+			log.Printf("anonserver: restored state from %s", *state)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Fatalf("anonserver: open %s: %v", *state, err)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("anonserver: listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("anonserver: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("anonserver: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("anonserver: shutdown: %v", err)
+	}
+	if *state != "" {
+		if err := writeCheckpoint(srv, *state); err != nil {
+			log.Printf("anonserver: checkpoint: %v", err)
+		} else {
+			log.Printf("anonserver: state checkpointed to %s", *state)
+		}
+	}
+}
+
+// writeCheckpoint saves atomically via a temp file rename.
+func writeCheckpoint(srv *server.Server, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := srv.CheckpointTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

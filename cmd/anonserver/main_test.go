@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"policyanon/internal/server"
+)
+
+// installTestSnapshot primes a server with a small snapshot via its own
+// HTTP handler, exactly as the daemon would receive it.
+func installTestSnapshot(t *testing.T, srv *server.Server) {
+	t.Helper()
+	users := []server.UserJSON{}
+	for i := 0; i < 12; i++ {
+		users = append(users, server.UserJSON{
+			ID: string(rune('a' + i)), X: int32((i * 7) % 32), Y: int32((i * 11) % 32),
+		})
+	}
+	body, err := json.Marshal(server.SnapshotRequest{K: 3, MapSide: 32, Users: users})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/snapshot", bytes.NewReader(body))
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("snapshot install failed: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestWriteCheckpointAtomic(t *testing.T) {
+	srv := server.New()
+	installTestSnapshot(t, srv)
+	path := filepath.Join(t.TempDir(), "state.ck")
+	if err := writeCheckpoint(srv, path); err != nil {
+		t.Fatal(err)
+	}
+	// The temp file must be gone and the final file restorable.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fresh := server.New()
+	if err := fresh.RestoreFrom(f); err != nil {
+		t.Fatalf("restore of written checkpoint failed: %v", err)
+	}
+}
+
+func TestWriteCheckpointEmptyServerFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ck")
+	if err := writeCheckpoint(server.New(), path); err == nil {
+		t.Fatal("checkpoint of empty server accepted")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("failed checkpoint left a file behind")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("failed checkpoint left a temp file behind")
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"policyanon/internal/location"
+)
+
+func TestRunWritesValidCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "snap.csv")
+	if err := run(out, 200, 3, 100, 1<<12, 7); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db, err := location.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 600 {
+		t.Fatalf("wrote %d locations, want 600", db.Len())
+	}
+	for _, r := range db.Records() {
+		if r.Loc.X < 0 || r.Loc.X >= 1<<12 || r.Loc.Y < 0 || r.Loc.Y >= 1<<12 {
+			t.Fatalf("location %v outside map", r.Loc)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.csv"), filepath.Join(dir, "b.csv")
+	if err := run(a, 50, 2, 100, 1<<10, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(b, 50, 2, 100, 1<<10, 3); err != nil {
+		t.Fatal(err)
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different files")
+	}
+}
+
+func TestRunBadPath(t *testing.T) {
+	err := run(filepath.Join(t.TempDir(), "no", "such", "dir", "x.csv"), 10, 1, 100, 1<<10, 1)
+	if err == nil || !strings.Contains(err.Error(), "no such file") {
+		t.Fatalf("expected path error, got %v", err)
+	}
+}

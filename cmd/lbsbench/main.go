@@ -1,0 +1,229 @@
+// Command lbsbench regenerates the paper's evaluation tables and figures
+// (Section VI) from the synthetic Bay-Area dataset, plus the repository's
+// extension experiments.
+//
+// Usage:
+//
+//	lbsbench -exp all -scale small
+//	lbsbench -exp fig4a -scale paper           # full 1.75M-location sweep
+//	lbsbench -exp fig5a -k 50 -format csv      # machine-readable output
+//
+// Experiments: fig2 (population density), fig3 (tree shape), fig4a (bulk
+// anonymization time vs |D| and servers), fig4b (time vs k), fig5a (cost
+// overhead vs Casper/PUB/PUQ), fig5b (incremental maintenance), parallel
+// (Section VI-D utility loss), hilbert (policy-aware-safe schemes),
+// adaptive (semi-quadrant orientation), trajectory (anonymity erosion),
+// utility (answer sizes), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"policyanon/internal/experiments"
+	"policyanon/internal/workload"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|all")
+		scale  = flag.String("scale", "small", "dataset scale: small (~50k users) or paper (1.75M users)")
+		k      = flag.Int("k", 50, "anonymity parameter k")
+		seed   = flag.Int64("seed", 42, "dataset seed")
+		format = flag.String("format", "table", "output format: table|csv|markdown")
+	)
+	flag.Parse()
+	if err := run(*exp, *scale, *k, *seed, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, scale string, k int, seed int64, format string) error {
+	switch format {
+	case "table", "csv", "markdown":
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	var cfg workload.Config
+	var sizes []int
+	var servers []int
+	var fig4bN, fig5bN, parN int
+	switch scale {
+	case "small":
+		cfg = workload.Config{MapSide: 1 << 14, Intersections: 10000, UsersPerIntersection: 5, SpreadSigma: 150}
+		sizes = []int{10000, 20000, 30000, 40000, 50000}
+		servers = []int{1, 2, 4, 8, 16}
+		fig4bN, fig5bN, parN = 30000, 30000, 50000
+	case "paper":
+		cfg = workload.Config{} // defaults: 175k intersections x 10 = 1.75M
+		sizes = []int{100000, 250000, 500000, 1000000, 1750000}
+		servers = []int{1, 2, 4, 8, 16, 32}
+		fig4bN, fig5bN, parN = 1000000, 1000000, 1000000
+	default:
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	tableMode := format == "table"
+	banner := func(s string) {
+		if tableMode {
+			fmt.Println(s)
+		}
+	}
+	emit := func(tbl experiments.Table, print func()) error {
+		switch format {
+		case "csv":
+			return tbl.WriteCSV(os.Stdout)
+		case "markdown":
+			return tbl.WriteMarkdown(os.Stdout)
+		default:
+			print()
+			fmt.Println()
+			return nil
+		}
+	}
+
+	start := time.Now()
+	if tableMode {
+		fmt.Printf("generating %s-scale dataset (seed %d)...\n", scale, seed)
+	}
+	d := experiments.NewDataset(cfg, seed)
+	if tableMode {
+		fmt.Printf("master set: %d locations in %v\n\n", d.Master.Len(), time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("fig2") {
+		ran = true
+		banner("== Fig 2: synthetic population density (skew summary) ==")
+		rows := experiments.Fig2(d, []int{8, 16, 32})
+		if err := emit(experiments.Fig2Table(rows), func() { experiments.PrintFig2(os.Stdout, rows) }); err != nil {
+			return err
+		}
+	}
+	if want("fig3") {
+		ran = true
+		banner(fmt.Sprintf("== Fig 3: binary tree shape, k=%d ==", k))
+		rows, err := experiments.Fig3(d, sizes, k)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.Fig3Table(rows), func() { experiments.PrintFig3(os.Stdout, rows) }); err != nil {
+			return err
+		}
+	}
+	if want("fig4a") {
+		ran = true
+		banner(fmt.Sprintf("== Fig 4(a): bulk anonymization time vs |D|, k=%d ==", k))
+		rows, err := experiments.Fig4a(d, sizes, servers, k)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.Fig4aTable(rows), func() { experiments.PrintFig4a(os.Stdout, rows) }); err != nil {
+			return err
+		}
+	}
+	if want("fig4b") {
+		ran = true
+		banner(fmt.Sprintf("== Fig 4(b): anonymization time vs k, |D|=%d ==", fig4bN))
+		rows, err := experiments.Fig4b(d, fig4bN, []int{10, 25, 50, 75, 100, 150})
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.Fig4bTable(rows), func() { experiments.PrintFig4b(os.Stdout, rows) }); err != nil {
+			return err
+		}
+	}
+	if want("fig5a") {
+		ran = true
+		banner(fmt.Sprintf("== Fig 5(a): average cloak area by policy, k=%d ==", k))
+		rows, err := experiments.Fig5a(d, sizes, k)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.Fig5aTable(rows), func() { experiments.PrintFig5a(os.Stdout, rows) }); err != nil {
+			return err
+		}
+	}
+	if want("fig5b") {
+		ran = true
+		banner(fmt.Sprintf("== Fig 5(b): incremental maintenance vs bulk, |D|=%d, k=%d ==", fig5bN, k))
+		rows, err := experiments.Fig5b(d, fig5bN, k,
+			[]float64{0.0001, 0.001, 0.01, 0.02, 0.05, 0.10}, 200)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.Fig5bTable(rows), func() { experiments.PrintFig5b(os.Stdout, rows) }); err != nil {
+			return err
+		}
+	}
+	if want("hilbert") {
+		ran = true
+		banner(fmt.Sprintf("== Extension: policy-aware-safe schemes and FindMBC, k=%d ==", k))
+		rows, err := experiments.Hilbert(d, sizes[:min(2, len(sizes))], k)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.HilbertTable(rows), func() { experiments.PrintHilbert(os.Stdout, rows) }); err != nil {
+			return err
+		}
+	}
+	if want("adaptive") {
+		ran = true
+		banner(fmt.Sprintf("== Extension: adaptive semi-quadrant orientation, k=%d ==", k))
+		rows, err := experiments.Adaptive(d, sizes[:min(3, len(sizes))], k)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.AdaptiveTable(rows), func() { experiments.PrintAdaptive(os.Stdout, rows) }); err != nil {
+			return err
+		}
+	}
+	if want("trajectory") {
+		ran = true
+		banner(fmt.Sprintf("== Extension: trajectory-aware anonymity erosion, k=%d ==", k))
+		rows, err := experiments.TrajectoryErosion(d, sizes[0], k, 8, -1)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.TrajectoryTable(rows), func() { experiments.PrintTrajectory(os.Stdout, rows) }); err != nil {
+			return err
+		}
+	}
+	if want("utility") {
+		ran = true
+		banner(fmt.Sprintf("== Utility extension: NN answer sizes over a 10k-POI catalogue, |D|=%d, k=%d ==", fig5bN, k))
+		rows, err := experiments.AnswerSize(d, fig5bN, k, 10000)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.UtilityTable(rows), func() { experiments.PrintUtility(os.Stdout, rows) }); err != nil {
+			return err
+		}
+	}
+	if want("parallel") {
+		ran = true
+		banner(fmt.Sprintf("== Sec VI-D: parallel utility loss, |D|=%d, k=%d ==", parN, k))
+		rows, err := experiments.ParallelUtility(d, parN, k, []int{1, 16, 64, 256, 1024, 2048, 4096})
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.ParallelTable(rows), func() { experiments.PrintParallel(os.Stdout, rows) }); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// The small-scale experiments are exercised through run() to keep the CLI
+// wiring covered; heavy paths run at paper scale only when invoked
+// explicitly.
+func TestRunUnknownInputs(t *testing.T) {
+	if err := run("fig3", "nope", 10, 1, "table"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run("figZZ", "small", 10, 1, "table"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run("fig2", "small", 10, 1, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunSingleExperimentSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Redirect stdout noise away from the test log.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+	if err := run("fig3", "small", 50, 1, "table"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("fig2", "small", 50, 1, "csv"); err != nil {
+		t.Fatal(err)
+	}
+}

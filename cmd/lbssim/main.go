@@ -1,0 +1,54 @@
+// Command lbssim runs the end-to-end LBS ecosystem simulation: moving
+// users, periodic snapshots with incremental policy maintenance, cached
+// request serving, and per-snapshot replay of the policy-aware and
+// frequency-counting attacks against the provider log.
+//
+// Usage:
+//
+//	lbssim -users 20000 -k 50 -snapshots 10 -roadnet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"policyanon/internal/sim"
+)
+
+func main() {
+	var (
+		users     = flag.Int("users", 10000, "population size")
+		k         = flag.Int("k", 50, "anonymity parameter")
+		snapshots = flag.Int("snapshots", 10, "number of snapshot intervals")
+		reqProb   = flag.Float64("reqprob", 0.1, "per-user request probability per snapshot")
+		pois      = flag.Int("pois", 2000, "provider catalogue size")
+		roadnet   = flag.Bool("roadnet", false, "road-network movement instead of random jitter")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+	rep, err := sim.Run(sim.Config{
+		Users: *users, K: *k, Snapshots: *snapshots,
+		RequestProb: *reqProb, POIs: *pois, RoadNetwork: *roadnet, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbssim:", err)
+		os.Exit(1)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "snap\tmaintenance\trows\tavg cloak m^2\trequests\tprovider trips\tcache hits\tmin anonymity\tfreq leaks")
+	for _, s := range rep.Snapshots {
+		fmt.Fprintf(tw, "%d\t%v\t%d\t%.0f\t%d\t%d\t%d\t%d\t%d\n",
+			s.Snapshot, s.MaintenanceTime.Round(time.Millisecond), s.RowsRecomputed,
+			s.AvgCloakArea, s.Requests, s.ProviderTrips, s.CacheHits, s.MinAnonymity, s.FrequencyLeaks)
+	}
+	tw.Flush()
+	if rep.BreachedSnapshots > 0 {
+		fmt.Fprintf(os.Stderr, "lbssim: BREACH in %d snapshots\n", rep.BreachedSnapshots)
+		os.Exit(2)
+	}
+	fmt.Printf("\nsender %d-anonymity held against the policy-aware attacker in all %d snapshots\n",
+		*k, len(rep.Snapshots))
+}

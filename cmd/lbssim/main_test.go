@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"policyanon/internal/sim"
+)
+
+// The CLI is a thin veneer over sim.Run; exercise the wiring at a small
+// scale to keep the flag plumbing covered.
+func TestSimRunSmall(t *testing.T) {
+	rep, err := sim.Run(sim.Config{Users: 600, K: 8, Snapshots: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BreachedSnapshots != 0 {
+		t.Fatalf("breached %d snapshots", rep.BreachedSnapshots)
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesPGM(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "tree.pgm")
+	if err := run(3000, 25, 64, out, 7); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(blob, []byte("P5\n64 64\n255\n")) {
+		t.Fatalf("bad PGM header: %q", blob[:16])
+	}
+}
+
+func TestRunRejectsTinyWidth(t *testing.T) {
+	if err := run(1000, 25, 2, filepath.Join(t.TempDir(), "x.pgm"), 1); err == nil {
+		t.Fatal("tiny width accepted")
+	}
+}

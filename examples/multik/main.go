@@ -1,0 +1,75 @@
+// Multik demonstrates user-specified anonymity levels (the paper's
+// future-work extension, realized conservatively by bucketed optimal
+// anonymization): privacy-sensitive users request k=100 while the rest
+// settle for k=20, and the audit verifies everyone got at least what they
+// asked for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"policyanon"
+)
+
+func main() {
+	cfg := policyanon.WorkloadConfig{
+		MapSide: 1 << 14, Intersections: 5000, UsersPerIntersection: 5, SpreadSigma: 150,
+	}
+	db := policyanon.GenerateWorkload(cfg, 23)
+	bounds := policyanon.Square(0, 0, cfg.MapSide)
+
+	// 10% of users are privacy-sensitive.
+	ks := make([]int, db.Len())
+	sensitive := 0
+	for i := range ks {
+		if i%10 == 0 {
+			ks[i] = 100
+			sensitive++
+		} else {
+			ks[i] = 20
+		}
+	}
+	fmt.Printf("population %d: %d users demand k=100, the rest k=20\n\n", db.Len(), sensitive)
+
+	pol, err := policyanon.MultiKPolicy(db, bounds, ks, policyanon.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if violated := policyanon.MultiKAudit(pol, ks); len(violated) != 0 {
+		log.Fatalf("audit failed for %d users", len(violated))
+	}
+	fmt.Println("audit: every user's requested anonymity level is met")
+
+	// The alternative without per-user k is flattening everyone to the
+	// maximum requested level. Compare per class: the low-k majority gets
+	// far tighter cloaks under per-user k, while the sensitive minority
+	// pays for its stronger guarantee with larger ones (its cloaking
+	// groups draw from a 10x sparser subpopulation).
+	flat, err := policyanon.NewAnonymizer(db, bounds, policyanon.Options{K: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	flatPol, err := flat.Policy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lowMulti, lowFlat, hiMulti, hiFlat float64
+	var nLow, nHi int
+	for i := range ks {
+		if ks[i] == 20 {
+			lowMulti += float64(pol.CloakAt(i).Area())
+			lowFlat += float64(flatPol.CloakAt(i).Area())
+			nLow++
+		} else {
+			hiMulti += float64(pol.CloakAt(i).Area())
+			hiFlat += float64(flatPol.CloakAt(i).Area())
+			nHi++
+		}
+	}
+	fmt.Printf("\n%-28s %14s %14s\n", "avg cloak area (m^2)", "per-user k", "flat k=100")
+	fmt.Printf("%-28s %14.0f %14.0f  (%.1fx tighter)\n", "k=20 majority",
+		lowMulti/float64(nLow), lowFlat/float64(nLow), (lowFlat / lowMulti))
+	fmt.Printf("%-28s %14.0f %14.0f  (the price of k=100 from a sparser bucket)\n",
+		"k=100 sensitive minority", hiMulti/float64(nHi), hiFlat/float64(nHi))
+}

@@ -1,0 +1,80 @@
+// Parallelism demonstrates the Section V scale-out: the map is greedily
+// partitioned into jurisdictions, each anonymized by an independent
+// server, and the resulting master policy is audited and compared against
+// the single-server optimum (the Section VI-D utility-loss experiment in
+// miniature).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"policyanon"
+)
+
+func main() {
+	const k = 50
+	cfg := policyanon.WorkloadConfig{
+		MapSide:              1 << 15,
+		Intersections:        30000,
+		UsersPerIntersection: 5,
+		SpreadSigma:          200,
+	}
+	db := policyanon.GenerateWorkload(cfg, 11)
+	bounds := policyanon.Square(0, 0, cfg.MapSide)
+	fmt.Printf("snapshot: %d users, k=%d\n\n", db.Len(), k)
+
+	// Single-server optimum as the cost reference.
+	start := time.Now()
+	single, err := policyanon.NewEngine(db, bounds, policyanon.EngineOptions{K: k, Servers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	optCost, err := single.TotalCost()
+	if err != nil {
+		log.Fatal(err)
+	}
+	singleTime := time.Since(start)
+
+	fmt.Printf("%8s %10s %10s %14s %12s %s\n", "servers", "wall time", "crit path", "cost", "divergence", "max/min load")
+	fmt.Printf("%8d %10v %10v %14d %11.3f%% -\n",
+		1, singleTime.Round(time.Millisecond), single.CriticalPath().Round(time.Millisecond), optCost, 0.0)
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		start := time.Now()
+		eng, err := policyanon.NewEngine(db, bounds, policyanon.EngineOptions{K: k, Servers: n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		el := time.Since(start)
+		cost, err := eng.TotalCost()
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxL, minL := 0, db.Len()
+		for _, l := range eng.ServerLoads() {
+			if l > maxL {
+				maxL = l
+			}
+			if l > 0 && l < minL {
+				minL = l
+			}
+		}
+		div := 100 * (float64(cost) - float64(optCost)) / float64(optCost)
+		fmt.Printf("%8d %10v %10v %14d %11.3f%% %d/%d\n",
+			eng.NumServers(), el.Round(time.Millisecond),
+			eng.CriticalPath().Round(time.Millisecond), cost, div, maxL, minL)
+	}
+
+	// The master policy remains policy-aware k-anonymous.
+	eng, err := policyanon.NewEngine(db, bounds, policyanon.EngineOptions{K: k, Servers: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	master, err := eng.Policy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n16-server master policy policy-aware %d-anonymous: %v\n",
+		k, policyanon.IsKAnonymous(master, k, policyanon.PolicyAware))
+}

@@ -1,0 +1,3 @@
+module policyanon
+
+go 1.23

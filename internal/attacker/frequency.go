@@ -1,0 +1,100 @@
+package attacker
+
+import (
+	"fmt"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+)
+
+// This file implements the frequency-counting attack discussed in
+// Section VII ("Beyond k-anonymity: l-diversity and t-closeness"): an
+// attacker who can count duplicate anonymized requests per (cloak,
+// parameters) within one snapshot learns how many distinct senders issued
+// the same query. In the extreme the paper calls out, observing as many
+// identical requests from a cloak as there are users residing in it
+// exposes every sender: all of them must have asked, so each user's
+// interest is revealed even though no individual request is linkable.
+//
+// The defence is the CSP-side result cache (lbs.CSP): the provider sees
+// each distinct (cloak, parameters) pair at most once per cache epoch, so
+// the counts the attack needs never reach its log.
+
+// FrequencyFinding reports one (cloak, parameters) group whose observed
+// request count reveals information about the senders' interests.
+type FrequencyFinding struct {
+	Cloak geo.Rect
+	// Params is the shared parameter vector of the counted requests.
+	Params []lbs.Param
+	// Requests is the number of duplicate requests observed.
+	Requests int
+	// Residents is the number of users the location database places in
+	// the cloak.
+	Residents int
+	// Exposed reports the full breach: every resident of the cloak
+	// provably issued this request (Requests == Residents, assuming one
+	// request per user per snapshot).
+	Exposed bool
+}
+
+// String renders the finding.
+func (f FrequencyFinding) String() string {
+	verdict := "partial disclosure"
+	if f.Exposed {
+		verdict = "ALL SENDERS EXPOSED"
+	}
+	return fmt.Sprintf("cloak %v params %v: %d/%d residents requested (%s)",
+		f.Cloak, f.Params, f.Requests, f.Residents, verdict)
+}
+
+// FrequencyAttack runs the Section VII counting attack over a provider
+// log for one snapshot: it groups the observed anonymized requests by
+// (cloak, parameters) and compares each group's size against the cloak's
+// resident count, assuming each user issues at most one request per
+// snapshot (reasonable given the short snapshot duration, as the paper
+// argues). Groups where more than half the residents provably share the
+// same interest are reported; Exposed findings identify every sender.
+func FrequencyAttack(a *lbs.Assignment, log []lbs.AnonymizedRequest) []FrequencyFinding {
+	type key struct {
+		cloak  geo.Rect
+		params string
+	}
+	counts := make(map[key]int)
+	paramsOf := make(map[key][]lbs.Param)
+	for _, ar := range log {
+		k := key{cloak: ar.Cloak, params: encodeParams(ar.Params)}
+		counts[k]++
+		paramsOf[k] = ar.Params
+	}
+	db := a.DB()
+	var out []FrequencyFinding
+	for k, n := range counts {
+		residents := 0
+		for i := 0; i < db.Len(); i++ {
+			if k.cloak.ContainsClosed(db.At(i).Loc) {
+				residents++
+			}
+		}
+		if residents == 0 {
+			continue
+		}
+		if 2*n > residents {
+			out = append(out, FrequencyFinding{
+				Cloak:     k.cloak,
+				Params:    paramsOf[k],
+				Requests:  n,
+				Residents: residents,
+				Exposed:   n >= residents,
+			})
+		}
+	}
+	return out
+}
+
+func encodeParams(ps []lbs.Param) string {
+	s := ""
+	for _, p := range ps {
+		s += p.Name + "=" + p.Value + ";"
+	}
+	return s
+}

@@ -1,0 +1,67 @@
+package attacker
+
+import (
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+)
+
+// This file implements the trajectory-aware attack the paper scopes OUT
+// ([6], [27], [11] in its related work): an attacker who knows that a
+// series of anonymized requests — issued against different snapshots —
+// all came from the same (a priori unknown) user can intersect the
+// per-snapshot candidate sets and often narrow the sender below k, even
+// when every individual snapshot's policy is policy-aware k-anonymous.
+//
+// The paper explicitly leaves defending against this attacker to future
+// work; the implementation here exists to demonstrate empirically that
+// per-snapshot sender k-anonymity does not compose over time, which is
+// the motivation for that future work. See TestTrajectoryAttackShrinks
+// and examples in the repository.
+
+// TrajectoryObservation pairs one snapshot's policy with the cloak the
+// pinned request series used in that snapshot.
+type TrajectoryObservation struct {
+	Policy *lbs.Assignment
+	Cloak  geo.Rect
+	// Aware selects the attacker's per-snapshot knowledge; the composed
+	// attack works for either class.
+	Aware Awareness
+}
+
+// TrajectoryCandidates intersects the candidate sender sets of a request
+// series known to originate from a single user. The result is the set of
+// users that could have produced every observation; sender anonymity over
+// the series is its size.
+func TrajectoryCandidates(series []TrajectoryObservation) []string {
+	if len(series) == 0 {
+		return nil
+	}
+	alive := make(map[string]bool)
+	for _, u := range Candidates(series[0].Policy, series[0].Cloak, series[0].Aware) {
+		alive[u] = true
+	}
+	for _, obs := range series[1:] {
+		next := make(map[string]bool)
+		for _, u := range Candidates(obs.Policy, obs.Cloak, obs.Aware) {
+			if alive[u] {
+				next[u] = true
+			}
+		}
+		alive = next
+	}
+	// Return in the first snapshot's record order for determinism.
+	var out []string
+	db := series[0].Policy.DB()
+	for i := 0; i < db.Len(); i++ {
+		if alive[db.At(i).UserID] {
+			out = append(out, db.At(i).UserID)
+		}
+	}
+	return out
+}
+
+// TrajectoryAnonymity returns the sender anonymity of a pinned request
+// series: the size of the intersected candidate set.
+func TrajectoryAnonymity(series []TrajectoryObservation) int {
+	return len(TrajectoryCandidates(series))
+}

@@ -1,0 +1,108 @@
+package attacker
+
+import (
+	"math/rand"
+	"testing"
+
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/workload"
+)
+
+// Per-snapshot k-anonymity does not compose across snapshots: a
+// trajectory-aware attacker intersecting candidate sets over moving
+// snapshots shrinks the anonymity set, often below k. This is the
+// limitation the paper defers to future work; the test demonstrates it
+// and pins the composed anonymity to be no larger than any single
+// snapshot's.
+func TestTrajectoryAttackShrinksAnonymity(t *testing.T) {
+	const (
+		k     = 10
+		side  = int32(1 << 13)
+		snaps = 6
+	)
+	cfg := workload.Config{MapSide: side, Intersections: 1500, UsersPerIntersection: 4, SpreadSigma: 80}
+	db := workload.Generate(cfg, 21)
+	bounds := geo.NewRect(0, 0, side, side)
+	rng := rand.New(rand.NewSource(77))
+	target := 123 // the pinned user the attacker tracks
+
+	var series []TrajectoryObservation
+	perSnapshot := make([]int, 0, snaps)
+	for s := 0; s < snaps; s++ {
+		anon, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := anon.Policy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsKAnonymous(pol, k, PolicyAware) {
+			t.Fatal("per-snapshot policy must be k-anonymous")
+		}
+		cloak := pol.CloakAt(target)
+		series = append(series, TrajectoryObservation{Policy: pol, Cloak: cloak, Aware: PolicyAware})
+		perSnapshot = append(perSnapshot, len(Candidates(pol, cloak, PolicyAware)))
+		// Everyone moves ~500 m between snapshots.
+		workload.Apply(db, workload.PlanMoves(rng, db, 1.0, 500, side))
+	}
+	composed := TrajectoryAnonymity(series)
+	if composed < 1 {
+		t.Fatal("target must remain a candidate of its own trajectory")
+	}
+	cands := TrajectoryCandidates(series)
+	foundTarget := false
+	for _, u := range cands {
+		if u == db.At(target).UserID {
+			foundTarget = true
+		}
+	}
+	if !foundTarget {
+		t.Fatal("trajectory candidates lost the true sender")
+	}
+	for s, n := range perSnapshot {
+		if n < k {
+			t.Fatalf("snapshot %d violated per-snapshot anonymity: %d", s, n)
+		}
+		if composed > n {
+			t.Fatalf("composed anonymity %d exceeds snapshot %d's %d", composed, s, n)
+		}
+	}
+	if composed >= perSnapshot[0] {
+		t.Fatalf("trajectory attack failed to shrink anonymity: %d vs %d", composed, perSnapshot[0])
+	}
+	t.Logf("per-snapshot anonymity %v -> composed %d (k=%d)", perSnapshot, composed, k)
+}
+
+func TestTrajectoryEmptySeries(t *testing.T) {
+	if got := TrajectoryCandidates(nil); got != nil {
+		t.Fatalf("empty series candidates = %v", got)
+	}
+	if TrajectoryAnonymity(nil) != 0 {
+		t.Fatal("empty series anonymity should be 0")
+	}
+}
+
+// A single-observation trajectory equals the plain candidate set.
+func TestTrajectorySingleObservation(t *testing.T) {
+	db, err := location.FromRecords([]location.Record{
+		{UserID: "a", Loc: geo.Point{X: 1, Y: 1}},
+		{UserID: "b", Loc: geo.Point{X: 2, Y: 2}},
+		{UserID: "c", Loc: geo.Point{X: 6, Y: 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := geo.NewRect(0, 0, 8, 8)
+	pol, err := lbs.NewAssignment(db, []geo.Rect{all, all, all})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := []TrajectoryObservation{{Policy: pol, Cloak: all, Aware: PolicyAware}}
+	if got := TrajectoryAnonymity(series); got != 3 {
+		t.Fatalf("single-observation anonymity = %d", got)
+	}
+}

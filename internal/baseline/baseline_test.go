@@ -1,0 +1,399 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+)
+
+// example1DB reproduces the structure of Table I / Figure 1: Alice and Bob
+// adjacent in the southwest, Carol alone in the northwest, Sam and Tom
+// together in the southeast. With k=2, every k-inside policy here cloaks
+// Carol into a region whose cloaking group is {Carol}.
+func example1DB(t *testing.T) *location.DB {
+	t.Helper()
+	db, err := location.FromRecords([]location.Record{
+		{UserID: "Alice", Loc: geo.Point{X: 1, Y: 1}},
+		{UserID: "Bob", Loc: geo.Point{X: 1, Y: 2}},
+		{UserID: "Carol", Loc: geo.Point{X: 1, Y: 5}},
+		{UserID: "Sam", Loc: geo.Point{X: 5, Y: 1}},
+		{UserID: "Tom", Loc: geo.Point{X: 6, Y: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+var exampleBounds = geo.NewRect(0, 0, 8, 8)
+
+func randDB(t *testing.T, rng *rand.Rand, n int, side int32) *location.DB {
+	t.Helper()
+	db := location.New(n)
+	for i := 0; i < n; i++ {
+		if err := db.Add("u"+itoa(i), geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func itoa(i int) string {
+	s := ""
+	for {
+		s = string(rune('0'+i%10)) + s
+		i /= 10
+		if i == 0 {
+			return s
+		}
+	}
+}
+
+func kInsidePolicies(t *testing.T, db *location.DB, bounds geo.Rect, k int) map[string]*lbs.Assignment {
+	t.Helper()
+	puq, err := PUQ(db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := PUB(db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	casper, err := Casper(db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*lbs.Assignment{"PUQ": puq, "PUB": pub, "Casper": casper}
+}
+
+// Example 1 / Propositions 2 and 3: the k-inside policies resist
+// policy-unaware attackers but leak Carol to a policy-aware one.
+func TestExample1BreachAcrossKInsidePolicies(t *testing.T) {
+	db := example1DB(t)
+	const k = 2
+	for name, pol := range kInsidePolicies(t, db, exampleBounds, k) {
+		if !attacker.IsKAnonymous(pol, k, attacker.PolicyUnaware) {
+			t.Errorf("%s: not %d-anonymous against policy-unaware attackers (Prop. 2 violated)", name, k)
+		}
+		breaches, _ := attacker.Audit(pol, k, attacker.PolicyAware)
+		if len(breaches) == 0 {
+			t.Errorf("%s: expected a policy-aware breach on Carol (Prop. 3)", name)
+			continue
+		}
+		foundCarol := false
+		for _, b := range breaches {
+			for _, c := range b.Candidates {
+				if c == "Carol" {
+					foundCarol = true
+				}
+			}
+		}
+		if !foundCarol {
+			t.Errorf("%s: breaches %v do not expose Carol", name, breaches)
+		}
+	}
+}
+
+// All three baselines must be k-inside on random data: every emitted cloak
+// covers at least k users.
+func TestKInsideProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(200)
+		k := 2 + rng.Intn(10)
+		db := randDB(t, rng, n, 512)
+		for name, pol := range kInsidePolicies(t, db, geo.NewRect(0, 0, 512, 512), k) {
+			for i := 0; i < db.Len(); i++ {
+				if got := db.CountIn(pol.CloakAt(i)); got < k {
+					t.Fatalf("%s trial %d: cloak %v of user %d covers %d < k users",
+						name, trial, pol.CloakAt(i), i, got)
+				}
+			}
+			if !attacker.IsKAnonymous(pol, k, attacker.PolicyUnaware) {
+				t.Fatalf("%s trial %d: Proposition 2 violated", name, trial)
+			}
+		}
+	}
+}
+
+// Per-user cloak-size dominance: Casper and PUB cloaks are never larger
+// than the PUQ cloak of the same user (they refine quadrants with
+// semi-quadrants).
+func TestCasperAndPUBDominatePUQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		n := 30 + rng.Intn(200)
+		k := 2 + rng.Intn(8)
+		db := randDB(t, rng, n, 256)
+		pols := kInsidePolicies(t, db, geo.NewRect(0, 0, 256, 256), k)
+		for i := 0; i < db.Len(); i++ {
+			pq := pols["PUQ"].CloakAt(i).Area()
+			if ca := pols["Casper"].CloakAt(i).Area(); ca > pq {
+				t.Fatalf("trial %d user %d: Casper cloak %d > PUQ %d", trial, i, ca, pq)
+			}
+			if ba := pols["PUB"].CloakAt(i).Area(); ba > pq {
+				t.Fatalf("trial %d user %d: PUB cloak %d > PUQ %d", trial, i, ba, pq)
+			}
+		}
+	}
+}
+
+// The optimal policy-aware cost can exceed the k-inside costs (the price
+// of the stronger guarantee) but can never beat the PUB per-user tightest
+// cloak total... it CAN beat it: k-inside is not cost-minimal as a
+// grouping. What must always hold is that the policy-aware optimum is at
+// least the cost of cloaking every user at its leaf, and that the optimum
+// is policy-aware anonymous while the baselines are not necessarily.
+func TestOptimumVersusBaselinesSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	db := randDB(t, rng, 300, 1024)
+	const k = 10
+	bounds := geo.NewRect(0, 0, 1024, 1024)
+	anon, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := anon.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !attacker.IsKAnonymous(pol, k, attacker.PolicyAware) {
+		t.Fatal("optimal policy not policy-aware k-anonymous")
+	}
+	pub, err := PUB(db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The PUB assignment cloaks each user with the tightest k-inside
+	// binary node; the policy-aware optimum must be >= that total since
+	// each cloaking group of >= k users at node m gives each member a
+	// cloak at least as large as its tightest k-covering ancestor.
+	if pol.Cost() < pub.Cost() {
+		t.Fatalf("policy-aware optimum %d beat the per-user k-inside lower bound %d", pol.Cost(), pub.Cost())
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	db := example1DB(t)
+	if _, err := PUQ(db, exampleBounds, 10); !errors.Is(err, core.ErrInsufficientUsers) {
+		t.Errorf("PUQ with k>|D|: %v", err)
+	}
+	if _, err := PUB(db, exampleBounds, 0); err == nil {
+		t.Error("PUB with k=0 accepted")
+	}
+	if _, err := Casper(db, geo.NewRect(0, 0, 4, 8), 2); err == nil {
+		t.Error("non-square bounds accepted")
+	}
+}
+
+// Figure 6(a): the k-sharing policy's cloak for the first request depends
+// on who sent it, so observing the {Carol,Bob} bounding box identifies
+// Carol.
+func TestKSharingFirstRequestBreach(t *testing.T) {
+	db, err := location.FromRecords([]location.Record{
+		{UserID: "A", Loc: geo.Point{X: 0, Y: 0}},
+		{UserID: "B", Loc: geo.Point{X: 4, Y: 0}},
+		{UserID: "C", Loc: geo.Point{X: 9, Y: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 2
+	// If C requests first it is grouped with its nearest neighbour B.
+	cFirst, err := KSharing(db, k, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := cFirst[0]
+	if !observed.ContainsClosed(geo.Point{X: 4, Y: 0}) {
+		t.Fatalf("C's group should contain B; cloak %v", observed)
+	}
+	if observed.ContainsClosed(geo.Point{X: 0, Y: 0}) {
+		t.Fatalf("C's group should not reach A; cloak %v", observed)
+	}
+	// The cloak covers >= k users, so it resists policy-unaware attackers.
+	if got := db.CountIn(geo.NewRect(observed.MinX, observed.MinY, observed.MaxX+1, observed.MaxY+1)); got < k {
+		t.Fatalf("cloak covers %d < k users", got)
+	}
+	// The policy-aware attacker reverse-engineers the first sender.
+	cand, err := FirstRequestCandidates(db, k, observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cand) != 1 || cand[0] != "C" {
+		t.Fatalf("Fig 6(a) attack: candidates %v, want [C]", cand)
+	}
+	// Had B been first, the cloak would have grouped B with A instead.
+	bFirst, err := KSharing(db, k, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bFirst[0] == observed {
+		t.Fatal("B-first cloak should differ from C-first cloak")
+	}
+}
+
+// The k-sharing property itself: a request from a user already in an
+// active group is answered with exactly the group's cloak.
+func TestKSharingSharesCloaks(t *testing.T) {
+	db := example1DB(t)
+	// Alice founds a group with her nearest neighbour Bob; Bob's own
+	// request then reuses the identical cloak.
+	cloaks, err := KSharing(db, 2, []int{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cloaks[1] != cloaks[0] || cloaks[2] != cloaks[0] {
+		t.Fatalf("group members got different cloaks: %v", cloaks)
+	}
+}
+
+func TestKSharingValidation(t *testing.T) {
+	db := example1DB(t)
+	if _, err := KSharing(db, 2, []int{99}); err == nil {
+		t.Error("out-of-range request index accepted")
+	}
+	if _, err := KSharing(db, 0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KSharing(db, 9, []int{0}); !errors.Is(err, core.ErrInsufficientUsers) {
+		t.Error("k>|D| accepted")
+	}
+	// When every user requests, each emitted cloak covers >= k users and
+	// the leftover requester joins an existing group.
+	const k = 2
+	cloaks, err := KSharing(db, k, []int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cloaks) != 5 {
+		t.Fatalf("got %d cloaks", len(cloaks))
+	}
+	for i, c := range cloaks {
+		closed := geo.NewRect(c.MinX, c.MinY, c.MaxX+1, c.MaxY+1)
+		if got := db.CountIn(closed); got < k {
+			t.Fatalf("request %d: cloak %v covers %d < k users", i, c, got)
+		}
+		if !c.ContainsClosed(db.At([]int{0, 1, 2, 3, 4}[i]).Loc) {
+			t.Fatalf("request %d: cloak does not mask the requester", i)
+		}
+	}
+}
+
+// Figure 6(b): the nearest-base-station circular cloaking satisfies
+// 2-reciprocity yet the policy-aware attacker identifies Alice from the
+// circle centered at S1.
+func TestKReciprocityCircularBreach(t *testing.T) {
+	db, err := location.FromRecords([]location.Record{
+		{UserID: "Alice", Loc: geo.Point{X: 4, Y: 0}},
+		{UserID: "Bob", Loc: geo.Point{X: 6, Y: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stations := []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	const k = 2
+	ca, err := NearestCenterCircles(db, stations, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both cloaks cover both users: the policy is k-inside and
+	// 2-reciprocal.
+	if !ca.IsKReciprocal(k) {
+		t.Fatal("Fig 6(b) layout should satisfy 2-reciprocity")
+	}
+	for i := 0; i < db.Len(); i++ {
+		if got := len(ca.PolicyUnawareCandidates(ca.CircleAt(i))); got < k {
+			t.Fatalf("cloak %v covers %d < k users", ca.CircleAt(i), got)
+		}
+	}
+	// The policy-aware attacker observing the S1-centered circle sees
+	// only Alice as possible sender.
+	aliceCloak := ca.CircleAt(0)
+	if aliceCloak.Center != (geo.Point{X: 0, Y: 0}) {
+		t.Fatalf("Alice's cloak should be centered at S1, got %v", aliceCloak)
+	}
+	cand := ca.PolicyAwareCandidates(aliceCloak)
+	if len(cand) != 1 || cand[0] != "Alice" {
+		t.Fatalf("Fig 6(b) attack: candidates %v, want [Alice]", cand)
+	}
+	if ca.MinPolicyAwareAnonymity() != 1 {
+		t.Fatalf("min policy-aware anonymity = %d, want 1", ca.MinPolicyAwareAnonymity())
+	}
+}
+
+func TestOptimalCircularBeatsOrMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(8) // 4..11 users
+		k := 2
+		db := randDB(t, rng, n, 64)
+		centers := []geo.Point{
+			{X: rng.Int31n(64), Y: rng.Int31n(64)},
+			{X: rng.Int31n(64), Y: rng.Int31n(64)},
+			{X: rng.Int31n(64), Y: rng.Int31n(64)},
+		}
+		exact, err := OptimalCircular(db, centers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := GreedyCircular(db, centers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Cost() > greedy.Cost()+1e-6 {
+			t.Fatalf("trial %d: exact cost %.1f > greedy %.1f", trial, exact.Cost(), greedy.Cost())
+		}
+		for _, ca := range []*CircleAssignment{exact, greedy} {
+			if ca.MinPolicyAwareAnonymity() < k {
+				t.Fatalf("trial %d: circular policy not policy-aware %d-anonymous", trial, k)
+			}
+		}
+	}
+}
+
+func TestOptimalCircularGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	big := randDB(t, rng, MaxExactCircular+1, 64)
+	centers := []geo.Point{{X: 1, Y: 1}}
+	if _, err := OptimalCircular(big, centers, 2); err == nil {
+		t.Error("oversized exact instance accepted")
+	}
+	small := randDB(t, rng, 1, 64)
+	if _, err := OptimalCircular(small, centers, 2); !errors.Is(err, core.ErrInsufficientUsers) {
+		t.Error("insufficient users accepted")
+	}
+	if _, err := OptimalCircular(randDB(t, rng, 4, 64), nil, 2); err == nil {
+		t.Error("no centers accepted")
+	}
+	if _, err := GreedyCircular(small, centers, 2); !errors.Is(err, core.ErrInsufficientUsers) {
+		t.Error("greedy with insufficient users accepted")
+	}
+	if _, err := NearestCenterCircles(small, centers, 2); !errors.Is(err, core.ErrInsufficientUsers) {
+		t.Error("nearest-center with insufficient users accepted")
+	}
+	if _, err := NearestCenterCircles(big, nil, 2); err == nil {
+		t.Error("nearest-center with no centers accepted")
+	}
+}
+
+func TestCircleAssignmentValidation(t *testing.T) {
+	db := example1DB(t)
+	circles := make([]geo.Circle, db.Len())
+	for i := range circles {
+		circles[i] = geo.Circle{Center: geo.Point{X: 4, Y: 4}, Radius: 10}
+	}
+	if _, err := NewCircleAssignment(db, circles[:2]); err == nil {
+		t.Error("short circle slice accepted")
+	}
+	circles[0] = geo.Circle{Center: geo.Point{X: 7, Y: 7}, Radius: 0.5} // misses Alice
+	if _, err := NewCircleAssignment(db, circles); err == nil {
+		t.Error("non-masking circle accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package baseline_test
+
+import (
+	"fmt"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/baseline"
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+)
+
+func exampleDB() *location.DB {
+	db, err := location.FromRecords([]location.Record{
+		{UserID: "Alice", Loc: geo.Point{X: 1, Y: 1}},
+		{UserID: "Bob", Loc: geo.Point{X: 1, Y: 2}},
+		{UserID: "Carol", Loc: geo.Point{X: 1, Y: 5}},
+		{UserID: "Sam", Loc: geo.Point{X: 5, Y: 1}},
+		{UserID: "Tom", Loc: geo.Point{X: 6, Y: 2}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// ExamplePUQ reproduces Example 1: the 2-inside quad-tree policy resists
+// policy-unaware attackers but leaks Carol to a policy-aware one.
+func ExamplePUQ() {
+	pol, err := baseline.PUQ(exampleDB(), geo.NewRect(0, 0, 8, 8), 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("safe vs policy-unaware:", attacker.IsKAnonymous(pol, 2, attacker.PolicyUnaware))
+	breaches, _ := attacker.Audit(pol, 2, attacker.PolicyAware)
+	fmt.Println("policy-aware breaches:", len(breaches))
+	// Output:
+	// safe vs policy-unaware: true
+	// policy-aware breaches: 1
+}
+
+// ExampleNearestCenterCircles reproduces the Fig. 6(b) k-reciprocity
+// breach: the policy is 2-reciprocal yet the S1-centered circle has a
+// single possible sender.
+func ExampleNearestCenterCircles() {
+	db, err := location.FromRecords([]location.Record{
+		{UserID: "Alice", Loc: geo.Point{X: 4, Y: 0}},
+		{UserID: "Bob", Loc: geo.Point{X: 6, Y: 0}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	stations := []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	ca, err := baseline.NearestCenterCircles(db, stations, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("2-reciprocal:", ca.IsKReciprocal(2))
+	fmt.Println("policy-aware candidates:", ca.PolicyAwareCandidates(ca.CircleAt(0)))
+	// Output:
+	// 2-reciprocal: true
+	// policy-aware candidates: [Alice]
+}

@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+)
+
+// HilbertCloak implements the space-filling-curve cloaking of Kalnis et
+// al. [17]: users are ordered by the Hilbert index of their location and
+// partitioned into consecutive rank buckets of k users (the final bucket
+// absorbs the remainder, so buckets hold between k and 2k-1 users); each
+// bucket shares the minimum bounding rectangle of its members as cloak.
+//
+// Because the bucketing depends only on the snapshot — not on who asks —
+// the policy is deterministic and its cloaking groups all have at least k
+// members, so unlike the k-inside tightest-cloak policies it DOES provide
+// sender k-anonymity against policy-aware attackers. Its cost is
+// incomparable with the optimal quad-/binary-tree policy of the paper:
+// Hilbert buckets use unconstrained minimum bounding boxes (not tree
+// quadrants), which can undercut the tree-constrained optimum on benign
+// data, while curve discontinuities can produce huge elongated boxes on
+// clustered data, and the scheme offers no incremental-maintenance or
+// parallel-decomposition story. The "hilbert" experiment of cmd/lbsbench
+// measures the trade-off on the synthetic Bay-Area workload.
+func HilbertCloak(db *location.DB, bounds geo.Rect, k int) (*lbs.Assignment, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k must be >= 1, got %d", k)
+	}
+	n := db.Len()
+	if n < k {
+		return nil, fmt.Errorf("%w: |D|=%d, k=%d", core.ErrInsufficientUsers, n, k)
+	}
+	order := hilbertOrderFor(bounds)
+	type ranked struct {
+		idx int
+		d   uint64
+	}
+	ranks := make([]ranked, n)
+	for i := 0; i < n; i++ {
+		p := db.At(i).Loc
+		ranks[i] = ranked{idx: i, d: geo.HilbertIndex(order, p.X-bounds.MinX, p.Y-bounds.MinY)}
+	}
+	sort.Slice(ranks, func(a, b int) bool {
+		if ranks[a].d != ranks[b].d {
+			return ranks[a].d < ranks[b].d
+		}
+		return ranks[a].idx < ranks[b].idx
+	})
+	cloaks := make([]geo.Rect, n)
+	for start := 0; start < n; start += k {
+		end := start + k
+		if n-end < k {
+			end = n // final bucket absorbs the remainder
+		}
+		var mbr geo.Rect
+		for _, r := range ranks[start:end] {
+			mbr = mbr.ExpandToPoint(db.At(r.idx).Loc)
+		}
+		for _, r := range ranks[start:end] {
+			cloaks[r.idx] = mbr
+		}
+		if end == n {
+			break
+		}
+	}
+	return lbs.NewAssignment(db, cloaks)
+}
+
+// hilbertOrderFor picks the smallest curve order covering the bounds.
+func hilbertOrderFor(bounds geo.Rect) uint {
+	side := bounds.Width()
+	if bounds.Height() > side {
+		side = bounds.Height()
+	}
+	if side < 1 {
+		return 1
+	}
+	return uint(bits.Len64(uint64(side - 1)))
+}

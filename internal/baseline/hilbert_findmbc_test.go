@@ -1,0 +1,158 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+)
+
+// HilbertCloak is a deterministic static grouping, so unlike the k-inside
+// policies it survives the policy-aware attacker.
+func TestHilbertCloakIsPolicyAwareSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 8; trial++ {
+		n := 20 + rng.Intn(300)
+		k := 2 + rng.Intn(10)
+		db := randDB(t, rng, n, 512)
+		pol, err := HilbertCloak(db, geo.NewRect(0, 0, 512, 512), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !attacker.IsKAnonymous(pol, k, attacker.PolicyAware) {
+			t.Fatalf("trial %d: HilbertCloak breached (n=%d k=%d)", trial, n, k)
+		}
+		// Bucket sizes are k..2k-1.
+		for _, g := range pol.Groups() {
+			if len(g.Members) < k || len(g.Members) >= 2*k {
+				t.Fatalf("trial %d: bucket size %d outside [k,2k)", trial, len(g.Members))
+			}
+		}
+	}
+}
+
+// HilbertCloak and the optimal tree-constrained algorithm are both
+// policy-aware safe; their costs are incomparable in general (Hilbert
+// buckets use unconstrained bounding boxes, which can undercut tree
+// quadrants on uniform data, while curve discontinuities can blow up
+// bucket boxes on clustered data). The test pins the safety of both and
+// that each cost is positive and finite; the "hilbert" experiment of
+// cmd/lbsbench reports the measured ratio.
+func TestHilbertVersusOptimumBothSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 5; trial++ {
+		n := 100 + rng.Intn(400)
+		k := 5 + rng.Intn(15)
+		db := randDB(t, rng, n, 1024)
+		bounds := geo.NewRect(0, 0, 1024, 1024)
+		hil, err := HilbertCloak(db, bounds, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !attacker.IsKAnonymous(hil, k, attacker.PolicyAware) {
+			t.Fatalf("trial %d: Hilbert policy breached", trial)
+		}
+		anon, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := anon.Policy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !attacker.IsKAnonymous(pol, k, attacker.PolicyAware) {
+			t.Fatalf("trial %d: optimal policy breached", trial)
+		}
+		if hil.Cost() <= 0 || pol.Cost() <= 0 {
+			t.Fatalf("trial %d: degenerate costs %d / %d", trial, hil.Cost(), pol.Cost())
+		}
+		t.Logf("trial %d (n=%d k=%d): tree-optimal %d vs hilbert %d (ratio %.2f)",
+			trial, n, k, pol.Cost(), hil.Cost(), float64(pol.Cost())/float64(hil.Cost()))
+	}
+}
+
+func TestHilbertCloakErrors(t *testing.T) {
+	db := example1DB(t)
+	if _, err := HilbertCloak(db, exampleBounds, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := HilbertCloak(db, exampleBounds, 10); !errors.Is(err, core.ErrInsufficientUsers) {
+		t.Error("k > |D| accepted")
+	}
+}
+
+func TestFindMBCCoversKUsersButLeaks(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	db := randDB(t, rng, 200, 512)
+	bounds := geo.NewRect(0, 0, 512, 512)
+	const k = 5
+	m, err := FindMBC(db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Masking: every circle covers its user.
+	for i := 0; i < db.Len(); i++ {
+		if !m.CircleAt(i).ContainsPoint(db.At(i).Loc) {
+			t.Fatalf("circle %d does not cover its user", i)
+		}
+	}
+	// k-inside: every circle covers at least k users (Proposition 2).
+	if got := m.PolicyUnawareAnonymity(); got < k {
+		t.Fatalf("policy-unaware anonymity %d < k", got)
+	}
+	// The policy-aware breach: some user's circle is unique to her.
+	if got := m.PolicyAwareAnonymity(); got >= k {
+		t.Fatalf("expected FindMBC to leak against policy-aware attackers, min group %d", got)
+	}
+}
+
+// The per-user circle is the minimum bounding circle of the user's
+// k-nearest group: verify against a brute-force kNN + MEC on a small
+// instance.
+func TestFindMBCMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	db := randDB(t, rng, 60, 256)
+	bounds := geo.NewRect(0, 0, 256, 256)
+	const k = 4
+	m, err := FindMBC(db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < db.Len(); i++ {
+		from := db.At(i).Loc
+		idx := make([]int, db.Len())
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			da, dbb := from.DistSq(db.At(idx[a]).Loc), from.DistSq(db.At(idx[b]).Loc)
+			if da != dbb {
+				return da < dbb
+			}
+			return idx[a] < idx[b]
+		})
+		pts := make([]geo.Point, k)
+		for j := 0; j < k; j++ {
+			pts[j] = db.At(idx[j]).Loc
+		}
+		want := geo.MinEnclosingCircle(pts, rand.New(rand.NewSource(9)))
+		got := m.CircleAt(i)
+		if got.R < want.R-1e-6 || got.R > want.R+1e-6 {
+			t.Fatalf("user %d: MBC radius %v, brute force %v", i, got.R, want.R)
+		}
+	}
+}
+
+func TestFindMBCErrors(t *testing.T) {
+	db := example1DB(t)
+	if _, err := FindMBC(db, exampleBounds, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := FindMBC(db, exampleBounds, 10); !errors.Is(err, core.ErrInsufficientUsers) {
+		t.Error("k > |D| accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Package baseline implements the prior-art cloaking policies the paper
+// compares against and attacks:
+//
+//   - PUQ, the policy-unaware quad-tree policy of Gruteser–Grunwald [16]:
+//     the smallest quadrant containing the requester and at least k-1
+//     other users;
+//   - PUB, the same discipline over the binary semi-quadrant tree
+//     (the "optimum policy-unaware binary tree" of Section VI-B);
+//   - Casper, the basic algorithm of Mokbel–Chow–Aref [23], which may also
+//     combine a quadrant with one adjacent sibling into a semi-quadrant,
+//     choosing adaptively between the horizontal and vertical combination;
+//   - a k-sharing grouping policy in the spirit of Chow–Mokbel [11], used
+//     to reproduce the Fig. 6(a) policy-aware breach;
+//   - circular cloaking with centers from a fixed set: the nearest-center
+//     policy of the Fig. 6(b) k-reciprocity breach, a greedy heuristic,
+//     and an exact exponential solver for the NP-complete optimal variant
+//     of Theorem 1.
+//
+// All of these are k-inside policies (every emitted cloak covers at least
+// k users), so by Proposition 2 they defend against policy-unaware
+// attackers; the package's tests demonstrate where each fails against
+// policy-aware attackers.
+package baseline
+
+import (
+	"fmt"
+
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/tree"
+)
+
+// PUQ computes the policy-unaware quad-tree cloaking of [16]: each user is
+// cloaked by the smallest quadrant containing her and at least k users in
+// total.
+func PUQ(db *location.DB, bounds geo.Rect, k int) (*lbs.Assignment, error) {
+	return kInside(db, bounds, k, tree.Quad)
+}
+
+// PUB computes the same tightest-enclosing-node cloaking over the binary
+// semi-quadrant tree of Section V.
+func PUB(db *location.DB, bounds geo.Rect, k int) (*lbs.Assignment, error) {
+	return kInside(db, bounds, k, tree.Binary)
+}
+
+func kInside(db *location.DB, bounds geo.Rect, k int, kind tree.Kind) (*lbs.Assignment, error) {
+	t, err := buildTree(db, bounds, k, kind)
+	if err != nil {
+		return nil, err
+	}
+	cloaks := make([]geo.Rect, db.Len())
+	for i := range cloaks {
+		id := t.LeafOf(int32(i))
+		for t.Count(id) < k {
+			id = t.Parent(id)
+		}
+		cloaks[i] = t.Rect(id)
+	}
+	return lbs.NewAssignment(db, cloaks)
+}
+
+// Casper computes the basic Casper cloaking of [23]: starting from the
+// user's cell, it may combine the cell with the adjacent vertical or
+// horizontal sibling (forming a semi-quadrant of the parent) before
+// falling back to the parent quadrant, always returning the smallest
+// option covering at least k users.
+func Casper(db *location.DB, bounds geo.Rect, k int) (*lbs.Assignment, error) {
+	t, err := buildTree(db, bounds, k, tree.Quad)
+	if err != nil {
+		return nil, err
+	}
+	cloaks := make([]geo.Rect, db.Len())
+	for i := range cloaks {
+		cloaks[i] = casperCloak(t, t.LeafOf(int32(i)), k)
+	}
+	return lbs.NewAssignment(db, cloaks)
+}
+
+// casperCloak walks up from a cell applying the Casper rules.
+func casperCloak(t *tree.Tree, id tree.NodeID, k int) geo.Rect {
+	for {
+		if t.Count(id) >= k {
+			return t.Rect(id)
+		}
+		parent := t.Parent(id)
+		if parent == tree.None {
+			return t.Rect(id) // fewer than k users overall; callers pre-check
+		}
+		// The parent's children are ordered SW, SE, NW, NE (the order of
+		// geo.Rect.Quadrants, which the tree preserves). Locate id among
+		// them and evaluate the two semi-quadrants containing it.
+		kids := t.Children(parent)
+		ci := -1
+		for j, c := range kids {
+			if c == id {
+				ci = j
+			}
+		}
+		counts := [4]int{}
+		for j, c := range kids {
+			counts[j] = t.Count(c)
+		}
+		prect := t.Rect(parent)
+		type option struct {
+			rect  geo.Rect
+			count int
+		}
+		var vert, horiz option
+		switch ci {
+		case 0: // SW: vertical partner NW, horizontal partner SE
+			vert = option{prect.WestHalf(), counts[0] + counts[2]}
+			horiz = option{prect.SouthHalf(), counts[0] + counts[1]}
+		case 1: // SE
+			vert = option{prect.EastHalf(), counts[1] + counts[3]}
+			horiz = option{prect.SouthHalf(), counts[0] + counts[1]}
+		case 2: // NW
+			vert = option{prect.WestHalf(), counts[0] + counts[2]}
+			horiz = option{prect.NorthHalf(), counts[2] + counts[3]}
+		case 3: // NE
+			vert = option{prect.EastHalf(), counts[1] + counts[3]}
+			horiz = option{prect.NorthHalf(), counts[2] + counts[3]}
+		}
+		switch {
+		case vert.count >= k && (horiz.count < k || vert.count <= horiz.count):
+			return vert.rect
+		case horiz.count >= k:
+			return horiz.rect
+		}
+		id = parent
+	}
+}
+
+func buildTree(db *location.DB, bounds geo.Rect, k int, kind tree.Kind) (*tree.Tree, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k must be >= 1, got %d", k)
+	}
+	if db.Len() < k {
+		return nil, fmt.Errorf("%w: |D|=%d, k=%d", core.ErrInsufficientUsers, db.Len(), k)
+	}
+	return tree.Build(db.Points(), bounds, tree.Options{Kind: kind, MinCountToSplit: k})
+}

@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+)
+
+// ksGroup is one active cloaking group of the k-sharing anonymizer.
+type ksGroup struct {
+	cloak   geo.Rect
+	members []int
+}
+
+// KSharing simulates a k-sharing cloaking anonymizer in the spirit of
+// Chow–Mokbel [11] over one snapshot. Requests arrive in the given order
+// (record indices; repeats allowed). The anonymizer maintains disjoint
+// cloaking groups built on demand:
+//
+//   - a requester already in an active group is answered with the group's
+//     cloak (this is what makes the policy k-sharing: at least k-1 other
+//     users in the cloak have the same region as THEIR cloak);
+//   - an ungrouped requester founds a new group with her k-1 nearest
+//     still-ungrouped users, cloaked by the group's minimum bounding box;
+//   - if fewer than k users remain ungrouped, the requester joins the
+//     nearest existing group, enlarging its box if needed.
+//
+// It returns one cloak per request. Because the grouping depends on
+// arrival order, the policy leaks to policy-aware attackers; see
+// FirstRequestCandidates and the Fig. 6(a) test.
+func KSharing(db *location.DB, k int, order []int) ([]geo.Rect, error) {
+	n := db.Len()
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k must be >= 1, got %d", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("%w: |D|=%d, k=%d", core.ErrInsufficientUsers, n, k)
+	}
+	var groups []*ksGroup
+	groupOf := make([]*ksGroup, n)
+	ungrouped := n
+	out := make([]geo.Rect, 0, len(order))
+	for _, req := range order {
+		if req < 0 || req >= n {
+			return nil, fmt.Errorf("baseline: request index %d out of range", req)
+		}
+		if g := groupOf[req]; g != nil {
+			out = append(out, g.cloak)
+			continue
+		}
+		if ungrouped >= k {
+			members := nearestUngrouped(db, groupOf, req, k)
+			var mbr geo.Rect
+			for _, m := range members {
+				mbr = mbr.ExpandToPoint(db.At(m).Loc)
+			}
+			g := &ksGroup{cloak: mbr, members: members}
+			for _, m := range members {
+				groupOf[m] = g
+			}
+			ungrouped -= len(members)
+			groups = append(groups, g)
+			out = append(out, g.cloak)
+			continue
+		}
+		// Fewer than k ungrouped users remain: join the nearest group.
+		g := nearestGroup(db, groups, req)
+		g.cloak = g.cloak.ExpandToPoint(db.At(req).Loc)
+		g.members = append(g.members, req)
+		groupOf[req] = g
+		ungrouped--
+		out = append(out, g.cloak)
+	}
+	return out, nil
+}
+
+// nearestUngrouped returns lead plus its k-1 nearest ungrouped users.
+func nearestUngrouped(db *location.DB, groupOf []*ksGroup, lead, k int) []int {
+	type cand struct {
+		idx  int
+		dist int64
+	}
+	from := db.At(lead).Loc
+	var cands []cand
+	for i := 0; i < db.Len(); i++ {
+		if groupOf[i] != nil || i == lead {
+			continue
+		}
+		cands = append(cands, cand{i, from.DistSq(db.At(i).Loc)})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	members := []int{lead}
+	for i := 0; i < k-1 && i < len(cands); i++ {
+		members = append(members, cands[i].idx)
+	}
+	return members
+}
+
+// nearestGroup returns the group whose nearest member is closest to the
+// requester. Callers guarantee at least one group exists (n >= k and the
+// requester is ungrouped with fewer than k ungrouped users remaining).
+func nearestGroup(db *location.DB, groups []*ksGroup, req int) *ksGroup {
+	from := db.At(req).Loc
+	var best *ksGroup
+	bestDist := int64(-1)
+	for _, g := range groups {
+		for _, m := range g.members {
+			if d := from.DistSq(db.At(m).Loc); best == nil || d < bestDist {
+				best, bestDist = g, d
+			}
+		}
+	}
+	return best
+}
+
+// FirstRequestCandidates models the Fig. 6(a) policy-aware attack on the
+// k-sharing anonymizer: the attacker observes the cloak of the FIRST
+// request against a fresh snapshot and knows the algorithm, so the
+// possible senders are exactly the users u for which a u-first run emits
+// the observed cloak.
+func FirstRequestCandidates(db *location.DB, k int, observed geo.Rect) ([]string, error) {
+	var out []string
+	for i := 0; i < db.Len(); i++ {
+		cloaks, err := KSharing(db, k, []int{i})
+		if err != nil {
+			return nil, err
+		}
+		if cloaks[0] == observed {
+			out = append(out, db.At(i).UserID)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+// Package cluster implements the paper's multi-server deployment over the
+// wire: a coordinator partitions the map into jurisdictions with the
+// greedy rule of Section V, shards the location snapshot across a pool of
+// anonymization servers (the HTTP service of internal/server, one per
+// jurisdiction), runs them concurrently, and assembles the master policy
+// from the per-server checkpoints.
+//
+// This is the distributed counterpart of internal/parallel, which runs
+// the same decomposition in-process.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"policyanon/internal/checkpoint"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/parallel"
+	"policyanon/internal/verify"
+)
+
+// Coordinator drives a pool of anonymization servers.
+type Coordinator struct {
+	workers []string // base URLs, e.g. "http://10.0.0.7:8080"
+	client  *http.Client
+}
+
+// New returns a coordinator over the given worker base URLs. client may be
+// nil for a default with a 60 s timeout.
+func New(workers []string, client *http.Client) (*Coordinator, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers")
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Coordinator{workers: append([]string(nil), workers...), client: client}, nil
+}
+
+// NumWorkers returns the pool size.
+func (c *Coordinator) NumWorkers() int { return len(c.workers) }
+
+// Healthy probes every worker's /healthz and returns the unreachable ones.
+func (c *Coordinator) Healthy(ctx context.Context) (down []string) {
+	for _, w := range c.workers {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w+"/healthz", nil)
+		if err != nil {
+			down = append(down, w)
+			continue
+		}
+		resp, err := c.client.Do(req)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			down = append(down, w)
+		}
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	return down
+}
+
+// userJSON mirrors the server's wire format.
+type userJSON struct {
+	ID string `json:"id"`
+	X  int32  `json:"x"`
+	Y  int32  `json:"y"`
+}
+
+// Anonymize shards the snapshot over the worker pool and returns the
+// master policy. bounds must be the square map; jurisdictions are
+// assigned to workers round-robin (at most one jurisdiction per worker:
+// the partitioner is asked for exactly len(workers) jurisdictions).
+func (c *Coordinator) Anonymize(ctx context.Context, db *location.DB, bounds geo.Rect, k int) (*lbs.Assignment, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
+	}
+	jur, err := parallel.Partition(db, bounds, k, len(c.workers))
+	if err != nil {
+		return nil, err
+	}
+	// Shard the users by jurisdiction.
+	shards := make([][]userJSON, len(jur))
+	for i := 0; i < db.Len(); i++ {
+		rec := db.At(i)
+		placed := false
+		for j, r := range jur {
+			if r.Contains(rec.Loc) {
+				shards[j] = append(shards[j], userJSON{ID: rec.UserID, X: rec.Loc.X, Y: rec.Loc.Y})
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("cluster: location %v outside every jurisdiction", rec.Loc)
+		}
+	}
+	// Each jurisdiction runs on its own worker; empty ones are skipped.
+	type result struct {
+		worker string
+		state  *checkpoint.State
+		err    error
+	}
+	results := make([]result, len(jur))
+	var wg sync.WaitGroup
+	for j := range jur {
+		if len(shards[j]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			worker := c.workers[j%len(c.workers)]
+			st, err := c.anonymizeShard(ctx, worker, jur[j], k, shards[j])
+			results[j] = result{worker: worker, state: st, err: err}
+		}(j)
+	}
+	wg.Wait()
+	cloaks := make([]geo.Rect, db.Len())
+	assigned := make([]bool, db.Len())
+	for j, res := range results {
+		if len(shards[j]) == 0 {
+			continue
+		}
+		if res.err != nil {
+			return nil, fmt.Errorf("cluster: worker %s jurisdiction %d: %w", res.worker, j, res.err)
+		}
+		sub := res.state
+		for i := 0; i < sub.DB.Len(); i++ {
+			rec := sub.DB.At(i)
+			gi := db.Index(rec.UserID)
+			if gi < 0 {
+				return nil, fmt.Errorf("cluster: worker returned unknown user %q", rec.UserID)
+			}
+			cloaks[gi] = sub.Policy.CloakAt(i)
+			assigned[gi] = true
+		}
+	}
+	for i, ok := range assigned {
+		if !ok {
+			return nil, fmt.Errorf("cluster: user %q received no cloak", db.At(i).UserID)
+		}
+	}
+	policy, err := lbs.NewAssignment(db, cloaks)
+	if err != nil {
+		return nil, err
+	}
+	// Verify rather than trust: the master policy assembled from remote
+	// workers must still pass the full Definition 6 verification before
+	// it is handed to a CSP.
+	if rep := verify.Policy(policy, k); !rep.OK() {
+		return nil, fmt.Errorf("cluster: assembled policy failed verification: %s", rep.Problems[0])
+	}
+	return policy, nil
+}
+
+// anonymizeShard installs one jurisdiction's shard on a worker and fetches
+// the resulting policy as a checkpoint.
+func (c *Coordinator) anonymizeShard(ctx context.Context, worker string, jur geo.Rect, k int, users []userJSON) (*checkpoint.State, error) {
+	// The worker anonymizes over the jurisdiction's bounding square
+	// anchored at its origin (matching parallel.squareOver); since the
+	// server's map is [0,side)^2 we translate coordinates into
+	// jurisdiction-local space and translate the cloaks back.
+	side := jur.Width()
+	if jur.Height() > side {
+		side = jur.Height()
+	}
+	local := make([]userJSON, len(users))
+	for i, u := range users {
+		local[i] = userJSON{ID: u.ID, X: u.X - jur.MinX, Y: u.Y - jur.MinY}
+	}
+	snap := map[string]any{"k": k, "mapSide": side, "users": local}
+	body, err := json.Marshal(snap)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/snapshot", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("snapshot rejected: %s: %s", resp.Status, msg)
+	}
+	io.Copy(io.Discard, resp.Body)
+
+	ckReq, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/v1/checkpoint", nil)
+	if err != nil {
+		return nil, err
+	}
+	ckResp, err := c.client.Do(ckReq)
+	if err != nil {
+		return nil, err
+	}
+	defer ckResp.Body.Close()
+	if ckResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("checkpoint fetch failed: %s", ckResp.Status)
+	}
+	st, err := checkpoint.Load(ckResp.Body)
+	if err != nil {
+		return nil, err
+	}
+	// Translate cloaks back into global coordinates.
+	global := location.New(st.DB.Len())
+	cloaks := make([]geo.Rect, st.DB.Len())
+	for i := 0; i < st.DB.Len(); i++ {
+		rec := st.DB.At(i)
+		if err := global.Add(rec.UserID, geo.Point{X: rec.Loc.X + jur.MinX, Y: rec.Loc.Y + jur.MinY}); err != nil {
+			return nil, err
+		}
+		c := st.Policy.CloakAt(i)
+		cloaks[i] = geo.Rect{
+			MinX: c.MinX + jur.MinX, MinY: c.MinY + jur.MinY,
+			MaxX: c.MaxX + jur.MinX, MaxY: c.MaxY + jur.MinY,
+		}
+	}
+	policy, err := lbs.NewAssignment(global, cloaks)
+	if err != nil {
+		return nil, err
+	}
+	return &checkpoint.State{K: st.K, Bounds: st.Bounds, DB: global, Policy: policy}, nil
+}
+
+// ErrDegraded is returned by AnonymizeWithFailover when some workers were
+// skipped; the policy is still valid (their jurisdictions were re-routed).
+var ErrDegraded = errors.New("cluster: degraded: some workers unavailable")
+
+// AnonymizeWithFailover is Anonymize with liveness pre-checks: jurisdictions
+// of unreachable workers are re-routed round-robin to healthy ones. The
+// returned error wraps ErrDegraded when failover occurred.
+func (c *Coordinator) AnonymizeWithFailover(ctx context.Context, db *location.DB, bounds geo.Rect, k int) (*lbs.Assignment, error) {
+	down := c.Healthy(ctx)
+	if len(down) == 0 {
+		return c.Anonymize(ctx, db, bounds, k)
+	}
+	bad := make(map[string]bool, len(down))
+	for _, w := range down {
+		bad[w] = true
+	}
+	var healthy []string
+	for _, w := range c.workers {
+		if !bad[w] {
+			healthy = append(healthy, w)
+		}
+	}
+	if len(healthy) == 0 {
+		return nil, fmt.Errorf("cluster: all %d workers down", len(c.workers))
+	}
+	sub := &Coordinator{workers: healthy, client: c.client}
+	pol, err := sub.Anonymize(ctx, db, bounds, k)
+	if err != nil {
+		return nil, err
+	}
+	return pol, fmt.Errorf("%w: %d of %d workers down", ErrDegraded, len(down), len(c.workers))
+}

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+	"policyanon/internal/server"
+	"policyanon/internal/workload"
+)
+
+// pool spins up n anonymization servers and returns their base URLs.
+func pool(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		ts := httptest.NewServer(server.New().Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+func testSnapshot(t *testing.T, n int) (*location.DB, geo.Rect) {
+	t.Helper()
+	cfg := workload.Config{MapSide: 1 << 12, Intersections: n / 5, UsersPerIntersection: 5, SpreadSigma: 60}
+	return workload.Generate(cfg, 11), workload.MapBounds(cfg.MapSide)
+}
+
+func TestClusterAnonymizeMatchesLocal(t *testing.T) {
+	db, bounds := testSnapshot(t, 3000)
+	const k = 20
+	coord, err := New(pool(t, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := coord.Anonymize(context.Background(), db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The distributed master policy is policy-aware k-anonymous and
+	// costs exactly what the in-process parallel engine computes.
+	if !attacker.IsKAnonymous(pol, k, attacker.PolicyAware) {
+		t.Fatal("cluster master policy breached")
+	}
+	local, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := local.OptimalCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Cost() < opt {
+		t.Fatalf("cluster cost %d below single-server optimum %d", pol.Cost(), opt)
+	}
+	if float64(pol.Cost()) > 1.05*float64(opt) {
+		t.Fatalf("cluster cost %d diverges over 5%% from optimum %d", pol.Cost(), opt)
+	}
+}
+
+func TestClusterSingleWorker(t *testing.T) {
+	db, bounds := testSnapshot(t, 800)
+	const k = 10
+	coord, err := New(pool(t, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := coord.Anonymize(context.Background(), db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.OptimalCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Cost() != want {
+		t.Fatalf("single-worker cluster cost %d != local optimum %d", pol.Cost(), want)
+	}
+}
+
+func TestClusterHealthAndFailover(t *testing.T) {
+	db, bounds := testSnapshot(t, 1500)
+	urls := pool(t, 3)
+	// Kill one worker by pointing at a closed server.
+	dead := httptest.NewServer(server.New().Handler())
+	deadURL := dead.URL
+	dead.Close()
+	coord, err := New(append(urls, deadURL), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := coord.Healthy(context.Background())
+	if len(down) != 1 || down[0] != deadURL {
+		t.Fatalf("Healthy reported %v", down)
+	}
+	pol, err := coord.AnonymizeWithFailover(context.Background(), db, bounds, 15)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("expected ErrDegraded, got %v", err)
+	}
+	if pol == nil || !attacker.IsKAnonymous(pol, 15, attacker.PolicyAware) {
+		t.Fatal("failover policy missing or breached")
+	}
+	// Plain Anonymize against the dead worker fails.
+	if _, err := coord.Anonymize(context.Background(), db, bounds, 15); err == nil {
+		t.Fatal("dead worker not reported")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	db, bounds := testSnapshot(t, 300)
+	coord, err := New(pool(t, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Anonymize(context.Background(), db, bounds, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if coord.NumWorkers() != 2 {
+		t.Fatal("NumWorkers wrong")
+	}
+}
+
+func TestClusterAllWorkersDown(t *testing.T) {
+	dead := httptest.NewServer(server.New().Handler())
+	deadURL := dead.URL
+	dead.Close()
+	coord, err := New([]string{deadURL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, bounds := testSnapshot(t, 300)
+	if _, err := coord.AnonymizeWithFailover(context.Background(), db, bounds, 5); err == nil {
+		t.Fatal("all-down pool succeeded")
+	}
+}
+
+// A worker that returns a checkpoint for the wrong users (e.g. a stale or
+// malicious state) must be rejected during master-policy assembly.
+func TestClusterRejectsWrongWorkerState(t *testing.T) {
+	// The lying worker accepts any snapshot but always serves a
+	// checkpoint computed for an unrelated population.
+	lying := server.New()
+	bogusUsers := []server.UserJSON{}
+	for i := 0; i < 10; i++ {
+		bogusUsers = append(bogusUsers, server.UserJSON{ID: "bogus" + string(rune('a'+i)), X: int32(i), Y: int32(i)})
+	}
+	ts := httptest.NewServer(wrongStateHandler(t, lying, bogusUsers))
+	t.Cleanup(ts.Close)
+	coord, err := New([]string{ts.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, bounds := testSnapshot(t, 300)
+	if _, err := coord.Anonymize(context.Background(), db, bounds, 5); err == nil {
+		t.Fatal("wrong worker state accepted")
+	}
+}
+
+// wrongStateHandler proxies to a real server but pre-installs a bogus
+// snapshot and ignores the coordinator's snapshot payload.
+func wrongStateHandler(t *testing.T, srv *server.Server, bogus []server.UserJSON) http.Handler {
+	t.Helper()
+	real := srv.Handler()
+	installed := false
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/snapshot" {
+			if !installed {
+				body, _ := json.Marshal(server.SnapshotRequest{K: 2, MapSide: 64, Users: bogus})
+				req := httptest.NewRequest(http.MethodPost, "/v1/snapshot", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				real.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("bogus install failed: %d", rec.Code)
+				}
+				installed = true
+			}
+			// Pretend the coordinator's snapshot was accepted.
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"users":0}`))
+			return
+		}
+		real.ServeHTTP(w, r)
+	})
+}

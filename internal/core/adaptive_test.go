@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/tree"
+)
+
+func adaptiveFor(t *testing.T, pts []geo.Point, side int32, k int, opt Options) *AdaptiveMatrix {
+	t.Helper()
+	tr := buildTree(t, pts, side, tree.Quad, k)
+	m, err := NewAdaptiveMatrix(tr, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// bruteForceAdaptive enumerates every per-square orientation choice and
+// every cloak assignment within the induced family, returning the minimum
+// cost over policy-aware-safe policies. Ground truth for tiny instances.
+func bruteForceAdaptive(tr *tree.Tree, k int) int64 {
+	var internals []tree.NodeID
+	tr.PostOrder(func(id tree.NodeID) {
+		if !tr.IsLeaf(id) {
+			internals = append(internals, id)
+		}
+	})
+	n := tr.Len()
+	best := inf
+	for mask := 0; mask < 1<<len(internals); mask++ {
+		vertical := make(map[tree.NodeID]bool)
+		for i, id := range internals {
+			vertical[id] = mask&(1<<i) == 0
+		}
+		// Options per point: ancestor squares plus the oriented semi of
+		// each internal ancestor containing the point.
+		options := make([][]geo.Rect, n)
+		for p := 0; p < n; p++ {
+			loc := tr.Point(int32(p))
+			for id := tr.LeafOf(int32(p)); id != tree.None; id = tr.Parent(id) {
+				options[p] = append(options[p], tr.Rect(id))
+				if !tr.IsLeaf(id) {
+					r := tr.Rect(id)
+					var semis [2]geo.Rect
+					if vertical[id] {
+						semis = [2]geo.Rect{r.WestHalf(), r.EastHalf()}
+					} else {
+						semis = [2]geo.Rect{r.SouthHalf(), r.NorthHalf()}
+					}
+					for _, s := range semis {
+						if s.Contains(loc) {
+							options[p] = append(options[p], s)
+						}
+					}
+				}
+			}
+		}
+		assign := make([]geo.Rect, n)
+		counts := make(map[geo.Rect]int)
+		var cost int64
+		var rec func(p int)
+		rec = func(p int) {
+			if cost >= best {
+				return
+			}
+			if p == n {
+				for _, c := range counts {
+					if c > 0 && c < k {
+						return
+					}
+				}
+				best = cost
+				return
+			}
+			for _, r := range options[p] {
+				assign[p] = r
+				counts[r]++
+				cost += r.Area()
+				rec(p + 1)
+				cost -= r.Area()
+				counts[r]--
+			}
+		}
+		rec(0)
+	}
+	return best
+}
+
+func TestAdaptiveMatchesBruteForceTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5) // 2..6 points
+		k := 2
+		pts := randPts(rng, n, 16)
+		tr := buildTree(t, pts, 16, tree.Quad, k)
+		m, err := NewAdaptiveMatrix(tr, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.OptimalCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceAdaptive(tr, k)
+		if got != want {
+			t.Fatalf("trial %d n=%d: adaptive DP %d, brute force %d (pts %v)", trial, n, got, want, pts)
+		}
+	}
+}
+
+// The adaptive optimum can never cost more than the static vertical binary
+// tree's optimum (vertical-everywhere is in its search space).
+func TestAdaptiveNeverWorseThanStaticBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(150)
+		k := 2 + rng.Intn(8)
+		if n < k {
+			n = k
+		}
+		pts := randPts(rng, n, 256)
+		adaptive := adaptiveFor(t, pts, 256, k, Options{})
+		ca, err := adaptive.OptimalCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		static, err := NewMatrix(buildTree(t, pts, 256, tree.Binary, k), k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := static.OptimalCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca > cs {
+			t.Fatalf("trial %d n=%d k=%d: adaptive %d > static binary %d", trial, n, k, ca, cs)
+		}
+	}
+}
+
+func TestAdaptivePruningConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(80)
+		k := 2 + rng.Intn(5)
+		if n < k {
+			n = k
+		}
+		pts := randPts(rng, n, 128)
+		pruned := adaptiveFor(t, pts, 128, k, Options{})
+		unpruned := adaptiveFor(t, pts, 128, k, Options{NoPrune: true})
+		cp, err1 := pruned.OptimalCost()
+		cu, err2 := unpruned.OptimalCost()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if cp != cu {
+			t.Fatalf("trial %d: pruned %d != unpruned %d", trial, cp, cu)
+		}
+	}
+}
+
+func TestAdaptiveExtractRealizesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	for trial := 0; trial < 15; trial++ {
+		n := 8 + rng.Intn(120)
+		k := 2 + rng.Intn(6)
+		if n < k {
+			n = k
+		}
+		pts := randPts(rng, n, 256)
+		db := dbFor(t, pts)
+		m := adaptiveFor(t, pts, 256, k, Options{})
+		want, err := m.OptimalCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cloaks, err := m.Extract()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := lbs.NewAssignment(db, cloaks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol.Cost() != want {
+			t.Fatalf("trial %d: extracted %d != optimal %d", trial, pol.Cost(), want)
+		}
+		if !attacker.IsKAnonymous(pol, k, attacker.PolicyAware) {
+			t.Fatalf("trial %d: adaptive policy breached", trial)
+		}
+	}
+}
+
+func TestAdaptiveRejectsBinaryTree(t *testing.T) {
+	tr := buildTree(t, randPts(rand.New(rand.NewSource(1)), 10, 64), 64, tree.Binary, 2)
+	if _, err := NewAdaptiveMatrix(tr, 2, Options{}); err == nil {
+		t.Fatal("binary tree accepted")
+	}
+	trq := buildTree(t, randPts(rand.New(rand.NewSource(2)), 10, 64), 64, tree.Quad, 2)
+	if _, err := NewAdaptiveMatrix(trq, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestAdaptiveEdgeCases(t *testing.T) {
+	// Empty snapshot.
+	tr := buildTree(t, nil, 64, tree.Quad, 2)
+	m, err := NewAdaptiveMatrix(tr, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err := m.OptimalCost(); err != nil || c != 0 {
+		t.Fatalf("empty: %d %v", c, err)
+	}
+	if cloaks, err := m.Extract(); err != nil || len(cloaks) != 0 {
+		t.Fatalf("empty extract: %v %v", cloaks, err)
+	}
+	// Insufficient users.
+	tr2 := buildTree(t, randPts(rand.New(rand.NewSource(3)), 2, 64), 64, tree.Quad, 5)
+	m2, err := NewAdaptiveMatrix(tr2, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.OptimalCost(); !errors.Is(err, ErrInsufficientUsers) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAdaptiveIncrementalMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(604))
+	const side = 256
+	const k = 4
+	pts := randPts(rng, 100, side)
+	tr := buildTree(t, pts, side, tree.Quad, k)
+	m, err := NewAdaptiveMatrix(tr, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 8; round++ {
+		for j := 0; j < 5; j++ {
+			i := int32(rng.Intn(len(pts)))
+			to := geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}
+			if err := tr.Move(i, to); err != nil {
+				t.Fatal(err)
+			}
+			pts[i] = to
+		}
+		m.Update()
+		got, err := m.OptimalCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewAdaptiveMatrix(buildTree(t, pts, side, tree.Quad, k), k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.OptimalCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("round %d: adaptive incremental %d != fresh %d", round, got, want)
+		}
+		if _, err := m.Extract(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.Update(); n != 0 {
+		t.Fatalf("no-op update recomputed %d rows", n)
+	}
+}

@@ -1,0 +1,164 @@
+// Package core implements the paper's primary contribution: optimal
+// policy-aware sender k-anonymization over (semi-)quadrant cloaking trees.
+//
+// It provides
+//   - configurations of a cloaking tree, their validity, cost and the
+//     k-summation property (Definitions 7–9, Lemmas 1–3);
+//   - the dynamic program Bulk_dp of Algorithm 1 in both its first-cut
+//     form (naive child enumeration, no pruning — the O(|T||D|^5) /
+//     O(|B||D|^3) variants) and the optimized form of Section V
+//     (Lemma 5 pass-up pruning plus the two-stage temp-profile combine,
+//     O(|B|(kh)^2));
+//   - extraction of a concrete minimum-cost policy from the optimum
+//     configuration matrix, as a per-user cloak assignment; and
+//   - incremental maintenance of the matrix across location snapshots.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/tree"
+)
+
+// Config is a configuration of a cloaking tree (Definition 7): for each
+// node m, C(m) is the number of locations inside m's quadrant that are NOT
+// cloaked by m or any of its descendants (the count "passed up" to m's
+// ancestors). Nodes absent from the map implicitly pass up everything
+// (C(m) = d(m)), which matches the lazy materialization of the tree.
+type Config map[tree.NodeID]int
+
+// At returns C(m), defaulting to d(m) for unset nodes.
+func (c Config) At(t *tree.Tree, id tree.NodeID) int {
+	if v, ok := c[id]; ok {
+		return v
+	}
+	return t.Count(id)
+}
+
+// CloakedAt returns the number of locations the configuration cloaks at
+// node id: d(m)-C(m) for leaves, sum(C(children))-C(m) for internal nodes.
+func (c Config) CloakedAt(t *tree.Tree, id tree.NodeID) int {
+	if t.IsLeaf(id) {
+		return t.Count(id) - c.At(t, id)
+	}
+	sum := 0
+	for _, ch := range t.Children(id) {
+		sum += c.At(t, ch)
+	}
+	return sum - c.At(t, id)
+}
+
+// Complete reports whether the configuration cloaks every location
+// (C(root) = 0, Definition 7).
+func (c Config) Complete(t *tree.Tree) bool { return c.At(t, t.Root()) == 0 }
+
+// Validate checks the two structural conditions of Definition 7.
+func (c Config) Validate(t *tree.Tree) error {
+	var err error
+	t.PostOrder(func(id tree.NodeID) {
+		if err != nil {
+			return
+		}
+		v := c.At(t, id)
+		if v < 0 {
+			err = fmt.Errorf("core: C(%d) = %d is negative", id, v)
+			return
+		}
+		if t.IsLeaf(id) {
+			if v > t.Count(id) {
+				err = fmt.Errorf("core: leaf %d passes up %d > d(m)=%d", id, v, t.Count(id))
+			}
+			return
+		}
+		sum := 0
+		for _, ch := range t.Children(id) {
+			sum += c.At(t, ch)
+		}
+		if v > sum {
+			err = fmt.Errorf("core: node %d passes up %d > children sum %d", id, v, sum)
+		}
+	})
+	return err
+}
+
+// KSummation reports whether the configuration satisfies the k-summation
+// property of Definition 9: every node cloaks either zero or at least k
+// locations.
+func (c Config) KSummation(t *tree.Tree, k int) bool {
+	ok := true
+	t.PostOrder(func(id tree.NodeID) {
+		if !ok {
+			return
+		}
+		avail := t.Count(id) // Delta for internal nodes equals children sum
+		if !t.IsLeaf(id) {
+			avail = 0
+			for _, ch := range t.Children(id) {
+				avail += c.At(t, ch)
+			}
+		}
+		v := c.At(t, id)
+		if v != avail && v > avail-k {
+			ok = false
+		}
+		if v > avail {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// Cost computes Cost_c(C, D) of Definition 8: the summed area of the cloaks
+// the represented policies would emit.
+func (c Config) Cost(t *tree.Tree) int64 {
+	var total int64
+	t.PostOrder(func(id tree.NodeID) {
+		total += int64(c.CloakedAt(t, id)) * t.Area(id)
+	})
+	return total
+}
+
+// ConfigOf derives the configuration represented by a per-point cloak
+// assignment over the tree (the equivalence-class projection of Lemma 1).
+// cloaks[i] must be the rectangle of a tree node containing point i.
+func ConfigOf(t *tree.Tree, cloaks []geo.Rect) (Config, error) {
+	if len(cloaks) != t.Len() {
+		return nil, fmt.Errorf("core: %d cloaks for %d points", len(cloaks), t.Len())
+	}
+	// Count how many points are cloaked at each node.
+	cloakedAt := make(map[tree.NodeID]int)
+	for i, r := range cloaks {
+		id, err := t.Locate(t.Point(int32(i)))
+		if err != nil {
+			return nil, err
+		}
+		for id != tree.None && t.Rect(id) != r {
+			id = t.Parent(id)
+		}
+		if id == tree.None {
+			return nil, fmt.Errorf("core: cloak %v of point %d is not an ancestor node", r, i)
+		}
+		cloakedAt[id]++
+	}
+	// C(m) = d(m) - total cloaked within m's subtree, computed bottom-up.
+	cfg := make(Config)
+	sub := make(map[tree.NodeID]int)
+	t.PostOrder(func(id tree.NodeID) {
+		s := cloakedAt[id]
+		for _, ch := range t.Children(id) {
+			s += sub[ch]
+		}
+		sub[id] = s
+		cfg[id] = t.Count(id) - s
+	})
+	if err := cfg.Validate(t); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// ErrInsufficientUsers is returned when the snapshot holds fewer than k
+// users, in which case no policy can provide sender k-anonymity.
+var ErrInsufficientUsers = errors.New("core: fewer than k users in the snapshot")

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+	"policyanon/internal/tree"
+)
+
+// k == |D| forces a single cloaking group.
+func TestKEqualsPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPts(rng, 7, 64)
+	db := dbFor(t, pts)
+	anon, err := NewAnonymizer(db, geo.NewRect(0, 0, 64, 64), AnonymizerOptions{K: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := anon.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := pol.Groups()
+	if len(groups) != 1 || len(groups[0].Members) != 7 {
+		t.Fatalf("expected one full group, got %v", groups)
+	}
+	if !attacker.IsKAnonymous(pol, 7, attacker.PolicyAware) {
+		t.Fatal("full-group policy breached")
+	}
+}
+
+// All users co-located: the tree cannot separate them, the DP must still
+// find the minimal cloak at max depth.
+func TestAllUsersCoLocated(t *testing.T) {
+	pts := make([]geo.Point, 20)
+	for i := range pts {
+		pts[i] = geo.Point{X: 37, Y: 11}
+	}
+	db := dbFor(t, pts)
+	anon, err := NewAnonymizer(db, geo.NewRect(0, 0, 64, 64), AnonymizerOptions{K: 5, MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := anon.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !attacker.IsKAnonymous(pol, 5, attacker.PolicyAware) {
+		t.Fatal("co-located policy breached")
+	}
+	// All cloaks must be the deepest cell containing the point.
+	for i := 0; i < db.Len(); i++ {
+		if !pol.CloakAt(i).Contains(geo.Point{X: 37, Y: 11}) {
+			t.Fatal("cloak does not contain the shared location")
+		}
+	}
+}
+
+// Users on map boundary coordinates (side-1) must be handled.
+func TestBoundaryUsers(t *testing.T) {
+	pts := []geo.Point{
+		{X: 0, Y: 0}, {X: 63, Y: 63}, {X: 0, Y: 63}, {X: 63, Y: 0}, {X: 31, Y: 31}, {X: 32, Y: 32},
+	}
+	db := dbFor(t, pts)
+	anon, err := NewAnonymizer(db, geo.NewRect(0, 0, 64, 64), AnonymizerOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := anon.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !attacker.IsKAnonymous(pol, 3, attacker.PolicyAware) {
+		t.Fatal("boundary policy breached")
+	}
+}
+
+// Duplicate coordinates among distinct users must count separately.
+func TestDuplicateCoordinatesCountSeparately(t *testing.T) {
+	pts := []geo.Point{{X: 5, Y: 5}, {X: 5, Y: 5}, {X: 50, Y: 50}, {X: 51, Y: 51}}
+	db := dbFor(t, pts)
+	anon, err := NewAnonymizer(db, geo.NewRect(0, 0, 64, 64), AnonymizerOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := anon.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range pol.Groups() {
+		if len(g.Members) < 2 {
+			t.Fatalf("group %v undersized", g)
+		}
+	}
+}
+
+// Property: on random instances the extracted optimal policy (a) masks,
+// (b) audits clean against the policy-aware attacker, and (c) has every
+// per-user cloak at least as large as the user's tightest k-covering
+// binary ancestor (the per-user lower bound).
+func TestOptimalPolicyProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%80
+		k := 2 + int(kRaw)%6
+		if n < k {
+			n = k
+		}
+		pts := randPts(rng, n, 128)
+		db := dbForQuick(pts)
+		anon, err := NewAnonymizer(db, geo.NewRect(0, 0, 128, 128), AnonymizerOptions{K: k})
+		if err != nil {
+			return false
+		}
+		pol, err := anon.Policy()
+		if err != nil {
+			return false
+		}
+		if !attacker.IsKAnonymous(pol, k, attacker.PolicyAware) {
+			return false
+		}
+		tr := anon.Tree()
+		for i := 0; i < n; i++ {
+			if !pol.CloakAt(i).Contains(pts[i]) {
+				return false
+			}
+			// tightest k-covering ancestor
+			id := tr.LeafOf(int32(i))
+			for tr.Count(id) < k {
+				id = tr.Parent(id)
+			}
+			if pol.CloakAt(i).Area() < tr.Area(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dbForQuick(pts []geo.Point) *location.DB {
+	db := location.New(len(pts))
+	for i, p := range pts {
+		_ = db.Add("q"+itoa(i), p)
+	}
+	return db
+}
+
+// Incremental maintenance with co-located pile-ups: many users moving to
+// the same point must not break canonical splitting.
+func TestIncrementalPileUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const side = 128
+	pts := randPts(rng, 60, side)
+	db := dbFor(t, pts)
+	anon, err := NewAnonymizer(db, geo.NewRect(0, 0, side, side), AnonymizerOptions{K: 4, MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := geo.Point{X: 64, Y: 64}
+	for i := 0; i < 30; i++ {
+		if err := anon.Move(i, target); err != nil {
+			t.Fatal(err)
+		}
+		pts[i] = target
+	}
+	anon.Refresh()
+	got, err := anon.OptimalCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshTree, err := tree.Build(pts, geo.NewRect(0, 0, side, side),
+		tree.Options{Kind: tree.Binary, MinCountToSplit: 4, MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewMatrix(freshTree, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.OptimalCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("pile-up incremental %d != fresh %d", got, want)
+	}
+	if _, err := anon.Policy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lemma 1 corollary: equivalent policies share cost, so the optimal cost
+// must not depend on the insertion order of the location database.
+func TestLemma1OrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	pts := randPts(rng, 70, 256)
+	const k = 5
+	costOf := func(order []int) int64 {
+		db := location.New(len(pts))
+		for _, i := range order {
+			if err := db.Add("u"+itoa(i), pts[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		anon, err := NewAnonymizer(db, geo.NewRect(0, 0, 256, 256), AnonymizerOptions{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := anon.OptimalCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	base := make([]int, len(pts))
+	for i := range base {
+		base[i] = i
+	}
+	want := costOf(base)
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(len(pts))
+		if got := costOf(perm); got != want {
+			t.Fatalf("trial %d: cost %d differs from %d under permutation", trial, got, want)
+		}
+	}
+}

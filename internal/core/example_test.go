@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"fmt"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+)
+
+// ExampleNewAnonymizer computes the optimal policy-aware 2-anonymous
+// cloaking for the Table I database and inspects Carol's cloaking group.
+func ExampleNewAnonymizer() {
+	db, err := location.FromRecords([]location.Record{
+		{UserID: "Alice", Loc: geo.Point{X: 1, Y: 1}},
+		{UserID: "Bob", Loc: geo.Point{X: 1, Y: 2}},
+		{UserID: "Carol", Loc: geo.Point{X: 1, Y: 5}},
+		{UserID: "Sam", Loc: geo.Point{X: 5, Y: 1}},
+		{UserID: "Tom", Loc: geo.Point{X: 6, Y: 2}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	anon, err := core.NewAnonymizer(db, geo.NewRect(0, 0, 8, 8), core.AnonymizerOptions{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	policy, err := anon.Policy()
+	if err != nil {
+		panic(err)
+	}
+	cloak, _ := policy.CloakOf("Carol")
+	fmt.Println("Carol's candidates:", len(attacker.Candidates(policy, cloak, attacker.PolicyAware)))
+	// Output: Carol's candidates: 3
+}
+
+// ExampleMatrix_Update maintains the optimum incrementally as a user moves.
+func ExampleMatrix_Update() {
+	pts := []geo.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 60, Y: 60}, {X: 61, Y: 61}}
+	db := location.New(4)
+	for i, p := range pts {
+		if err := db.Add(fmt.Sprintf("u%d", i), p); err != nil {
+			panic(err)
+		}
+	}
+	anon, err := core.NewAnonymizer(db, geo.NewRect(0, 0, 64, 64), core.AnonymizerOptions{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	before, _ := anon.OptimalCost()
+	if err := anon.Move(0, geo.Point{X: 60, Y: 1}); err != nil {
+		panic(err)
+	}
+	anon.Refresh()
+	after, _ := anon.OptimalCost()
+	fmt.Println("cost changed:", before != after)
+	// Output: cost changed: true
+}
+
+// ExampleConfig_KSummation checks Definition 9 on a hand-built
+// configuration: cloaking all four users at the root satisfies
+// 2-summation.
+func ExampleConfig_KSummation() {
+	pts := []geo.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 60, Y: 60}, {X: 61, Y: 61}}
+	db := location.New(4)
+	for i, p := range pts {
+		if err := db.Add(fmt.Sprintf("u%d", i), p); err != nil {
+			panic(err)
+		}
+	}
+	anon, err := core.NewAnonymizer(db, geo.NewRect(0, 0, 64, 64), core.AnonymizerOptions{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	t := anon.Tree()
+	cfg := core.Config{t.Root(): 0} // everything cloaked at the root
+	fmt.Println("complete:", cfg.Complete(t), "2-summation:", cfg.KSummation(t, 2))
+	// Output: complete: true 2-summation: true
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/tree"
+)
+
+// Extract materializes one minimum-cost policy from the optimum
+// configuration matrix: a per-point cloak, point i receiving the rectangle
+// of the tree node that cloaks it. This is the linear-time policy
+// exhibition step described after Definition 7 (within each node, which
+// particular locations it cloaks is immaterial by Lemma 1 and is chosen
+// arbitrarily).
+func (m *Matrix) Extract() ([]geo.Rect, error) {
+	if _, err := m.OptimalCost(); err != nil {
+		return nil, err
+	}
+	cloaks := make([]geo.Rect, m.t.Len())
+	if m.t.Len() == 0 {
+		return cloaks, nil
+	}
+	leftover, err := m.assign(m.t.Root(), 0, cloaks)
+	if err != nil {
+		return nil, err
+	}
+	if len(leftover) != 0 {
+		return nil, fmt.Errorf("core: %d locations left uncloaked at the root (internal error)", len(leftover))
+	}
+	return cloaks, nil
+}
+
+// assign recursively realizes the configuration chosen by the matrix for
+// the subtree at id with pass-up target u. It writes cloaks for the points
+// cloaked inside the subtree and returns the point indices passed up.
+func (m *Matrix) assign(id tree.NodeID, u int32, cloaks []geo.Rect) ([]int32, error) {
+	r := &m.rows[id]
+	want := r.at(u)
+	if want >= inf {
+		return nil, fmt.Errorf("core: infeasible target u=%d at node %d (internal error)", u, id)
+	}
+	rect := m.t.Rect(id)
+	if m.t.IsLeaf(id) {
+		pts := m.t.LeafPoints(id)
+		cloakN := int(r.d - u)
+		for _, p := range pts[:cloakN] {
+			cloaks[p] = rect
+		}
+		return pts[cloakN:], nil
+	}
+	children := m.t.Children(id)
+	j, pick, err := m.chooseCombine(id, u, want)
+	if err != nil {
+		return nil, err
+	}
+	var passed []int32
+	for ci, ch := range children {
+		sub, err := m.assign(ch, pick[ci], cloaks)
+		if err != nil {
+			return nil, err
+		}
+		passed = append(passed, sub...)
+	}
+	if int32(len(passed)) != j {
+		return nil, fmt.Errorf("core: node %d received %d points, expected j=%d (internal error)", id, len(passed), j)
+	}
+	cloakN := int(j - u)
+	for _, p := range passed[:cloakN] {
+		cloaks[p] = rect
+	}
+	return passed[cloakN:], nil
+}
+
+// chooseCombine re-derives, for internal node id and target pass-up u, a
+// children pass-up vector and total j achieving the stored optimum
+// M[id][u]. Recomputing instead of storing back-pointers keeps the matrix
+// rows cost-only, halving its memory; extraction visits each node once so
+// the total work matches one forward pass.
+func (m *Matrix) chooseCombine(id tree.NodeID, u int32, want int64) (int32, []int32, error) {
+	children := m.t.Children(id)
+	rows := make([]*row, len(children))
+	for i, ch := range children {
+		rows[i] = &m.rows[ch]
+	}
+	j, picks, err := resolveCombine(m.scratch, rows, u, want, m.t.Area(id), m.k, m.rows[id].d)
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: node %d: %w", id, err)
+	}
+	return j, picks, nil
+}
+
+// Anonymizer bundles a cloaking tree and its optimum configuration matrix
+// for one snapshot, exposing the operations the CSP needs: bulk
+// anonymization, incremental maintenance under movement, and policy
+// extraction.
+type Anonymizer struct {
+	db     *location.DB
+	matrix *Matrix
+}
+
+// AnonymizerOptions configures NewAnonymizer.
+type AnonymizerOptions struct {
+	// K is the anonymity parameter (required, >= 1).
+	K int
+	// Kind selects the cloaking tree; the default is the binary
+	// semi-quadrant tree of Section V.
+	Kind tree.Kind
+	// MaxDepth bounds tree height (0 = library default).
+	MaxDepth int
+	// DP carries the dynamic-program ablation switches.
+	DP Options
+}
+
+// NewAnonymizer builds the cloaking tree over db and runs the bulk dynamic
+// program. bounds must be the square map region.
+func NewAnonymizer(db *location.DB, bounds geo.Rect, opt AnonymizerOptions) (*Anonymizer, error) {
+	if opt.K < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", opt.K)
+	}
+	t, err := tree.Build(db.Points(), bounds, tree.Options{
+		Kind:            opt.Kind,
+		MinCountToSplit: opt.K,
+		MaxDepth:        opt.MaxDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mx, err := NewMatrix(t, opt.K, opt.DP)
+	if err != nil {
+		return nil, err
+	}
+	return &Anonymizer{db: db, matrix: mx}, nil
+}
+
+// Matrix exposes the optimum configuration matrix.
+func (a *Anonymizer) Matrix() *Matrix { return a.matrix }
+
+// Tree exposes the cloaking tree.
+func (a *Anonymizer) Tree() *tree.Tree { return a.matrix.Tree() }
+
+// OptimalCost returns the optimum policy cost for the current snapshot.
+func (a *Anonymizer) OptimalCost() (int64, error) { return a.matrix.OptimalCost() }
+
+// Policy extracts an optimal policy-aware sender k-anonymous cloak
+// assignment for the current snapshot.
+func (a *Anonymizer) Policy() (*lbs.Assignment, error) {
+	cloaks, err := a.matrix.Extract()
+	if err != nil {
+		return nil, err
+	}
+	return lbs.NewAssignment(a.db, cloaks)
+}
+
+// Move relocates one user (by record index) and incrementally maintains
+// the matrix. Call Refresh after a batch of moves instead to amortize the
+// recomputation.
+func (a *Anonymizer) Move(i int, to geo.Point) error {
+	a.db.MoveAt(i, to)
+	return a.matrix.Tree().Move(int32(i), to)
+}
+
+// Refresh recomputes the matrix rows invalidated by Moves since the last
+// Refresh; it returns the number of rows recomputed.
+func (a *Anonymizer) Refresh() int { return a.matrix.Update() }

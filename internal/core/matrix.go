@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"policyanon/internal/tree"
+)
+
+// inf is the unreachable-cost sentinel; kept well below MaxInt64 so that
+// guarded additions cannot overflow.
+const inf int64 = math.MaxInt64 / 4
+
+// Options tunes the dynamic program. The zero value selects the fully
+// optimized algorithm of Section V; the flags disable individual
+// optimizations to recover the first-cut Bulk_dp of Algorithm 1 for
+// correctness cross-checks and ablation benchmarks.
+type Options struct {
+	// NoPrune disables the Lemma 5 pass-up bound F'(m) =
+	// [0..(k+1)h(m)] ∪ {d(m)}, reverting to F(m) = [0..d(m)-k] ∪ {d(m)}.
+	NoPrune bool
+	// NaiveCombine disables the two-stage temp-profile combine of
+	// Section V and enumerates child pass-up tuples directly, as the
+	// first-cut Algorithm 1 does (O(|D|^2) per binary node, O(|D|^4) per
+	// quad node instead of O((kh)^2)).
+	NaiveCombine bool
+}
+
+// row is one row of the optimum configuration matrix M: the minimum
+// subtree cost for each feasible pass-up count u of a node.
+//
+// The dense part covers u in [0..bound]; the entry u = d(m) is implicit
+// with cost 0, because passing everything up forces zero cloaking in the
+// whole subtree (lines 6 and 8 of Algorithm 1).
+type row struct {
+	d     int32
+	bound int32 // -1 when the dense part is empty (d(m) < k)
+	costs []int64
+}
+
+// each iterates the finite entries of the row's feasible set F(m).
+func (r *row) each(fn func(u int32, cost int64)) {
+	for u := int32(0); u <= r.bound; u++ {
+		if r.costs[u] < inf {
+			fn(u, r.costs[u])
+		}
+	}
+	fn(r.d, 0)
+}
+
+// at returns M[m][u], or inf when u is infeasible.
+func (r *row) at(u int32) int64 {
+	if u == r.d {
+		return 0
+	}
+	if u >= 0 && u <= r.bound {
+		return r.costs[u]
+	}
+	return inf
+}
+
+// Matrix is the optimum configuration matrix of Algorithm 1, maintained
+// bottom-up over a cloaking tree. It supports full (bulk) computation and
+// incremental recomputation of rows whose subtree occupancy changed.
+type Matrix struct {
+	t    *tree.Tree
+	k    int
+	opt  Options
+	rows []row
+
+	// scratch buffers for the profile fold, sized to |D|+1.
+	scratch        []int64
+	scratchTouched []int32
+}
+
+// NewMatrix runs the bottom-up dynamic program over the whole tree.
+func NewMatrix(t *tree.Tree, k int, opt Options) (*Matrix, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	m := &Matrix{t: t, k: k, opt: opt, scratch: make([]int64, t.Len()+1)}
+	for i := range m.scratch {
+		m.scratch[i] = inf
+	}
+	t.PostOrder(func(id tree.NodeID) { m.computeRow(id) })
+	return m, nil
+}
+
+// Tree returns the underlying cloaking tree.
+func (m *Matrix) Tree() *tree.Tree { return m.t }
+
+// K returns the anonymity parameter.
+func (m *Matrix) K() int { return m.k }
+
+// OptimalCost returns the cost of an optimal policy-aware sender
+// k-anonymous policy on the snapshot: the minimum cost of a complete
+// configuration with k-summation (Lemmas 2–4). It fails with
+// ErrInsufficientUsers when |D| < k.
+func (m *Matrix) OptimalCost() (int64, error) {
+	root := m.t.Root()
+	if m.t.Count(root) == 0 {
+		return 0, nil
+	}
+	if m.t.Count(root) < m.k {
+		return 0, fmt.Errorf("%w: |D|=%d, k=%d", ErrInsufficientUsers, m.t.Count(root), m.k)
+	}
+	c := m.rows[root].at(0)
+	if c >= inf {
+		return 0, fmt.Errorf("core: no complete configuration found (internal error)")
+	}
+	return c, nil
+}
+
+// Row returns (a copy of) the feasible entries of node id's row, for tests
+// and diagnostics, as parallel (u, cost) slices.
+func (m *Matrix) Row(id tree.NodeID) ([]int32, []int64) {
+	var us []int32
+	var cs []int64
+	m.rows[id].each(func(u int32, c int64) {
+		us = append(us, u)
+		cs = append(cs, c)
+	})
+	return us, cs
+}
+
+// bound returns the top of the dense pass-up range for node id.
+func (m *Matrix) bound(id tree.NodeID) int32 {
+	d := m.t.Count(id)
+	if d < m.k {
+		return -1
+	}
+	b := d - m.k
+	if !m.opt.NoPrune {
+		if lim := (m.k + 1) * m.t.Height(id); lim < b {
+			b = lim
+		}
+	}
+	return int32(b)
+}
+
+func (m *Matrix) ensureRow(id tree.NodeID) *row {
+	for int(id) >= len(m.rows) {
+		m.rows = append(m.rows, row{})
+	}
+	return &m.rows[id]
+}
+
+// computeRow fills node id's row from its children's rows (which must be
+// current). This is the body of Algorithm 1's main loop.
+func (m *Matrix) computeRow(id tree.NodeID) {
+	r := m.ensureRow(id)
+	r.d = int32(m.t.Count(id))
+	r.bound = m.bound(id)
+	if r.bound < 0 {
+		r.costs = r.costs[:0]
+		return
+	}
+	if cap(r.costs) < int(r.bound)+1 {
+		r.costs = make([]int64, r.bound+1)
+	} else {
+		r.costs = r.costs[:r.bound+1]
+	}
+	area := m.t.Area(id)
+	if m.t.IsLeaf(id) {
+		// Lines 7-10 of Algorithm 1: cloak d(m)-u locations at the leaf.
+		for u := int32(0); u <= r.bound; u++ {
+			r.costs[u] = int64(r.d-u) * area
+		}
+		return
+	}
+	if m.opt.NaiveCombine {
+		m.combineNaive(id, r, area)
+		return
+	}
+	p := m.fold(m.t.Children(id), nil)
+	rowFromProfile(r, p.js, p.costs, area, m.k)
+}
+
+// profile is the temp structure of Section V: achievable total pass-up
+// counts j with their minimum summed child costs, sorted by j.
+type profile struct {
+	js    []int32
+	costs []int64
+}
+
+// at returns the profile cost at exactly j, or inf.
+func (p *profile) at(j int32) int64 {
+	i := sort.Search(len(p.js), func(i int) bool { return p.js[i] >= j })
+	if i < len(p.js) && p.js[i] == j {
+		return p.costs[i]
+	}
+	return inf
+}
+
+// fold computes the temp profile over the given children: for every
+// achievable j = sum of the children's pass-up counts, the minimum summed
+// cost of the children's rows. When prefixes is non-nil it receives the
+// intermediate profile after each child (used by extraction backtracking).
+func (m *Matrix) fold(children []tree.NodeID, prefixes *[]profile) profile {
+	rows := make([]*row, len(children))
+	for i, ch := range children {
+		rows[i] = &m.rows[ch]
+	}
+	return foldRows(m.scratch, rows, prefixes)
+}
+
+// foldRows is the combine over explicit rows, shared by the static and
+// adaptive dynamic programs. scratch must be an inf-filled buffer of at
+// least max achievable j + 1 entries; it is restored to inf before return.
+func foldRows(scratch []int64, rows []*row, prefixes *[]profile) profile {
+	var cur profile
+	rows[0].each(func(u int32, c int64) {
+		cur.js = append(cur.js, u)
+		cur.costs = append(cur.costs, c)
+	})
+	if prefixes != nil {
+		*prefixes = append(*prefixes, cur)
+	}
+	for _, rc := range rows[1:] {
+		var touched []int32
+		for i, j := range cur.js {
+			base := cur.costs[i]
+			rc.each(func(u int32, c int64) {
+				nj := j + u
+				if nc := base + c; nc < scratch[nj] {
+					if scratch[nj] == inf {
+						touched = append(touched, nj)
+					}
+					scratch[nj] = nc
+				}
+			})
+		}
+		sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
+		next := profile{js: make([]int32, 0, len(touched)), costs: make([]int64, 0, len(touched))}
+		for _, j := range touched {
+			next.js = append(next.js, j)
+			next.costs = append(next.costs, scratch[j])
+			scratch[j] = inf
+		}
+		cur = next
+		if prefixes != nil {
+			*prefixes = append(*prefixes, cur)
+		}
+	}
+	return cur
+}
+
+// rowFromProfile is the second stage of the Section V combine: from the
+// temp profile it derives M[m][u] = min( temp[u],
+// min_{j >= u+k} temp[j] + (j-u)*area ) for each u in the dense range,
+// using suffix minima of temp[j] + j*area for O(1) work per u.
+func rowFromProfile(r *row, js []int32, costs []int64, area int64, k int) {
+	n := len(js)
+	sfx := make([]int64, n+1)
+	sfx[n] = inf
+	for i := n - 1; i >= 0; i-- {
+		v := costs[i] + int64(js[i])*area
+		if v > sfx[i+1] {
+			v = sfx[i+1]
+		}
+		sfx[i] = v
+	}
+	exact := 0 // first index with js[exact] >= u
+	thresh := 0
+	for u := int32(0); u <= r.bound; u++ {
+		for exact < n && js[exact] < u {
+			exact++
+		}
+		best := inf
+		if exact < n && js[exact] == u {
+			best = costs[exact]
+		}
+		for thresh < n && js[thresh] < u+int32(k) {
+			thresh++
+		}
+		if sfx[thresh] < inf {
+			if v := sfx[thresh] - int64(u)*area; v < best {
+				best = v
+			}
+		}
+		r.costs[u] = best
+	}
+}
+
+// combineNaive is the first-cut combine of Algorithm 1 lines 13-19: for
+// each target u it enumerates all tuples of child pass-ups directly.
+func (m *Matrix) combineNaive(id tree.NodeID, r *row, area int64) {
+	for u := int32(0); u <= r.bound; u++ {
+		r.costs[u] = inf
+	}
+	children := m.t.Children(id)
+	var rec func(ci int, j int32, cost int64)
+	rec = func(ci int, j int32, cost int64) {
+		if ci == len(children) {
+			// j locations are passed up by the children in total; node id
+			// may pass all of them up (u=j) or cloak at least k (u<=j-k).
+			if j <= r.bound && cost < r.costs[j] {
+				r.costs[j] = cost
+			}
+			hi := j - int32(m.k)
+			if hi > r.bound {
+				hi = r.bound
+			}
+			for u := int32(0); u <= hi; u++ {
+				if v := cost + int64(j-u)*area; v < r.costs[u] {
+					r.costs[u] = v
+				}
+			}
+			return
+		}
+		m.rows[children[ci]].each(func(cu int32, cc int64) {
+			rec(ci+1, j+cu, cost+cc)
+		})
+	}
+	rec(0, 0, 0)
+}
+
+// Update incrementally refreshes the matrix after tree mutations: it drains
+// the tree's dirty set, adds all ancestors, and recomputes the affected
+// rows children-first. This is the incremental maintenance of Section IV.
+// It returns the number of rows recomputed.
+func (m *Matrix) Update() int {
+	dirty := m.t.TakeDirty()
+	if len(dirty) == 0 {
+		return 0
+	}
+	if need := m.t.Len() + 1; len(m.scratch) < need {
+		old := len(m.scratch)
+		m.scratch = append(m.scratch, make([]int64, need-old)...)
+		for i := old; i < need; i++ {
+			m.scratch[i] = inf
+		}
+	}
+	affected := make(map[tree.NodeID]struct{})
+	for _, id := range dirty {
+		for n := id; n != tree.None; n = m.t.Parent(n) {
+			if _, ok := affected[n]; ok {
+				break
+			}
+			affected[n] = struct{}{}
+		}
+	}
+	order := make([]tree.NodeID, 0, len(affected))
+	for id := range affected {
+		order = append(order, id)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return m.t.Height(order[a]) > m.t.Height(order[b])
+	})
+	for _, id := range order {
+		m.computeRow(id)
+	}
+	return len(order)
+}

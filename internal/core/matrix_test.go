@@ -1,0 +1,512 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+	"policyanon/internal/tree"
+)
+
+func buildTree(t *testing.T, pts []geo.Point, side int32, kind tree.Kind, k int) *tree.Tree {
+	t.Helper()
+	tr, err := tree.Build(pts, geo.NewRect(0, 0, side, side), tree.Options{
+		Kind: kind, MinCountToSplit: k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func randPts(rng *rand.Rand, n int, side int32) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}
+	}
+	return pts
+}
+
+func dbFor(t *testing.T, pts []geo.Point) *location.DB {
+	t.Helper()
+	db := location.New(len(pts))
+	for i, p := range pts {
+		if err := db.Add("u"+string(rune('A'+i%26))+itoa(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// bruteForceOptimal enumerates every tree-node cloak assignment of every
+// point and returns the minimum cost over assignments in which each node
+// cloaks either zero or at least k points. This is optimal policy-aware
+// anonymization by definition (Lemma 3) and serves as the ground truth for
+// the dynamic program on tiny instances.
+func bruteForceOptimal(tr *tree.Tree, k int) int64 {
+	n := tr.Len()
+	anc := make([][]tree.NodeID, n)
+	for i := 0; i < n; i++ {
+		for id := tr.LeafOf(int32(i)); id != tree.None; id = tr.Parent(id) {
+			anc[i] = append(anc[i], id)
+		}
+	}
+	best := inf
+	assign := make([]tree.NodeID, n)
+	counts := make(map[tree.NodeID]int)
+	var cost int64
+	var rec func(i int)
+	rec = func(i int) {
+		if cost >= best {
+			return
+		}
+		if i == n {
+			for _, c := range counts {
+				if c > 0 && c < k {
+					return
+				}
+			}
+			best = cost
+			return
+		}
+		for _, id := range anc[i] {
+			assign[i] = id
+			counts[id]++
+			cost += tr.Area(id)
+			rec(i + 1)
+			cost -= tr.Area(id)
+			counts[id]--
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestOptimalCostMatchesBruteForceTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(6) // 2..7 points
+		k := 2 + rng.Intn(2) // k in {2,3}
+		if n < k {
+			n = k
+		}
+		pts := randPts(rng, n, 16)
+		for _, kind := range []tree.Kind{tree.Binary, tree.Quad} {
+			tr := buildTree(t, pts, 16, kind, k)
+			m, err := NewMatrix(tr, k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.OptimalCost()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForceOptimal(tr, k)
+			if got != want {
+				t.Fatalf("trial %d kind %v n=%d k=%d: DP cost %d, brute force %d (pts %v)",
+					trial, kind, n, k, got, want, pts)
+			}
+		}
+	}
+}
+
+func TestOptimizedMatchesFirstCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(60)
+		k := 2 + rng.Intn(5)
+		pts := randPts(rng, n, 64)
+		for _, kind := range []tree.Kind{tree.Binary, tree.Quad} {
+			tr := buildTree(t, pts, 64, kind, k)
+			opt, err := NewMatrix(tr, k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive, err := NewMatrix(tr, k, Options{NoPrune: true, NaiveCombine: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			co, err1 := opt.OptimalCost()
+			cn, err2 := naive.OptimalCost()
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error mismatch: %v vs %v", err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if co != cn {
+				t.Fatalf("trial %d kind %v n=%d k=%d: optimized %d != first-cut %d",
+					trial, kind, n, k, co, cn)
+			}
+		}
+	}
+}
+
+func TestPruningAloneAndCombineAlone(t *testing.T) {
+	rng := rand.New(rand.NewSource(300))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(80)
+		k := 2 + rng.Intn(6)
+		pts := randPts(rng, n, 128)
+		tr := buildTree(t, pts, 128, tree.Binary, k)
+		var costs []int64
+		for _, o := range []Options{{}, {NoPrune: true}, {NaiveCombine: true}, {NoPrune: true, NaiveCombine: true}} {
+			m, err := NewMatrix(tr, k, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := m.OptimalCost()
+			if err != nil {
+				t.Fatal(err)
+			}
+			costs = append(costs, c)
+		}
+		for i := 1; i < len(costs); i++ {
+			if costs[i] != costs[0] {
+				t.Fatalf("trial %d: option variant %d cost %d != %d", trial, i, costs[i], costs[0])
+			}
+		}
+	}
+}
+
+func TestInsufficientUsers(t *testing.T) {
+	pts := randPts(rand.New(rand.NewSource(1)), 3, 32)
+	tr := buildTree(t, pts, 32, tree.Binary, 5)
+	m, err := NewMatrix(tr, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OptimalCost(); !errors.Is(err, ErrInsufficientUsers) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := m.Extract(); !errors.Is(err, ErrInsufficientUsers) {
+		t.Fatalf("Extract: got %v", err)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	tr := buildTree(t, nil, 32, tree.Binary, 2)
+	m, err := NewMatrix(tr, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.OptimalCost()
+	if err != nil || c != 0 {
+		t.Fatalf("cost=%d err=%v", c, err)
+	}
+	cloaks, err := m.Extract()
+	if err != nil || len(cloaks) != 0 {
+		t.Fatalf("extract=%v err=%v", cloaks, err)
+	}
+}
+
+func TestInvalidK(t *testing.T) {
+	tr := buildTree(t, randPts(rand.New(rand.NewSource(2)), 4, 16), 16, tree.Binary, 2)
+	if _, err := NewMatrix(tr, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestKOneCloaksEachPointAtItsLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPts(rng, 30, 64)
+	tr := buildTree(t, pts, 64, tree.Binary, 1)
+	m, err := NewMatrix(tr, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.OptimalCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := range pts {
+		want += tr.Area(tr.LeafOf(int32(i)))
+	}
+	if got != want {
+		t.Fatalf("k=1 cost %d, want sum of leaf areas %d", got, want)
+	}
+}
+
+func TestExtractRealizesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(100)
+		k := 2 + rng.Intn(6)
+		if n < k {
+			continue
+		}
+		pts := randPts(rng, n, 256)
+		db := dbFor(t, pts)
+		anon, err := NewAnonymizer(db, geo.NewRect(0, 0, 256, 256), AnonymizerOptions{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := anon.OptimalCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := anon.Policy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol.Cost() != want {
+			t.Fatalf("trial %d: extracted cost %d != optimal %d", trial, pol.Cost(), want)
+		}
+		// Lemma 3 / Definition 6: the policy is k-anonymous against
+		// policy-aware attackers, hence also against policy-unaware ones
+		// (Proposition 1).
+		if !attacker.IsKAnonymous(pol, k, attacker.PolicyAware) {
+			t.Fatalf("trial %d: extracted policy not policy-aware %d-anonymous", trial, k)
+		}
+		if !attacker.IsKAnonymous(pol, k, attacker.PolicyUnaware) {
+			t.Fatalf("trial %d: Proposition 1 violated", trial)
+		}
+		// Lemma 2: the configuration of the extracted policy has the same
+		// cost and satisfies k-summation; it is complete.
+		cloaks := make([]geo.Rect, n)
+		for i := 0; i < n; i++ {
+			cloaks[i] = pol.CloakAt(i)
+		}
+		cfg, err := ConfigOf(anon.Tree(), cloaks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cfg.Complete(anon.Tree()) {
+			t.Fatalf("trial %d: extracted configuration incomplete", trial)
+		}
+		if !cfg.KSummation(anon.Tree(), k) {
+			t.Fatalf("trial %d: extracted configuration violates k-summation", trial)
+		}
+		if cc := cfg.Cost(anon.Tree()); cc != want {
+			t.Fatalf("trial %d: Cost_c %d != policy cost %d (Lemma 2)", trial, cc, want)
+		}
+	}
+}
+
+func TestEveryGroupHasAtLeastK(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	pts := randPts(rng, 200, 512)
+	db := dbFor(t, pts)
+	const k = 7
+	anon, err := NewAnonymizer(db, geo.NewRect(0, 0, 512, 512), AnonymizerOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := anon.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range pol.Groups() {
+		if len(g.Members) < k {
+			t.Fatalf("cloaking group %v has %d < k members", g.Cloak, len(g.Members))
+		}
+	}
+}
+
+func TestIncrementalMatchesFreshAfterMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	const side = 256
+	const k = 4
+	pts := randPts(rng, 120, side)
+	db := dbFor(t, pts)
+	anon, err := NewAnonymizer(db, geo.NewRect(0, 0, side, side), AnonymizerOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		nMoves := 1 + rng.Intn(10)
+		for j := 0; j < nMoves; j++ {
+			i := rng.Intn(len(pts))
+			to := geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}
+			if err := anon.Move(i, to); err != nil {
+				t.Fatal(err)
+			}
+			pts[i] = to
+		}
+		anon.Refresh()
+		got, err := anon.OptimalCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		freshTree := buildTree(t, pts, side, tree.Binary, k)
+		fresh, err := NewMatrix(freshTree, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.OptimalCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("round %d: incremental cost %d != fresh %d", round, got, want)
+		}
+		// Extraction must still work and realize the optimum.
+		pol, err := anon.Policy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol.Cost() != want {
+			t.Fatalf("round %d: extracted %d != %d after incremental update", round, pol.Cost(), want)
+		}
+		if !attacker.IsKAnonymous(pol, k, attacker.PolicyAware) {
+			t.Fatalf("round %d: policy not k-anonymous after update", round)
+		}
+	}
+}
+
+func TestUpdateNoMovesIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	pts := randPts(rng, 50, 128)
+	tr := buildTree(t, pts, 128, tree.Binary, 3)
+	m, err := NewMatrix(tr, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Update(); n != 0 {
+		t.Fatalf("Update recomputed %d rows with no moves", n)
+	}
+}
+
+func TestRowSpecialEntryIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(800))
+	pts := randPts(rng, 40, 64)
+	tr := buildTree(t, pts, 64, tree.Binary, 3)
+	m, err := NewMatrix(tr, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.PostOrder(func(id tree.NodeID) {
+		us, cs := m.Row(id)
+		found := false
+		for i, u := range us {
+			if int(u) == tr.Count(id) {
+				found = true
+				if cs[i] != 0 {
+					t.Fatalf("node %d: M[m][d(m)] = %d, want 0", id, cs[i])
+				}
+			}
+			if int(u) > tr.Count(id)-3 && int(u) != tr.Count(id) {
+				t.Fatalf("node %d: feasible pass-up %d in forbidden band (d=%d,k=3)", id, u, tr.Count(id))
+			}
+		}
+		if !found {
+			t.Fatalf("node %d: missing full-pass-up entry", id)
+		}
+	})
+}
+
+// The cost of the optimal binary-tree policy is never worse than the
+// optimal quad-tree policy at equal k (Section V).
+func TestBinaryNeverWorseThanQuad(t *testing.T) {
+	rng := rand.New(rand.NewSource(900))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(150)
+		k := 2 + rng.Intn(8)
+		pts := randPts(rng, n, 512)
+		tq := buildTree(t, pts, 512, tree.Quad, k)
+		tb := buildTree(t, pts, 512, tree.Binary, k)
+		mq, err := NewMatrix(tq, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := NewMatrix(tb, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cq, err1 := mq.OptimalCost()
+		cb, err2 := mb.OptimalCost()
+		if err1 != nil || err2 != nil {
+			if errors.Is(err1, ErrInsufficientUsers) {
+				continue
+			}
+			t.Fatal(err1, err2)
+		}
+		if cb > cq {
+			t.Fatalf("trial %d: binary cost %d > quad cost %d", trial, cb, cq)
+		}
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	pts := []geo.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 30, Y: 30}, {X: 31, Y: 29}}
+	tr := buildTree(t, pts, 32, tree.Binary, 2)
+	// Cloak everything at the root: C(root)=0, all other nodes pass up.
+	cfg := Config{tr.Root(): 0}
+	if err := cfg.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Complete(tr) {
+		t.Fatal("root-cloaking config should be complete")
+	}
+	if !cfg.KSummation(tr, 2) {
+		t.Fatal("cloaking 4 >= 2 at root should satisfy 2-summation")
+	}
+	if got := cfg.Cost(tr); got != 4*tr.Area(tr.Root()) {
+		t.Fatalf("cost %d, want %d", got, 4*tr.Area(tr.Root()))
+	}
+	// Cloaking only 1 point at the root violates 2-summation.
+	bad := Config{tr.Root(): 3}
+	if bad.KSummation(tr, 2) {
+		t.Fatal("cloaking 1 < k at root accepted")
+	}
+	// Passing up more than available violates Definition 7.
+	if err := (Config{tr.Root(): 5}).Validate(tr); err == nil {
+		t.Fatal("overfull config validated")
+	}
+}
+
+func TestConfigOfRejectsForeignCloak(t *testing.T) {
+	pts := []geo.Point{{X: 1, Y: 1}, {X: 30, Y: 30}}
+	tr := buildTree(t, pts, 32, tree.Binary, 1)
+	_, err := ConfigOf(tr, []geo.Rect{geo.NewRect(0, 0, 3, 3), tr.Rect(tr.Root())})
+	if err == nil {
+		t.Fatal("cloak that is not a tree node accepted")
+	}
+	if _, err := ConfigOf(tr, []geo.Rect{tr.Rect(tr.Root())}); err == nil {
+		t.Fatal("wrong cloak count accepted")
+	}
+}
+
+func TestAnonymizerRejectsBadK(t *testing.T) {
+	db := dbFor(t, randPts(rand.New(rand.NewSource(4)), 5, 32))
+	if _, err := NewAnonymizer(db, geo.NewRect(0, 0, 32, 32), AnonymizerOptions{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// Assignments must always be masking policies (Definition 4): NewAssignment
+// re-validates what Extract produced.
+func TestExtractedCloaksMaskTheirUsers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1000))
+	pts := randPts(rng, 80, 128)
+	db := dbFor(t, pts)
+	anon, err := NewAnonymizer(db, geo.NewRect(0, 0, 128, 128), AnonymizerOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := anon.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < db.Len(); i++ {
+		if !pol.CloakAt(i).Contains(db.At(i).Loc) {
+			t.Fatalf("cloak %v does not contain user %d at %v", pol.CloakAt(i), i, db.At(i).Loc)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"policyanon/internal/geo"
+)
+
+func TestMultiKBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	pts := randPts(rng, 60, 256)
+	db := dbFor(t, pts)
+	ks := make([]int, db.Len())
+	for i := range ks {
+		ks[i] = []int{2, 5, 10}[i%3]
+	}
+	pol, err := MultiKPolicy(db, geo.NewRect(0, 0, 256, 256), ks, AnonymizerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := MultiKAudit(pol, ks); len(v) != 0 {
+		t.Fatalf("violated users: %v", v)
+	}
+	// Every cloak masks its user.
+	for i := 0; i < db.Len(); i++ {
+		if !pol.CloakAt(i).Contains(db.At(i).Loc) {
+			t.Fatalf("cloak of %d does not mask", i)
+		}
+	}
+}
+
+func TestMultiKUniformMatchesSingleK(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := randPts(rng, 80, 256)
+	db := dbFor(t, pts)
+	const k = 7
+	ks := make([]int, db.Len())
+	for i := range ks {
+		ks[i] = k
+	}
+	multi, err := MultiKPolicy(db, geo.NewRect(0, 0, 256, 256), ks, AnonymizerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, err := NewAnonymizer(db, geo.NewRect(0, 0, 256, 256), AnonymizerOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := anon.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Cost() != single.Cost() {
+		t.Fatalf("uniform multi-k cost %d != single-k cost %d", multi.Cost(), single.Cost())
+	}
+}
+
+func TestMultiKUnderfullBucketPromotes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := randPts(rng, 20, 128)
+	db := dbFor(t, pts)
+	// One user asks k=3 (bucket underfull: only 1 member) and must be
+	// promoted into the k=5 bucket.
+	ks := make([]int, db.Len())
+	for i := range ks {
+		ks[i] = 5
+	}
+	ks[7] = 3
+	pol, err := MultiKPolicy(db, geo.NewRect(0, 0, 128, 128), ks, AnonymizerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := MultiKAudit(pol, ks); len(v) != 0 {
+		t.Fatalf("violated users: %v", v)
+	}
+	// The promoted user actually enjoys the stronger guarantee.
+	size := 0
+	for i := 0; i < db.Len(); i++ {
+		if pol.CloakAt(i) == pol.CloakAt(7) {
+			size++
+		}
+	}
+	if size < 5 {
+		t.Fatalf("promoted user's group has %d < 5 members", size)
+	}
+}
+
+func TestMultiKTopBucketAbsorbsDownward(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pts := randPts(rng, 12, 128)
+	db := dbFor(t, pts)
+	// Two users ask k=10 — too few for their own bucket — so the top
+	// bucket absorbs the k=2 users and anonymizes everyone at k=10.
+	ks := make([]int, db.Len())
+	for i := range ks {
+		ks[i] = 2
+	}
+	ks[0], ks[1] = 10, 10
+	pol, err := MultiKPolicy(db, geo.NewRect(0, 0, 128, 128), ks, AnonymizerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := MultiKAudit(pol, ks); len(v) != 0 {
+		t.Fatalf("violated users: %v", v)
+	}
+	for _, g := range pol.Groups() {
+		if len(g.Members) < 10 {
+			t.Fatalf("absorbed bucket produced group of %d < 10", len(g.Members))
+		}
+	}
+}
+
+func TestMultiKErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	pts := randPts(rng, 5, 64)
+	db := dbFor(t, pts)
+	bounds := geo.NewRect(0, 0, 64, 64)
+	if _, err := MultiKPolicy(db, bounds, []int{2, 2}, AnonymizerOptions{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MultiKPolicy(db, bounds, []int{2, 2, 0, 2, 2}, AnonymizerOptions{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := MultiKPolicy(db, bounds, []int{2, 2, 2, 2, 9}, AnonymizerOptions{}); !errors.Is(err, ErrInsufficientUsers) {
+		t.Errorf("max k > |D|: got %v", err)
+	}
+}
+
+func TestMultiKEmpty(t *testing.T) {
+	db := dbFor(t, nil)
+	pol, err := MultiKPolicy(db, geo.NewRect(0, 0, 64, 64), nil, AnonymizerOptions{})
+	if err != nil || pol.Len() != 0 {
+		t.Fatalf("empty multi-k: %v %v", pol, err)
+	}
+}
+
+// Property: random k assignments always audit clean.
+func TestMultiKProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + int(nRaw)%60
+		pts := randPts(rng, n, 256)
+		db := dbForQuick(pts)
+		ks := make([]int, n)
+		for i := range ks {
+			ks[i] = 2 + rng.Intn(5)
+		}
+		pol, err := MultiKPolicy(db, geo.NewRect(0, 0, 256, 256), ks, AnonymizerOptions{})
+		if err != nil {
+			return false
+		}
+		return len(MultiKAudit(pol, ks)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

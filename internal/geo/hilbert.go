@@ -1,0 +1,71 @@
+package geo
+
+// Hilbert-curve indexing, used by the HilbertCloak baseline of Kalnis et
+// al. [17]: mapping 2-D locations to positions on a space-filling curve
+// preserves locality, so consecutive curve ranks make compact cloaking
+// groups.
+
+// HilbertIndex returns the index of (x,y) along the Hilbert curve of the
+// given order (the curve fills the 2^order x 2^order grid). Coordinates
+// outside the grid are clamped.
+func HilbertIndex(order uint, x, y int32) uint64 {
+	n := int64(1) << order
+	xx := clampTo(int64(x), n)
+	yy := clampTo(int64(y), n)
+	var rx, ry, d int64
+	for s := n / 2; s > 0; s /= 2 {
+		if xx&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if yy&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		// Rotate the quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				xx = s - 1 - xx
+				yy = s - 1 - yy
+			}
+			xx, yy = yy, xx
+		}
+	}
+	return uint64(d)
+}
+
+// HilbertPoint is the inverse of HilbertIndex: the grid cell at curve
+// position d for the given order.
+func HilbertPoint(order uint, d uint64) Point {
+	n := int64(1) << order
+	t := int64(d)
+	var x, y int64
+	for s := int64(1); s < n; s *= 2 {
+		rx := 1 & (t / 2)
+		ry := 1 & (t ^ rx)
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return Point{X: int32(x), Y: int32(y)}
+}
+
+func clampTo(v, n int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}

@@ -1,0 +1,135 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHilbertRoundTrip(t *testing.T) {
+	const order = 6
+	n := int32(1) << order
+	seen := make(map[uint64]bool)
+	for x := int32(0); x < n; x++ {
+		for y := int32(0); y < n; y++ {
+			d := HilbertIndex(order, x, y)
+			if seen[d] {
+				t.Fatalf("index %d repeated at (%d,%d)", d, x, y)
+			}
+			seen[d] = true
+			if back := HilbertPoint(order, d); back != (Point{X: x, Y: y}) {
+				t.Fatalf("round trip (%d,%d) -> %d -> %v", x, y, d, back)
+			}
+		}
+	}
+	if len(seen) != int(n)*int(n) {
+		t.Fatalf("curve covered %d of %d cells", len(seen), int(n)*int(n))
+	}
+}
+
+// Consecutive Hilbert indices are adjacent grid cells — the locality
+// property the HilbertCloak baseline relies on.
+func TestHilbertLocality(t *testing.T) {
+	const order = 5
+	total := uint64(1) << (2 * order)
+	for d := uint64(0); d+1 < total; d++ {
+		a := HilbertPoint(order, d)
+		b := HilbertPoint(order, d+1)
+		dx, dy := a.X-b.X, a.Y-b.Y
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx+dy != 1 {
+			t.Fatalf("curve jump between %d (%v) and %d (%v)", d, a, d+1, b)
+		}
+	}
+}
+
+func TestHilbertClamps(t *testing.T) {
+	if HilbertIndex(4, -5, 99) != HilbertIndex(4, 0, 15) {
+		t.Fatal("out-of-grid coordinates not clamped")
+	}
+}
+
+func TestMinEnclosingCircleKnownCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Single point: zero radius.
+	c := MinEnclosingCircle([]Point{{X: 3, Y: 4}}, rng)
+	if c.R != 0 || c.CX != 3 || c.CY != 4 {
+		t.Fatalf("single point MEC = %+v", c)
+	}
+	// Two points: diametral circle.
+	c = MinEnclosingCircle([]Point{{X: 0, Y: 0}, {X: 6, Y: 8}}, rng)
+	if c.R < 4.999 || c.R > 5.001 {
+		t.Fatalf("two-point MEC radius = %v, want 5", c.R)
+	}
+	// Square corners: circumradius sqrt(2)/2 * side.
+	c = MinEnclosingCircle([]Point{{X: 0, Y: 0}, {X: 0, Y: 10}, {X: 10, Y: 0}, {X: 10, Y: 10}}, rng)
+	if c.R < 7.07 || c.R > 7.08 {
+		t.Fatalf("square MEC radius = %v, want ~7.071", c.R)
+	}
+	// Collinear points.
+	c = MinEnclosingCircle([]Point{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 10, Y: 0}}, rng)
+	if c.R < 4.999 || c.R > 5.001 {
+		t.Fatalf("collinear MEC radius = %v, want 5", c.R)
+	}
+	// Empty input.
+	if MinEnclosingCircle(nil, rng).R != 0 {
+		t.Fatal("empty MEC should be zero")
+	}
+}
+
+// Property: the MEC covers every input point and is no larger than the
+// trivial bounding circle.
+func TestMinEnclosingCircleProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Int31n(1000), Y: rng.Int31n(1000)}
+		}
+		c := MinEnclosingCircle(pts, rng)
+		for _, p := range pts {
+			if !c.ContainsPoint(p) {
+				return false
+			}
+		}
+		// Compare against the circle centered at the centroid covering
+		// all points: the MEC cannot be larger.
+		var sx, sy float64
+		for _, p := range pts {
+			sx += float64(p.X)
+			sy += float64(p.Y)
+		}
+		cx, cy := sx/float64(n), sy/float64(n)
+		worst := 0.0
+		for _, p := range pts {
+			dx, dy := float64(p.X)-cx, float64(p.Y)-cy
+			if d := dx*dx + dy*dy; d > worst {
+				worst = d
+			}
+		}
+		return c.R*c.R <= worst+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The MEC is independent of the shuffle order.
+func TestMinEnclosingCircleDeterministicRadius(t *testing.T) {
+	pts := make([]Point, 30)
+	rng := rand.New(rand.NewSource(7))
+	for i := range pts {
+		pts[i] = Point{X: rng.Int31n(500), Y: rng.Int31n(500)}
+	}
+	r1 := MinEnclosingCircle(pts, rand.New(rand.NewSource(1))).R
+	r2 := MinEnclosingCircle(pts, rand.New(rand.NewSource(99))).R
+	if r1 < r2-1e-6 || r1 > r2+1e-6 {
+		t.Fatalf("MEC radius depends on shuffle: %v vs %v", r1, r2)
+	}
+}

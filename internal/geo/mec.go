@@ -1,0 +1,103 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Minimum enclosing circle via Welzl's randomized incremental algorithm,
+// the geometric core of the FindMBC baseline of Xu–Cai [27]. Expected
+// linear time; the permutation is drawn from the caller-supplied source so
+// results stay deterministic under a fixed seed (the circle itself is
+// unique regardless of the permutation, up to floating-point wobble).
+
+// FCircle is a circle with float64 center, used where circle centers are
+// free rather than drawn from a fixed set (the FindMBC cloaks).
+type FCircle struct {
+	CX, CY, R float64
+}
+
+// ContainsPoint reports whether p lies in the closed disc.
+func (c FCircle) ContainsPoint(p Point) bool {
+	dx := float64(p.X) - c.CX
+	dy := float64(p.Y) - c.CY
+	return dx*dx+dy*dy <= c.R*c.R+1e-7
+}
+
+// Area returns the disc area.
+func (c FCircle) Area() float64 { return 3.141592653589793 * c.R * c.R }
+
+// MinEnclosingCircle returns the smallest circle containing all points.
+// It returns the zero circle for an empty input.
+func MinEnclosingCircle(points []Point, rng *rand.Rand) FCircle {
+	if len(points) == 0 {
+		return FCircle{}
+	}
+	pts := append([]Point(nil), points...)
+	if rng != nil {
+		rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	}
+	c := circleFrom1(pts[0])
+	for i := 1; i < len(pts); i++ {
+		if c.ContainsPoint(pts[i]) {
+			continue
+		}
+		c = circleFrom1(pts[i])
+		for j := 0; j < i; j++ {
+			if c.ContainsPoint(pts[j]) {
+				continue
+			}
+			c = circleFrom2(pts[i], pts[j])
+			for k := 0; k < j; k++ {
+				if !c.ContainsPoint(pts[k]) {
+					c = circleFrom3(pts[i], pts[j], pts[k])
+				}
+			}
+		}
+	}
+	return c
+}
+
+func circleFrom1(a Point) FCircle {
+	return FCircle{CX: float64(a.X), CY: float64(a.Y), R: 0}
+}
+
+func circleFrom2(a, b Point) FCircle {
+	cx := (float64(a.X) + float64(b.X)) / 2
+	cy := (float64(a.Y) + float64(b.Y)) / 2
+	dx := float64(a.X) - cx
+	dy := float64(a.Y) - cy
+	return FCircle{CX: cx, CY: cy, R: sqrt(dx*dx + dy*dy)}
+}
+
+// circleFrom3 returns the circumcircle of a,b,c, or the best two-point
+// circle when the points are (near-)collinear.
+func circleFrom3(a, b, c Point) FCircle {
+	ax, ay := float64(a.X), float64(a.Y)
+	bx, by := float64(b.X), float64(b.Y)
+	cx, cy := float64(c.X), float64(c.Y)
+	d := 2 * (ax*(by-cy) + bx*(cy-ay) + cx*(ay-by))
+	if d > -1e-9 && d < 1e-9 {
+		// Collinear: the diametral circle of the farthest pair covers all.
+		best := circleFrom2(a, b)
+		if alt := circleFrom2(a, c); alt.R > best.R {
+			best = alt
+		}
+		if alt := circleFrom2(b, c); alt.R > best.R {
+			best = alt
+		}
+		return best
+	}
+	ux := ((ax*ax+ay*ay)*(by-cy) + (bx*bx+by*by)*(cy-ay) + (cx*cx+cy*cy)*(ay-by)) / d
+	uy := ((ax*ax+ay*ay)*(cx-bx) + (bx*bx+by*by)*(ax-cx) + (cx*cx+cy*cy)*(bx-ax)) / d
+	dx := ax - ux
+	dy := ay - uy
+	return FCircle{CX: ux, CY: uy, R: sqrt(dx*dx + dy*dy)}
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

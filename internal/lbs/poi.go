@@ -1,0 +1,353 @@
+package lbs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"policyanon/internal/geo"
+)
+
+// POI is a point of interest served by the LBS provider.
+type POI struct {
+	ID       string    `json:"id"`
+	Loc      geo.Point `json:"loc"`
+	Category string    `json:"category"`
+}
+
+// POIStore is the LBS provider's spatial index: a uniform grid over the
+// map supporting exact nearest-neighbour, range queries, and the cloaked
+// nearest-neighbour candidate evaluation used to answer anonymized
+// requests.
+type POIStore struct {
+	bounds   geo.Rect
+	cellSide int32
+	cols     int32
+	rows     int32
+	cells    [][]int
+	pois     []POI
+	byCat    map[string][]int
+}
+
+// NewPOIStore indexes the points of interest. cellSide 0 picks a default
+// targeting a few POIs per cell.
+func NewPOIStore(pois []POI, bounds geo.Rect, cellSide int32) (*POIStore, error) {
+	if bounds.Empty() {
+		return nil, fmt.Errorf("lbs: empty POI store bounds")
+	}
+	if cellSide <= 0 {
+		// Aim for ~2 POIs per cell on average.
+		cells := len(pois)/2 + 1
+		side := math.Sqrt(float64(bounds.Area()) / float64(cells))
+		cellSide = int32(side)
+		if cellSide < 1 {
+			cellSide = 1
+		}
+	}
+	s := &POIStore{
+		bounds:   bounds,
+		cellSide: cellSide,
+		cols:     int32((bounds.Width() + int64(cellSide) - 1) / int64(cellSide)),
+		rows:     int32((bounds.Height() + int64(cellSide) - 1) / int64(cellSide)),
+		pois:     append([]POI(nil), pois...),
+		byCat:    make(map[string][]int),
+	}
+	s.cells = make([][]int, int(s.cols)*int(s.rows))
+	for i, p := range s.pois {
+		if !bounds.Contains(p.Loc) {
+			return nil, fmt.Errorf("lbs: POI %q at %v outside bounds %v", p.ID, p.Loc, bounds)
+		}
+		s.cells[s.cellOf(p.Loc)] = append(s.cells[s.cellOf(p.Loc)], i)
+		s.byCat[p.Category] = append(s.byCat[p.Category], i)
+	}
+	return s, nil
+}
+
+// Len returns the number of indexed POIs.
+func (s *POIStore) Len() int { return len(s.pois) }
+
+// Add indexes a new point of interest. Section VII notes that points of
+// interest appear and disappear over time; after mutating the catalogue
+// the CSP should flush its result cache (CSP.FlushCache) so stale answers
+// are not served past the next epoch.
+func (s *POIStore) Add(p POI) error {
+	if !s.bounds.Contains(p.Loc) {
+		return fmt.Errorf("lbs: POI %q at %v outside bounds %v", p.ID, p.Loc, s.bounds)
+	}
+	for _, q := range s.pois {
+		if q.ID == p.ID {
+			return fmt.Errorf("lbs: duplicate POI id %q", p.ID)
+		}
+	}
+	i := len(s.pois)
+	s.pois = append(s.pois, p)
+	s.cells[s.cellOf(p.Loc)] = append(s.cells[s.cellOf(p.Loc)], i)
+	s.byCat[p.Category] = append(s.byCat[p.Category], i)
+	return nil
+}
+
+// Remove deletes a point of interest by id. It reports whether the id was
+// present. Removal rebuilds the affected index entries; the operation is
+// O(n) and intended for the paper's "infrequent intervals".
+func (s *POIStore) Remove(id string) bool {
+	idx := -1
+	for i, p := range s.pois {
+		if p.ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	s.pois = append(s.pois[:idx], s.pois[idx+1:]...)
+	// Rebuild the positional indexes: simplest correct maintenance given
+	// indices shifted.
+	for c := range s.cells {
+		s.cells[c] = s.cells[c][:0]
+	}
+	s.byCat = make(map[string][]int)
+	for i, p := range s.pois {
+		s.cells[s.cellOf(p.Loc)] = append(s.cells[s.cellOf(p.Loc)], i)
+		s.byCat[p.Category] = append(s.byCat[p.Category], i)
+	}
+	return true
+}
+
+func (s *POIStore) cellOf(p geo.Point) int {
+	cx := (p.X - s.bounds.MinX) / s.cellSide
+	cy := (p.Y - s.bounds.MinY) / s.cellSide
+	return int(cy)*int(s.cols) + int(cx)
+}
+
+// Nearest returns the POI closest to p (any category), using an expanding
+// ring search over the grid. ok is false for an empty store.
+func (s *POIStore) Nearest(p geo.Point) (poi POI, ok bool) {
+	return s.NearestCategory(p, "")
+}
+
+// NearestCategory returns the closest POI of the given category; an empty
+// category matches everything.
+func (s *POIStore) NearestCategory(p geo.Point, category string) (POI, bool) {
+	if len(s.pois) == 0 {
+		return POI{}, false
+	}
+	cx := (p.X - s.bounds.MinX) / s.cellSide
+	cy := (p.Y - s.bounds.MinY) / s.cellSide
+	bestD := int64(math.MaxInt64)
+	bestI := -1
+	maxRing := int32(s.cols)
+	if s.rows > maxRing {
+		maxRing = s.rows
+	}
+	for ring := int32(0); ring <= maxRing; ring++ {
+		// Once a candidate is known, stop when the ring's closest possible
+		// point is farther than the candidate.
+		if bestI >= 0 {
+			minPossible := int64(ring-1) * int64(s.cellSide)
+			if minPossible > 0 && minPossible*minPossible > bestD {
+				break
+			}
+		}
+		for dy := -ring; dy <= ring; dy++ {
+			for dx := -ring; dx <= ring; dx++ {
+				if maxAbs(dx, dy) != ring {
+					continue // perimeter cells only
+				}
+				x, y := cx+dx, cy+dy
+				if x < 0 || y < 0 || x >= s.cols || y >= s.rows {
+					continue
+				}
+				for _, i := range s.cells[int(y)*int(s.cols)+int(x)] {
+					if category != "" && s.pois[i].Category != category {
+						continue
+					}
+					if d := p.DistSq(s.pois[i].Loc); d < bestD {
+						bestD, bestI = d, i
+					}
+				}
+			}
+		}
+	}
+	if bestI < 0 {
+		return POI{}, false
+	}
+	return s.pois[bestI], true
+}
+
+// InRange returns the POIs within radius of center, the paper's running
+// range-query example ("find gas stations within 2 miles").
+func (s *POIStore) InRange(center geo.Point, radius float64, category string) []POI {
+	r2 := radius * radius
+	var out []POI
+	for _, p := range s.pois {
+		if category != "" && p.Category != category {
+			continue
+		}
+		if float64(center.DistSq(p.Loc)) <= r2 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CandidateNearest answers an anonymized nearest-neighbour request: it
+// returns a set of POIs guaranteed to contain the true nearest neighbour
+// of every possible sender location inside the cloak. The client filters
+// the candidates against the precise location.
+//
+// Construction: let r* = min over POIs of the maximum distance from the
+// POI to the cloak; any location in the cloak has its nearest neighbour
+// within r*, so every POI whose minimum distance to the cloak exceeds r*
+// can be pruned. The candidate set size (and hence the processing and
+// filtering work) grows with the cloak area, which is why policy cost
+// (Section IV) uses cloak area as its utility measure.
+func (s *POIStore) CandidateNearest(cloak geo.Rect, category string) []POI {
+	idxs := s.byCat[category]
+	if category == "" {
+		idxs = nil
+		for i := range s.pois {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+	rStar := int64(math.MaxInt64)
+	for _, i := range idxs {
+		if d := cloak.MaxDistSqToPoint(s.pois[i].Loc); d < rStar {
+			rStar = d
+		}
+	}
+	var out []POI
+	for _, i := range idxs {
+		if cloak.MinDistSqToPoint(s.pois[i].Loc) <= rStar {
+			out = append(out, s.pois[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CandidateKNearest answers an anonymized top-N query: it returns a set
+// guaranteed to contain, for every possible sender location in the cloak,
+// that location's N nearest POIs. Construction: let rN be the N-th
+// smallest over POIs of the maximum distance from the POI to the cloak —
+// any cloak location has N POIs within rN — and keep every POI whose
+// minimum distance to the cloak is at most rN.
+func (s *POIStore) CandidateKNearest(cloak geo.Rect, n int, category string) []POI {
+	if n <= 1 {
+		return s.CandidateNearest(cloak, category)
+	}
+	idxs := s.byCat[category]
+	if category == "" {
+		idxs = nil
+		for i := range s.pois {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+	maxDists := make([]int64, len(idxs))
+	for j, i := range idxs {
+		maxDists[j] = cloak.MaxDistSqToPoint(s.pois[i].Loc)
+	}
+	sorted := append([]int64(nil), maxDists...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	rank := n - 1
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	rN := sorted[rank]
+	var out []POI
+	for _, i := range idxs {
+		if cloak.MinDistSqToPoint(s.pois[i].Loc) <= rN {
+			out = append(out, s.pois[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FilterKNearest refines a candidate set to the exact N nearest POIs of
+// the precise location (fewer when the set is smaller).
+func FilterKNearest(cands []POI, loc geo.Point, n int) []POI {
+	out := append([]POI(nil), cands...)
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := loc.DistSq(out[i].Loc), loc.DistSq(out[j].Loc)
+		if di != dj {
+			return di < dj
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// CandidateInRange answers an anonymized range query ("find gas stations
+// within 2 miles"): it returns every POI within radius of SOME location
+// in the cloak, i.e. the union of the exact answers over all possible
+// senders. The client filters against the precise location. Smaller
+// cloaks yield smaller candidate sets, which is the paper's utility
+// argument for minimizing cloak area.
+func (s *POIStore) CandidateInRange(cloak geo.Rect, radius float64, category string) []POI {
+	r2 := radius * radius
+	var out []POI
+	for _, p := range s.pois {
+		if category != "" && p.Category != category {
+			continue
+		}
+		if float64(cloak.MinDistSqToPoint(p.Loc)) <= r2 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FilterInRange is the client-side refinement of a range-query candidate
+// set: the POIs actually within radius of the precise location.
+func FilterInRange(cands []POI, loc geo.Point, radius float64) []POI {
+	r2 := radius * radius
+	var out []POI
+	for _, p := range cands {
+		if float64(loc.DistSq(p.Loc)) <= r2 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FilterNearest is the client-side refinement step: the exact nearest
+// candidate to the user's precise location. ok is false for an empty
+// candidate set.
+func FilterNearest(cands []POI, loc geo.Point) (POI, bool) {
+	best := -1
+	bestD := int64(math.MaxInt64)
+	for i, p := range cands {
+		if d := loc.DistSq(p.Loc); d < bestD {
+			bestD, best = d, i
+		}
+	}
+	if best < 0 {
+		return POI{}, false
+	}
+	return cands[best], true
+}
+
+func maxAbs(a, b int32) int32 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,317 @@
+package lbs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+)
+
+func randStore(t *testing.T, rng *rand.Rand, n int, side int32) *POIStore {
+	t.Helper()
+	cats := []string{"gas", "rest", "hosp"}
+	pois := make([]POI, n)
+	for i := range pois {
+		pois[i] = POI{
+			ID:       "p" + itoa(i),
+			Loc:      geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)},
+			Category: cats[rng.Intn(len(cats))],
+		}
+	}
+	s, err := NewPOIStore(pois, geo.NewRect(0, 0, side, side), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func itoa(i int) string {
+	s := ""
+	for {
+		s = string(rune('0'+i%10)) + s
+		i /= 10
+		if i == 0 {
+			return s
+		}
+	}
+}
+
+// bruteNearest is the linear-scan oracle for the grid index.
+func bruteNearest(s *POIStore, p geo.Point, cat string) (POI, bool) {
+	best := -1
+	bestD := int64(1) << 62
+	for i, poi := range s.pois {
+		if cat != "" && poi.Category != cat {
+			continue
+		}
+		if d := p.DistSq(poi.Loc); d < bestD {
+			bestD, best = d, i
+		}
+	}
+	if best < 0 {
+		return POI{}, false
+	}
+	return s.pois[best], true
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := randStore(t, rng, 500, 1024)
+	for trial := 0; trial < 200; trial++ {
+		p := geo.Point{X: rng.Int31n(1024), Y: rng.Int31n(1024)}
+		got, ok1 := s.Nearest(p)
+		want, ok2 := bruteNearest(s, p, "")
+		if ok1 != ok2 {
+			t.Fatalf("ok mismatch at %v", p)
+		}
+		if p.DistSq(got.Loc) != p.DistSq(want.Loc) {
+			t.Fatalf("Nearest(%v) = %v (d=%d), brute force %v (d=%d)",
+				p, got, p.DistSq(got.Loc), want, p.DistSq(want.Loc))
+		}
+		gotC, okC := s.NearestCategory(p, "gas")
+		wantC, okC2 := bruteNearest(s, p, "gas")
+		if okC != okC2 || (okC && p.DistSq(gotC.Loc) != p.DistSq(wantC.Loc)) {
+			t.Fatalf("NearestCategory(%v, gas) = %v, want %v", p, gotC, wantC)
+		}
+	}
+}
+
+func TestNearestEmptyStore(t *testing.T) {
+	s, err := NewPOIStore(nil, geo.NewRect(0, 0, 16, 16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Nearest(geo.Point{X: 1, Y: 1}); ok {
+		t.Fatal("empty store returned a POI")
+	}
+	if got := s.CandidateNearest(geo.NewRect(0, 0, 4, 4), ""); got != nil {
+		t.Fatal("empty store returned candidates")
+	}
+}
+
+func TestPOIStoreValidation(t *testing.T) {
+	if _, err := NewPOIStore(nil, geo.Rect{}, 0); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+	outside := []POI{{ID: "x", Loc: geo.Point{X: 99, Y: 99}}}
+	if _, err := NewPOIStore(outside, geo.NewRect(0, 0, 16, 16), 4); err == nil {
+		t.Fatal("out-of-bounds POI accepted")
+	}
+}
+
+func TestInRange(t *testing.T) {
+	pois := []POI{
+		{ID: "a", Loc: geo.Point{X: 0, Y: 0}, Category: "gas"},
+		{ID: "b", Loc: geo.Point{X: 3, Y: 4}, Category: "gas"},
+		{ID: "c", Loc: geo.Point{X: 10, Y: 0}, Category: "gas"},
+		{ID: "d", Loc: geo.Point{X: 1, Y: 1}, Category: "rest"},
+	}
+	s, err := NewPOIStore(pois, geo.NewRect(0, 0, 16, 16), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.InRange(geo.Point{X: 0, Y: 0}, 5, "gas")
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "b" {
+		t.Fatalf("InRange = %v", got)
+	}
+	all := s.InRange(geo.Point{X: 0, Y: 0}, 5, "")
+	if len(all) != 3 {
+		t.Fatalf("InRange all categories = %v", all)
+	}
+}
+
+// The soundness property of cloaked nearest-neighbour evaluation: for any
+// location inside the cloak, its true nearest POI is in the candidate set.
+func TestCandidateNearestIsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := randStore(t, rng, 300, 512)
+	for trial := 0; trial < 50; trial++ {
+		x, y := rng.Int31n(480), rng.Int31n(480)
+		w, h := 1+rng.Int31n(32), 1+rng.Int31n(32)
+		cloak := geo.NewRect(x, y, x+w, y+h)
+		for _, cat := range []string{"", "gas"} {
+			cands := s.CandidateNearest(cloak, cat)
+			inSet := make(map[string]bool, len(cands))
+			for _, c := range cands {
+				inSet[c.ID] = true
+			}
+			// Sample locations inside the cloak, including the corners.
+			probes := []geo.Point{
+				{X: cloak.MinX, Y: cloak.MinY},
+				{X: cloak.MaxX, Y: cloak.MaxY},
+			}
+			for i := 0; i < 20; i++ {
+				probes = append(probes, geo.Point{
+					X: cloak.MinX + rng.Int31n(w+1),
+					Y: cloak.MinY + rng.Int31n(h+1),
+				})
+			}
+			for _, p := range probes {
+				nn, ok := bruteNearest(s, p, cat)
+				if !ok {
+					continue
+				}
+				// Any equally-near candidate is acceptable.
+				bestInSet, ok2 := FilterNearest(cands, p)
+				if !ok2 || p.DistSq(bestInSet.Loc) > p.DistSq(nn.Loc) {
+					t.Fatalf("cloak %v cat %q: true NN %v of %v missing from candidates %v",
+						cloak, cat, nn, p, cands)
+				}
+				_ = inSet
+			}
+		}
+	}
+}
+
+// Tighter cloaks can only shrink (or keep) the candidate answer, which is
+// the utility argument for minimizing cloak area.
+func TestCandidateSetGrowsWithCloak(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randStore(t, rng, 400, 512)
+	small := geo.NewRect(100, 100, 120, 120)
+	big := geo.NewRect(60, 60, 220, 220)
+	if len(s.CandidateNearest(small, "")) > len(s.CandidateNearest(big, "")) {
+		t.Fatal("smaller cloak produced more candidates than the enclosing cloak")
+	}
+}
+
+func TestFilterNearestEmpty(t *testing.T) {
+	if _, ok := FilterNearest(nil, geo.Point{}); ok {
+		t.Fatal("empty candidates filtered to a POI")
+	}
+}
+
+// Property: Nearest agrees with brute force on random stores.
+func TestNearestProperty(t *testing.T) {
+	f := func(seed int64, px, py uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		pois := make([]POI, n)
+		for i := range pois {
+			pois[i] = POI{ID: itoa(i), Loc: geo.Point{X: rng.Int31n(256), Y: rng.Int31n(256)}}
+		}
+		s, err := NewPOIStore(pois, geo.NewRect(0, 0, 256, 256), 0)
+		if err != nil {
+			return false
+		}
+		p := geo.Point{X: int32(px) % 256, Y: int32(py) % 256}
+		got, ok := s.Nearest(p)
+		want, ok2 := bruteNearest(s, p, "")
+		return ok == ok2 && p.DistSq(got.Loc) == p.DistSq(want.Loc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPOIStoreAddRemove(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := randStore(t, rng, 50, 256)
+	n := s.Len()
+	// Add a new nearest POI right at a probe point: it must win NN.
+	probe := geo.Point{X: 77, Y: 77}
+	if err := s.Add(POI{ID: "fresh", Loc: probe, Category: "gas"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != n+1 {
+		t.Fatalf("Len = %d after add", s.Len())
+	}
+	got, ok := s.NearestCategory(probe, "gas")
+	if !ok || got.ID != "fresh" {
+		t.Fatalf("nearest after add = %v", got)
+	}
+	// Duplicates and out-of-bounds are rejected.
+	if err := s.Add(POI{ID: "fresh", Loc: geo.Point{X: 1, Y: 1}}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if err := s.Add(POI{ID: "oob", Loc: geo.Point{X: 999, Y: 1}}); err == nil {
+		t.Fatal("out-of-bounds POI accepted")
+	}
+	// Removal restores the previous nearest and keeps the index sound.
+	if !s.Remove("fresh") {
+		t.Fatal("Remove failed")
+	}
+	if s.Remove("fresh") {
+		t.Fatal("double Remove succeeded")
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d after remove", s.Len())
+	}
+	after, ok := s.NearestCategory(probe, "gas")
+	want, ok2 := bruteNearest(s, probe, "gas")
+	if ok != ok2 || probe.DistSq(after.Loc) != probe.DistSq(want.Loc) {
+		t.Fatalf("nearest after remove = %v, brute %v", after, want)
+	}
+	// Candidate queries stay sound after mutation.
+	cloak := geo.NewRect(60, 60, 90, 90)
+	cands := s.CandidateNearest(cloak, "gas")
+	nn, _ := bruteNearest(s, geo.Point{X: 61, Y: 61}, "gas")
+	best, _ := FilterNearest(cands, geo.Point{X: 61, Y: 61})
+	if geoDist(best.Loc, geo.Point{X: 61, Y: 61}) != geoDist(nn.Loc, geo.Point{X: 61, Y: 61}) {
+		t.Fatalf("candidates unsound after mutation")
+	}
+}
+
+func geoDist(a, b geo.Point) int64 { return a.DistSq(b) }
+
+// The Section VII flow: a POI appears, the CSP flushes, and only then do
+// cached answers reflect it.
+func TestCacheFlushAfterPOIChange(t *testing.T) {
+	pois := []POI{{ID: "far", Loc: geo.Point{X: 30, Y: 30}, Category: "gas"}}
+	store, err := NewPOIStore(pois, geo.NewRect(0, 0, 32, 32), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New2UserDB(t)
+	cloak := geo.NewRect(0, 0, 8, 8)
+	pol, err := NewAssignment(db, []geo.Rect{cloak, cloak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider := NewPOIProvider(store)
+	csp := NewCSP(pol, provider)
+	sr := ServiceRequest{UserID: "a", Loc: geo.Point{X: 1, Y: 1},
+		Params: []Param{{Name: "cat", Value: "gas"}}}
+	_, first, err := csp.Serve(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0].ID != "far" {
+		t.Fatalf("first answer %v", first)
+	}
+	// A closer POI appears; the cached answer is stale until a flush.
+	if err := store.Add(POI{ID: "near", Loc: geo.Point{X: 2, Y: 2}, Category: "gas"}); err != nil {
+		t.Fatal(err)
+	}
+	_, stale, err := csp.Serve(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 1 || stale[0].ID != "far" {
+		t.Fatalf("expected stale cached answer, got %v", stale)
+	}
+	csp.FlushCache()
+	_, freshAns, err := csp.Serve(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := FilterNearest(freshAns, sr.Loc)
+	if best.ID != "near" {
+		t.Fatalf("post-flush answer %v, want near", freshAns)
+	}
+}
+
+// New2UserDB builds a tiny snapshot for cache tests.
+func New2UserDB(t *testing.T) *location.DB {
+	t.Helper()
+	db, err := location.FromRecords([]location.Record{
+		{UserID: "a", Loc: geo.Point{X: 1, Y: 1}},
+		{UserID: "b", Loc: geo.Point{X: 2, Y: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}

@@ -1,0 +1,42 @@
+package location
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary byte streams never panic the CSV
+// loader and that whatever parses round-trips losslessly.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("u1,1,2\nu2,3,4\n")
+	f.Add("")
+	f.Add("u1,notanumber,3\n")
+	f.Add("a,,\n")
+	f.Add("x,2147483647,-2147483648\n")
+	f.Add("u1,1,2\nu1,1,2\n")
+	f.Add(strings.Repeat("u,0,0\n", 3))
+	f.Fuzz(func(t *testing.T, in string) {
+		db, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := db.WriteCSV(&buf); err != nil {
+			t.Fatalf("write-back failed for parsed input: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != db.Len() {
+			t.Fatalf("round trip changed size: %d -> %d", db.Len(), back.Len())
+		}
+		for _, r := range db.Records() {
+			p, err := back.Lookup(r.UserID)
+			if err != nil || p != r.Loc {
+				t.Fatalf("round trip lost %v", r)
+			}
+		}
+	})
+}

@@ -1,0 +1,259 @@
+// Package location implements the location database of Section II-A: the
+// (possibly virtual) relation D = {userid, locx, locy} that the Mobile
+// Positioning Center exposes to the CSP, refreshed periodically as users
+// move. A DB value is one snapshot; a sequence of snapshots models the
+// database over time.
+package location
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"policyanon/internal/geo"
+)
+
+// Record is one tuple of the location database.
+type Record struct {
+	UserID string
+	Loc    geo.Point
+}
+
+// DB is a snapshot of the location database. The zero value is an empty
+// snapshot ready for use.
+type DB struct {
+	records []Record
+	byUser  map[string]int // user id -> index in records
+}
+
+// ErrDuplicateUser is returned when inserting a user id already present in
+// the snapshot.
+var ErrDuplicateUser = errors.New("location: duplicate user id")
+
+// ErrUnknownUser is returned by lookups and updates for absent user ids.
+var ErrUnknownUser = errors.New("location: unknown user id")
+
+// New returns an empty snapshot with capacity for n records.
+func New(n int) *DB {
+	return &DB{records: make([]Record, 0, n), byUser: make(map[string]int, n)}
+}
+
+// FromRecords builds a snapshot from recs. It fails on duplicate user ids.
+func FromRecords(recs []Record) (*DB, error) {
+	db := New(len(recs))
+	for _, r := range recs {
+		if err := db.Add(r.UserID, r.Loc); err != nil {
+			return nil, fmt.Errorf("record %q: %w", r.UserID, err)
+		}
+	}
+	return db, nil
+}
+
+// Add inserts a user at the given location.
+func (db *DB) Add(userID string, loc geo.Point) error {
+	if db.byUser == nil {
+		db.byUser = make(map[string]int)
+	}
+	if _, ok := db.byUser[userID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateUser, userID)
+	}
+	db.byUser[userID] = len(db.records)
+	db.records = append(db.records, Record{UserID: userID, Loc: loc})
+	return nil
+}
+
+// Len returns the number of users in the snapshot (|D| in the paper).
+func (db *DB) Len() int { return len(db.records) }
+
+// At returns the i-th record in insertion order.
+func (db *DB) At(i int) Record { return db.records[i] }
+
+// Records returns the backing record slice. Callers must not mutate it.
+func (db *DB) Records() []Record { return db.records }
+
+// Points returns a freshly allocated slice of all user locations in
+// insertion order.
+func (db *DB) Points() []geo.Point {
+	pts := make([]geo.Point, len(db.records))
+	for i, r := range db.records {
+		pts[i] = r.Loc
+	}
+	return pts
+}
+
+// Lookup returns the location of a user.
+func (db *DB) Lookup(userID string) (geo.Point, error) {
+	i, ok := db.byUser[userID]
+	if !ok {
+		return geo.Point{}, fmt.Errorf("%w: %q", ErrUnknownUser, userID)
+	}
+	return db.records[i].Loc, nil
+}
+
+// Index returns the record index of a user, or -1 if absent.
+func (db *DB) Index(userID string) int {
+	i, ok := db.byUser[userID]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Move updates a user's location in place, modelling one row of the next
+// snapshot. It returns the previous location.
+func (db *DB) Move(userID string, to geo.Point) (geo.Point, error) {
+	i, ok := db.byUser[userID]
+	if !ok {
+		return geo.Point{}, fmt.Errorf("%w: %q", ErrUnknownUser, userID)
+	}
+	prev := db.records[i].Loc
+	db.records[i].Loc = to
+	return prev, nil
+}
+
+// MoveAt updates the i-th record's location and returns the previous one.
+func (db *DB) MoveAt(i int, to geo.Point) geo.Point {
+	prev := db.records[i].Loc
+	db.records[i].Loc = to
+	return prev
+}
+
+// Clone returns a deep copy of the snapshot.
+func (db *DB) Clone() *DB {
+	out := &DB{
+		records: append([]Record(nil), db.records...),
+		byUser:  make(map[string]int, len(db.byUser)),
+	}
+	for k, v := range db.byUser {
+		out.byUser[k] = v
+	}
+	return out
+}
+
+// Sample draws a uniform random sample of n distinct users using rng,
+// mirroring the paper's sampling of the 1.75M Master set into smaller
+// location databases. It fails if n exceeds the snapshot size.
+func (db *DB) Sample(rng *rand.Rand, n int) (*DB, error) {
+	if n > len(db.records) {
+		return nil, fmt.Errorf("location: sample size %d exceeds population %d", n, len(db.records))
+	}
+	perm := rng.Perm(len(db.records))
+	out := New(n)
+	for _, idx := range perm[:n] {
+		r := db.records[idx]
+		if err := out.Add(r.UserID, r.Loc); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Bounds returns the tight bounding rectangle of all locations (half-open),
+// or an empty rectangle for an empty snapshot.
+func (db *DB) Bounds() geo.Rect {
+	var b geo.Rect
+	for _, r := range db.records {
+		b = b.ExpandToPoint(r.Loc)
+	}
+	return b
+}
+
+// CountIn returns the number of users inside the half-open rectangle r,
+// i.e. d(m) of Definition 7 for the quadrant r.
+func (db *DB) CountIn(r geo.Rect) int {
+	n := 0
+	for _, rec := range db.records {
+		if r.Contains(rec.Loc) {
+			n++
+		}
+	}
+	return n
+}
+
+// UsersIn returns the ids of users inside the half-open rectangle r, in
+// insertion order.
+func (db *DB) UsersIn(r geo.Rect) []string {
+	var out []string
+	for _, rec := range db.records {
+		if r.Contains(rec.Loc) {
+			out = append(out, rec.UserID)
+		}
+	}
+	return out
+}
+
+// Diff returns the indices of records whose location differs between db and
+// next. The two snapshots must contain the same users in the same insertion
+// order (users only move between snapshots; arrivals and departures are
+// modelled as separate snapshots in this reproduction).
+func (db *DB) Diff(next *DB) ([]int, error) {
+	if len(db.records) != len(next.records) {
+		return nil, fmt.Errorf("location: diff size mismatch %d vs %d", len(db.records), len(next.records))
+	}
+	var moved []int
+	for i := range db.records {
+		if db.records[i].UserID != next.records[i].UserID {
+			return nil, fmt.Errorf("location: diff user mismatch at %d: %q vs %q",
+				i, db.records[i].UserID, next.records[i].UserID)
+		}
+		if db.records[i].Loc != next.records[i].Loc {
+			moved = append(moved, i)
+		}
+	}
+	return moved, nil
+}
+
+// WriteCSV writes the snapshot as "userid,locx,locy" rows.
+func (db *DB) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, r := range db.records {
+		rec := []string{r.UserID, strconv.FormatInt(int64(r.Loc.X), 10), strconv.FormatInt(int64(r.Loc.Y), 10)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("location: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses "userid,locx,locy" rows into a snapshot.
+func ReadCSV(r io.Reader) (*DB, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	db := New(0)
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return db, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("location: read csv: %w", err)
+		}
+		x, err := strconv.ParseInt(rec[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("location: line %d: bad locx %q: %w", line, rec[1], err)
+		}
+		y, err := strconv.ParseInt(rec[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("location: line %d: bad locy %q: %w", line, rec[2], err)
+		}
+		if err := db.Add(rec[0], geo.Point{X: int32(x), Y: int32(y)}); err != nil {
+			return nil, fmt.Errorf("location: line %d: %w", line, err)
+		}
+	}
+}
+
+// SortedUserIDs returns all user ids in lexicographic order; useful for
+// deterministic iteration in tests and reports.
+func (db *DB) SortedUserIDs() []string {
+	ids := make([]string, 0, len(db.records))
+	for _, r := range db.records {
+		ids = append(ids, r.UserID)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,209 @@
+// Package metrics provides the lightweight instrumentation used by the
+// anonymization server and simulation: counters, gauges and fixed-bucket
+// latency histograms, all safe for concurrent use and exportable as JSON.
+// It deliberately avoids external dependencies; the exported snapshot is
+// shaped so a scraper can ingest it directly.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d must be >= 0).
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic("metrics: negative Counter.Add")
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-boundary latency histogram. The zero value is not
+// usable; create with NewHistogram.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []time.Duration // upper bounds, ascending; implicit +inf last
+	counts  []int64         // len(bounds)+1
+	total   int64
+	sum     time.Duration
+	maxSeen time.Duration
+}
+
+// DefaultLatencyBounds covers microseconds to seconds.
+var DefaultLatencyBounds = []time.Duration{
+	100 * time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+	100 * time.Millisecond, time.Second, 10 * time.Second,
+}
+
+// NewHistogram returns a histogram with the given ascending upper bounds
+// (DefaultLatencyBounds when nil).
+func NewHistogram(bounds []time.Duration) (*Histogram, error) {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("metrics: histogram bounds not ascending at %d", i)
+		}
+	}
+	return &Histogram{
+		bounds: append([]time.Duration(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}, nil
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i]++
+	h.total++
+	h.sum += d
+	if d > h.maxSeen {
+		h.maxSeen = d
+	}
+}
+
+// Time runs fn and records its duration.
+func (h *Histogram) Time(fn func()) {
+	start := time.Now()
+	fn()
+	h.Observe(time.Since(start))
+}
+
+// Summary reports the aggregate view of a histogram.
+type Summary struct {
+	Count int64            `json:"count"`
+	Mean  time.Duration    `json:"meanNs"`
+	Max   time.Duration    `json:"maxNs"`
+	Under map[string]int64 `json:"under"`
+}
+
+// Summary returns the aggregate view.
+func (h *Histogram) Summary() Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Summary{Count: h.total, Max: h.maxSeen, Under: make(map[string]int64, len(h.bounds)+1)}
+	if h.total > 0 {
+		s.Mean = h.sum / time.Duration(h.total)
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		s.Under[b.String()] = cum
+	}
+	s.Under["inf"] = h.total
+	return s
+}
+
+// Registry names and exports a set of metrics.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use with default bounds) the named
+// histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h, _ = NewHistogram(nil)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is the JSON-exportable state of a registry.
+type Snapshot struct {
+	Counters   map[string]int64   `json:"counters"`
+	Gauges     map[string]int64   `json:"gauges"`
+	Histograms map[string]Summary `json:"histograms"`
+}
+
+// Snapshot captures the current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]Summary, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Summary()
+	}
+	return s
+}
+
+// MarshalJSON exports the registry state.
+func (r *Registry) MarshalJSON() ([]byte, error) { return json.Marshal(r.Snapshot()) }

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add should panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("concurrent counter = %d", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	g.Set(-7)
+	if g.Value() != -7 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(50 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(2 * time.Second)
+	s := h.Summary()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 2*time.Second {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if s.Under["100µs"] != 1 {
+		t.Fatalf("under 100µs = %d", s.Under["100µs"])
+	}
+	if s.Under["10ms"] != 2 {
+		t.Fatalf("under 10ms = %d", s.Under["10ms"])
+	}
+	if s.Under["inf"] != 3 {
+		t.Fatalf("under inf = %d", s.Under["inf"])
+	}
+	if s.Mean <= 0 {
+		t.Fatal("mean not computed")
+	}
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	if _, err := NewHistogram([]time.Duration{time.Second, time.Millisecond}); err == nil {
+		t.Fatal("descending bounds accepted")
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	h, _ := NewHistogram(nil)
+	h.Time(func() { time.Sleep(time.Millisecond) })
+	if h.Summary().Count != 1 {
+		t.Fatal("Time did not observe")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(3)
+	if r.Counter("requests").Value() != 3 {
+		t.Fatal("counter identity not preserved")
+	}
+	r.Gauge("users").Set(100)
+	r.Histogram("latency").Observe(time.Millisecond)
+	s := r.Snapshot()
+	if s.Counters["requests"] != 3 || s.Gauges["users"] != 100 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Histograms["latency"].Count != 1 {
+		t.Fatalf("histogram snapshot %+v", s.Histograms["latency"])
+	}
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["requests"] != 3 {
+		t.Fatalf("json round trip %+v", back)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(int64(j))
+				r.Histogram("h").Observe(time.Microsecond)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 1600 {
+		t.Fatalf("count = %d", r.Counter("c").Value())
+	}
+}

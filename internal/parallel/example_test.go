@@ -1,0 +1,41 @@
+package parallel_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+	"policyanon/internal/parallel"
+)
+
+// ExampleNewEngine partitions a snapshot over four servers and checks
+// that the master policy's cost matches the engine total.
+func ExampleNewEngine() {
+	rng := rand.New(rand.NewSource(1))
+	db := location.New(400)
+	for i := 0; i < 400; i++ {
+		if err := db.Add(fmt.Sprintf("u%03d", i),
+			geo.Point{X: rng.Int31n(1 << 10), Y: rng.Int31n(1 << 10)}); err != nil {
+			panic(err)
+		}
+	}
+	eng, err := parallel.NewEngine(db, geo.NewRect(0, 0, 1<<10, 1<<10),
+		parallel.Options{K: 10, Servers: 4})
+	if err != nil {
+		panic(err)
+	}
+	total, err := eng.TotalCost()
+	if err != nil {
+		panic(err)
+	}
+	master, err := eng.Policy()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("servers:", eng.NumServers())
+	fmt.Println("master cost equals engine total:", master.Cost() == total)
+	// Output:
+	// servers: 4
+	// master cost equals engine total: true
+}

@@ -1,0 +1,286 @@
+// Package parallel implements the scale-out technique of Section V
+// ("Parallel Anonymization"): the map is statically partitioned into
+// jurisdictions drawn from the nodes of a binary cloaking tree by a greedy
+// load-balancing rule, and an independent anonymization server (here: a
+// goroutine-backed worker) runs the optimal policy-aware algorithm over
+// each jurisdiction. The master policy anonymizes a location by deferring
+// to the server owning the jurisdiction it falls in.
+//
+// Jurisdiction cloaks never span jurisdiction borders, so the combined
+// policy can cost slightly more than the single-server optimum; the
+// Section VI-D experiment (reproduced in the benchmarks) measures that
+// divergence.
+package parallel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/tree"
+)
+
+// Partition greedily selects up to n jurisdictions from the nodes of a
+// binary cloaking tree over db, following the paper's rule: starting from
+// {root}, repeatedly replace the heaviest node all of whose children
+// contain either zero or at least k locations with its children, until the
+// list reaches n entries or no node can be split. The returned rectangles
+// partition the map.
+func Partition(db *location.DB, bounds geo.Rect, k, n int) ([]geo.Rect, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("parallel: need at least 1 jurisdiction, got %d", n)
+	}
+	t, err := tree.Build(db.Points(), bounds, tree.Options{Kind: tree.Binary, MinCountToSplit: k})
+	if err != nil {
+		return nil, err
+	}
+	list := []tree.NodeID{t.Root()}
+	for len(list) < n {
+		best := -1
+		for i, id := range list {
+			if t.IsLeaf(id) {
+				continue
+			}
+			splittable := true
+			for _, c := range t.Children(id) {
+				if cnt := t.Count(c); cnt != 0 && cnt < k {
+					splittable = false
+				}
+			}
+			if !splittable {
+				continue
+			}
+			if best == -1 || t.Count(id) > t.Count(list[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break // no further balanced split possible
+		}
+		id := list[best]
+		list = append(list[:best], list[best+1:]...)
+		list = append(list, t.Children(id)...)
+	}
+	// Deterministic order: by rectangle position.
+	sort.Slice(list, func(i, j int) bool {
+		a, b := t.Rect(list[i]), t.Rect(list[j])
+		if a.MinX != b.MinX {
+			return a.MinX < b.MinX
+		}
+		return a.MinY < b.MinY
+	})
+	out := make([]geo.Rect, len(list))
+	for i, id := range list {
+		out[i] = t.Rect(id)
+	}
+	return out, nil
+}
+
+// Engine is a pool of per-jurisdiction anonymization servers sharing one
+// logical snapshot.
+type Engine struct {
+	k             int
+	db            *location.DB
+	jurisdictions []geo.Rect
+	servers       []*server
+	owner         []int // record index -> jurisdiction index
+}
+
+type server struct {
+	jurisdiction geo.Rect
+	sub          *location.DB
+	anon         *core.Anonymizer
+	globalIdx    []int // sub record index -> master record index
+	elapsed      time.Duration
+}
+
+// Options configures the engine.
+type Options struct {
+	// K is the anonymity parameter (required).
+	K int
+	// Servers is the requested pool size; the partitioner may return
+	// fewer when the population cannot be split further. Default 1.
+	Servers int
+	// Sequential runs the per-jurisdiction servers one after another
+	// instead of concurrently. Use it when measuring CriticalPath on a
+	// machine with fewer cores than servers: concurrent goroutines
+	// time-slice a shared core, which inflates each server's wall time
+	// and makes the per-server measurements meaningless.
+	Sequential bool
+	// DP carries the core dynamic-program ablation switches.
+	DP core.Options
+}
+
+// NewEngine partitions the map, shards the snapshot, and runs the bulk
+// dynamic program on every non-empty jurisdiction concurrently, one
+// goroutine per server.
+func NewEngine(db *location.DB, bounds geo.Rect, opt Options) (*Engine, error) {
+	if opt.K < 1 {
+		return nil, fmt.Errorf("parallel: k must be >= 1, got %d", opt.K)
+	}
+	if opt.Servers < 1 {
+		opt.Servers = 1
+	}
+	jur, err := Partition(db, bounds, opt.K, opt.Servers)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{k: opt.K, db: db, jurisdictions: jur, owner: make([]int, db.Len())}
+	subs := make([]*location.DB, len(jur))
+	globalIdx := make([][]int, len(jur))
+	for j := range jur {
+		subs[j] = location.New(0)
+	}
+	for i := 0; i < db.Len(); i++ {
+		rec := db.At(i)
+		j := ownerOf(jur, rec.Loc)
+		if j < 0 {
+			return nil, fmt.Errorf("parallel: location %v outside every jurisdiction", rec.Loc)
+		}
+		e.owner[i] = j
+		if err := subs[j].Add(rec.UserID, rec.Loc); err != nil {
+			return nil, err
+		}
+		globalIdx[j] = append(globalIdx[j], i)
+	}
+	e.servers = make([]*server, len(jur))
+	var wg sync.WaitGroup
+	errs := make([]error, len(jur))
+	runServer := func(j int) {
+		start := time.Now()
+		anon, err := core.NewAnonymizer(subs[j], squareOver(jur[j]), core.AnonymizerOptions{
+			K: opt.K, DP: opt.DP,
+		})
+		e.servers[j].elapsed = time.Since(start)
+		if err != nil {
+			errs[j] = fmt.Errorf("parallel: jurisdiction %d: %w", j, err)
+			return
+		}
+		e.servers[j].anon = anon
+	}
+	for j := range jur {
+		e.servers[j] = &server{jurisdiction: jur[j], sub: subs[j], globalIdx: globalIdx[j]}
+	}
+	for j := range jur {
+		if subs[j].Len() == 0 {
+			continue
+		}
+		if opt.Sequential {
+			runServer(j)
+			continue
+		}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			runServer(j)
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// ownerOf returns the index of the jurisdiction containing p, or -1.
+func ownerOf(jur []geo.Rect, p geo.Point) int {
+	for j, r := range jur {
+		if r.Contains(p) {
+			return j
+		}
+	}
+	return -1
+}
+
+// squareOver returns a square cloaking-map region for a jurisdiction
+// rectangle. Binary-tree jurisdictions are either squares or 1x2 portrait
+// semi-quadrants; the latter are anonymized over their own (rectangular)
+// region by rooting the binary tree at the semi-quadrant itself, which the
+// tree package supports only for squares — so semi-quadrants are covered
+// by their bounding square anchored at the rectangle's origin. Cloaks
+// remain inside the jurisdiction whenever possible because all its
+// locations are, and only the root cloak can spill over.
+func squareOver(r geo.Rect) geo.Rect {
+	if r.Width() == r.Height() {
+		return r
+	}
+	side := r.Width()
+	if r.Height() > side {
+		side = r.Height()
+	}
+	return geo.NewRect(r.MinX, r.MinY, r.MinX+int32(side), r.MinY+int32(side))
+}
+
+// NumServers returns the number of jurisdictions (including empty ones).
+func (e *Engine) NumServers() int { return len(e.servers) }
+
+// Jurisdictions returns the map partition.
+func (e *Engine) Jurisdictions() []geo.Rect { return e.jurisdictions }
+
+// TotalCost sums the per-server optimal costs: the cost of the master
+// policy if every user issues one request.
+func (e *Engine) TotalCost() (int64, error) {
+	var total int64
+	for _, s := range e.servers {
+		if s.anon == nil {
+			continue
+		}
+		c, err := s.anon.OptimalCost()
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// Policy assembles the master policy: each user's cloak comes from the
+// server owning her jurisdiction.
+func (e *Engine) Policy() (*lbs.Assignment, error) {
+	cloaks := make([]geo.Rect, e.db.Len())
+	for _, s := range e.servers {
+		if s.anon == nil {
+			continue
+		}
+		sub, err := s.anon.Matrix().Extract()
+		if err != nil {
+			return nil, err
+		}
+		for li, gi := range s.globalIdx {
+			cloaks[gi] = sub[li]
+		}
+	}
+	return lbs.NewAssignment(e.db, cloaks)
+}
+
+// CriticalPath returns the maximum per-server anonymization time: the
+// wall time a deployment with one physical machine per jurisdiction would
+// observe (the paper's Figure 4(a) setting). On machines with fewer cores
+// than servers, total wall time exceeds this, but the critical path is
+// the hardware-independent scaling metric.
+func (e *Engine) CriticalPath() time.Duration {
+	var worst time.Duration
+	for _, s := range e.servers {
+		if s.elapsed > worst {
+			worst = s.elapsed
+		}
+	}
+	return worst
+}
+
+// ServerLoads returns the number of users per jurisdiction, the
+// load-balance metric of the greedy partitioner.
+func (e *Engine) ServerLoads() []int {
+	loads := make([]int, len(e.servers))
+	for j, s := range e.servers {
+		loads[j] = s.sub.Len()
+	}
+	return loads
+}

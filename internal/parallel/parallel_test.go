@@ -1,0 +1,182 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+	"policyanon/internal/workload"
+)
+
+func synthDB(t *testing.T, n int, seed int64) (*location.DB, geo.Rect) {
+	t.Helper()
+	cfg := workload.Config{
+		MapSide: 1 << 12, Intersections: n / 5, UsersPerIntersection: 5, SpreadSigma: 60,
+	}
+	db := workload.Generate(cfg, seed)
+	return db, workload.MapBounds(cfg.MapSide)
+}
+
+func TestPartitionCoversMap(t *testing.T) {
+	db, bounds := synthDB(t, 2000, 1)
+	const k = 20
+	for _, n := range []int{1, 2, 4, 7, 16} {
+		jur, err := Partition(db, bounds, k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(jur) > n {
+			t.Fatalf("requested %d jurisdictions, got %d", n, len(jur))
+		}
+		var area int64
+		for i, a := range jur {
+			area += a.Area()
+			for j := i + 1; j < len(jur); j++ {
+				if a.Intersects(jur[j]) {
+					t.Fatalf("jurisdictions %v and %v overlap", a, jur[j])
+				}
+			}
+		}
+		if area != bounds.Area() {
+			t.Fatalf("jurisdiction areas sum to %d, want %d", area, bounds.Area())
+		}
+		// The greedy rule only splits nodes whose children hold 0 or >= k
+		// users, so every jurisdiction must hold 0 or >= k users.
+		for _, a := range jur {
+			if c := db.CountIn(a); c != 0 && c < k {
+				t.Fatalf("jurisdiction %v holds %d users (0 < n < k)", a, c)
+			}
+		}
+	}
+}
+
+func TestPartitionRejectsBadN(t *testing.T) {
+	db, bounds := synthDB(t, 100, 2)
+	if _, err := Partition(db, bounds, 5, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestEngineSingleServerMatchesDirect(t *testing.T) {
+	db, bounds := synthDB(t, 1500, 3)
+	const k = 15
+	eng, err := NewEngine(db, bounds, Options{K: k, Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.TotalCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.OptimalCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("single-server engine cost %d != direct %d", got, want)
+	}
+}
+
+func TestEngineCostNeverBelowOptimumAndPolicySafe(t *testing.T) {
+	db, bounds := synthDB(t, 3000, 4)
+	const k = 25
+	direct, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := direct.OptimalCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 8, 16} {
+		eng, err := NewEngine(db, bounds, Options{K: k, Servers: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := eng.TotalCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost < opt {
+			t.Fatalf("%d servers: cost %d below single-server optimum %d", n, cost, opt)
+		}
+		// Section VI-D expectation: divergence stays tiny for modest
+		// server pools. Allow 5% here; the benchmark records the real
+		// figure.
+		if float64(cost) > 1.05*float64(opt) {
+			t.Fatalf("%d servers: cost %d diverges more than 5%% from optimum %d", n, cost, opt)
+		}
+		pol, err := eng.Policy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol.Cost() != cost {
+			t.Fatalf("%d servers: master policy cost %d != engine total %d", n, pol.Cost(), cost)
+		}
+		if !attacker.IsKAnonymous(pol, k, attacker.PolicyAware) {
+			t.Fatalf("%d servers: master policy not policy-aware %d-anonymous", n, k)
+		}
+	}
+}
+
+func TestEngineLoadsCoverEveryone(t *testing.T) {
+	db, bounds := synthDB(t, 2500, 5)
+	eng, err := NewEngine(db, bounds, Options{K: 20, Servers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, l := range eng.ServerLoads() {
+		total += l
+	}
+	if total != db.Len() {
+		t.Fatalf("server loads sum to %d, want %d", total, db.Len())
+	}
+	if eng.NumServers() != len(eng.Jurisdictions()) {
+		t.Fatal("server count does not match jurisdiction count")
+	}
+}
+
+func TestEngineRejectsBadK(t *testing.T) {
+	db, bounds := synthDB(t, 100, 6)
+	if _, err := NewEngine(db, bounds, Options{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestGreedyPartitionBalancesLoad(t *testing.T) {
+	// With a uniform population the heaviest-first greedy rule should
+	// produce loads within a small factor of each other.
+	rng := rand.New(rand.NewSource(7))
+	db := location.New(4096)
+	for i := 0; i < 4096; i++ {
+		if err := db.Add("u"+string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune('A'+(i/260)%26))+string(rune('0'+(i/7)%10))+string(rune('a'+(i/2600)%26)), geo.Point{X: rng.Int31n(1 << 12), Y: rng.Int31n(1 << 12)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bounds := geo.NewRect(0, 0, 1<<12, 1<<12)
+	eng, err := NewEngine(db, bounds, Options{K: 10, Servers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := eng.ServerLoads()
+	maxL, minL := 0, db.Len()
+	for _, l := range loads {
+		if l > maxL {
+			maxL = l
+		}
+		if l < minL {
+			minL = l
+		}
+	}
+	if maxL > 4*db.Len()/len(loads) {
+		t.Fatalf("heaviest server holds %d users, mean %d", maxL, db.Len()/len(loads))
+	}
+}

@@ -1,0 +1,107 @@
+// Package render produces the visual artifacts of the paper's figures:
+// the tree-structure image of Figure 3(a) — leaf (semi-)quadrants shaded
+// by height, "nodes of greater height are brighter" — as a portable
+// graymap (PGM), and ASCII density maps standing in for the Figure 2
+// population-density plots.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"policyanon/internal/location"
+	"policyanon/internal/tree"
+)
+
+// TreePGM renders the tree's leaves into a binary PGM (P5) image of the
+// given pixel width (height equals width: the map is square). Each leaf
+// region is filled with a gray level proportional to its height, so dense
+// areas — where the lazy materialization splits deepest — appear
+// brightest, exactly as in Figure 3(a). Leaf borders are drawn one pixel
+// dark to make the subdivision visible.
+func TreePGM(t *tree.Tree, width int) ([]byte, error) {
+	if width < 8 {
+		return nil, fmt.Errorf("render: width %d too small", width)
+	}
+	bounds := t.Bounds()
+	maxH := 1
+	t.PostOrder(func(id tree.NodeID) {
+		if t.IsLeaf(id) && t.Height(id) > maxH {
+			maxH = t.Height(id)
+		}
+	})
+	px := make([]byte, width*width)
+	scaleX := float64(width) / float64(bounds.Width())
+	scaleY := float64(width) / float64(bounds.Height())
+	t.PostOrder(func(id tree.NodeID) {
+		if !t.IsLeaf(id) {
+			return
+		}
+		r := t.Rect(id)
+		gray := byte(40 + 215*t.Height(id)/maxH)
+		x0 := int(float64(r.MinX-bounds.MinX) * scaleX)
+		x1 := int(float64(r.MaxX-bounds.MinX) * scaleX)
+		y0 := int(float64(r.MinY-bounds.MinY) * scaleY)
+		y1 := int(float64(r.MaxY-bounds.MinY) * scaleY)
+		if x1 > width {
+			x1 = width
+		}
+		if y1 > width {
+			y1 = width
+		}
+		for y := y0; y < y1; y++ {
+			// PGM rows run top-down; our Y axis runs bottom-up.
+			row := (width - 1 - y) * width
+			for x := x0; x < x1; x++ {
+				v := gray
+				if x == x0 || y == y0 {
+					v = 10 // cell border
+				}
+				px[row+x] = v
+			}
+		}
+	})
+	header := fmt.Sprintf("P5\n%d %d\n255\n", width, width)
+	return append([]byte(header), px...), nil
+}
+
+// DensityASCII renders a cells x cells occupancy map of the snapshot as
+// shaded ASCII art (darkest = densest), the textual stand-in for the
+// Figure 2 population-density plots.
+func DensityASCII(db *location.DB, side int32, cells int) string {
+	if cells < 1 {
+		return ""
+	}
+	grid := make([][]int, cells)
+	for i := range grid {
+		grid[i] = make([]int, cells)
+	}
+	cw := float64(side) / float64(cells)
+	maxV := 0
+	for _, r := range db.Records() {
+		cx, cy := int(float64(r.Loc.X)/cw), int(float64(r.Loc.Y)/cw)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		grid[cy][cx]++
+		if grid[cy][cx] > maxV {
+			maxV = grid[cy][cx]
+		}
+	}
+	shades := []byte(" .:-=+*#%@")
+	var sb strings.Builder
+	for y := cells - 1; y >= 0; y-- { // north at the top
+		for x := 0; x < cells; x++ {
+			idx := 0
+			if maxV > 0 {
+				idx = grid[y][x] * (len(shades) - 1) / maxV
+			}
+			sb.WriteByte(shades[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

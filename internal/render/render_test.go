@@ -1,0 +1,114 @@
+package render
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+	"policyanon/internal/tree"
+	"policyanon/internal/workload"
+)
+
+func denseTree(t *testing.T) *tree.Tree {
+	t.Helper()
+	db := workload.Generate(workload.Config{
+		MapSide: 1 << 10, Intersections: 300, UsersPerIntersection: 5, SpreadSigma: 20,
+	}, 3)
+	tr, err := tree.Build(db.Points(), geo.NewRect(0, 0, 1<<10, 1<<10), tree.Options{
+		Kind: tree.Binary, MinCountToSplit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTreePGMFormat(t *testing.T) {
+	tr := denseTree(t)
+	const width = 64
+	img, err := TreePGM(tr, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := fmt.Sprintf("P5\n%d %d\n255\n", width, width)
+	if !bytes.HasPrefix(img, []byte(header)) {
+		t.Fatalf("bad PGM header: %q", img[:20])
+	}
+	if len(img) != len(header)+width*width {
+		t.Fatalf("image size %d, want %d", len(img), len(header)+width*width)
+	}
+	// Dense areas (deep leaves) must be brighter than sparse ones: the
+	// image must contain at least two distinct gray levels above the
+	// border color.
+	levels := make(map[byte]bool)
+	for _, v := range img[len(header):] {
+		if v > 10 {
+			levels[v] = true
+		}
+	}
+	if len(levels) < 2 {
+		t.Fatalf("flat image: %d gray levels", len(levels))
+	}
+}
+
+func TestTreePGMDeterministic(t *testing.T) {
+	tr := denseTree(t)
+	a, err := TreePGM(tr, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TreePGM(tr, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("rendering not deterministic")
+	}
+}
+
+func TestTreePGMTooSmall(t *testing.T) {
+	tr := denseTree(t)
+	if _, err := TreePGM(tr, 4); err == nil {
+		t.Fatal("tiny width accepted")
+	}
+}
+
+func TestDensityASCII(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := location.New(500)
+	// Cluster everything in the southwest corner.
+	for i := 0; i < 500; i++ {
+		if err := db.Add(fmt.Sprintf("u%d", i),
+			geo.Point{X: rng.Int31n(100), Y: rng.Int31n(100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	art := DensityASCII(db, 1<<10, 8)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 8 || len(lines[0]) != 8 {
+		t.Fatalf("grid shape wrong:\n%s", art)
+	}
+	// The southwest corner is the bottom-left character; it must carry
+	// the darkest shade, the rest mostly empty.
+	if lines[7][0] != '@' {
+		t.Fatalf("dense corner not darkest:\n%s", art)
+	}
+	if lines[0][7] != ' ' {
+		t.Fatalf("empty corner not blank:\n%s", art)
+	}
+	if DensityASCII(db, 1<<10, 0) != "" {
+		t.Fatal("zero cells should render empty")
+	}
+}
+
+func TestDensityASCIIEmptyDB(t *testing.T) {
+	db := location.New(0)
+	art := DensityASCII(db, 64, 4)
+	if strings.Trim(art, " \n") != "" {
+		t.Fatalf("empty db rendered non-blank:\n%q", art)
+	}
+}

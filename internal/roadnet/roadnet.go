@@ -1,0 +1,294 @@
+// Package roadnet implements a network-based moving-objects generator in
+// the style of Brinkhoff's framework, which the paper cites as the source
+// of its street-intersection data [8]: a synthetic road network is built
+// over a set of intersections, and agents (users) travel along its edges
+// at class-dependent speeds, turning randomly at intersections.
+//
+// It provides a more realistic movement model than the random-jitter
+// model of Section VI-C (package workload): users follow roads, so
+// consecutive snapshots are strongly spatially correlated — the setting
+// in which incremental maintenance of the optimum configuration matrix
+// shines.
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"policyanon/internal/geo"
+)
+
+// Network is an undirected road graph over intersection points.
+type Network struct {
+	nodes  []geo.Point
+	adj    [][]int32
+	bounds geo.Rect
+}
+
+// BuildNetwork connects each intersection to its `degree` nearest
+// neighbours (deduplicated, undirected), using a uniform grid for
+// neighbour search. Nodes must lie inside bounds.
+func BuildNetwork(intersections []geo.Point, bounds geo.Rect, degree int) (*Network, error) {
+	if len(intersections) == 0 {
+		return nil, fmt.Errorf("roadnet: no intersections")
+	}
+	if degree < 1 {
+		return nil, fmt.Errorf("roadnet: degree must be >= 1, got %d", degree)
+	}
+	for i, p := range intersections {
+		if !bounds.Contains(p) {
+			return nil, fmt.Errorf("roadnet: intersection %d at %v outside bounds %v", i, p, bounds)
+		}
+	}
+	n := &Network{
+		nodes:  append([]geo.Point(nil), intersections...),
+		adj:    make([][]int32, len(intersections)),
+		bounds: bounds,
+	}
+	// Grid index over nodes.
+	cells := int32(math.Sqrt(float64(len(intersections))/2)) + 1
+	cw := float64(bounds.Width()) / float64(cells)
+	if cw < 1 {
+		cw = 1
+	}
+	grid := make(map[[2]int32][]int32)
+	cellOf := func(p geo.Point) [2]int32 {
+		return [2]int32{
+			int32(float64(p.X-bounds.MinX) / cw),
+			int32(float64(p.Y-bounds.MinY) / cw),
+		}
+	}
+	for i, p := range n.nodes {
+		c := cellOf(p)
+		grid[c] = append(grid[c], int32(i))
+	}
+	type cand struct {
+		idx  int32
+		dist int64
+	}
+	for i, p := range n.nodes {
+		c := cellOf(p)
+		var cands []cand
+		for ring := int32(0); ring <= cells; ring++ {
+			for dy := -ring; dy <= ring; dy++ {
+				for dx := -ring; dx <= ring; dx++ {
+					if maxAbs32(dx, dy) != ring {
+						continue
+					}
+					for _, j := range grid[[2]int32{c[0] + dx, c[1] + dy}] {
+						if int(j) == i {
+							continue
+						}
+						cands = append(cands, cand{j, p.DistSq(n.nodes[j])})
+					}
+				}
+			}
+			// Enough candidates collected and the next ring cannot beat
+			// the current k-th best: stop.
+			if len(cands) >= degree*3 && ring >= 2 {
+				break
+			}
+		}
+		// Partial selection of the `degree` nearest.
+		for s := 0; s < degree && s < len(cands); s++ {
+			best := s
+			for t := s + 1; t < len(cands); t++ {
+				if cands[t].dist < cands[best].dist {
+					best = t
+				}
+			}
+			cands[s], cands[best] = cands[best], cands[s]
+			n.link(int32(i), cands[s].idx)
+		}
+	}
+	return n, nil
+}
+
+func (n *Network) link(a, b int32) {
+	for _, x := range n.adj[a] {
+		if x == b {
+			return
+		}
+	}
+	n.adj[a] = append(n.adj[a], b)
+	n.adj[b] = append(n.adj[b], a)
+}
+
+// NumNodes returns the number of intersections.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NumEdges returns the number of undirected road segments.
+func (n *Network) NumEdges() int {
+	total := 0
+	for _, a := range n.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Node returns the coordinates of intersection i.
+func (n *Network) Node(i int32) geo.Point { return n.nodes[i] }
+
+// Neighbors returns the intersections adjacent to i. Callers must not
+// mutate the returned slice.
+func (n *Network) Neighbors(i int32) []int32 { return n.adj[i] }
+
+// Bounds returns the map rectangle.
+func (n *Network) Bounds() geo.Rect { return n.bounds }
+
+// SpeedClass is an agent movement profile in meters per second.
+type SpeedClass float64
+
+// Standard speed classes.
+const (
+	Pedestrian SpeedClass = 1.4
+	Cyclist    SpeedClass = 5.5
+	CityCar    SpeedClass = 13.0
+	Highway    SpeedClass = 30.0
+)
+
+// agent is one moving user on the network.
+type agent struct {
+	from, to int32   // travelling from node `from` towards node `to`
+	progress float64 // meters travelled along the current segment
+	speed    float64
+}
+
+// Agents is a population of users moving on a road network.
+type Agents struct {
+	net *Network
+	rng *rand.Rand
+	ag  []agent
+}
+
+// NewAgents places n agents at random intersections with random speed
+// classes, deterministically from the seed.
+func NewAgents(net *Network, n int, seed int64) (*Agents, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("roadnet: negative agent count %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	classes := []SpeedClass{Pedestrian, Cyclist, CityCar, Highway}
+	a := &Agents{net: net, rng: rng, ag: make([]agent, n)}
+	for i := range a.ag {
+		from := int32(rng.Intn(net.NumNodes()))
+		to := from
+		if nb := net.Neighbors(from); len(nb) > 0 {
+			to = nb[rng.Intn(len(nb))]
+		}
+		a.ag[i] = agent{
+			from: from, to: to,
+			speed: float64(classes[rng.Intn(len(classes))]) * (0.8 + 0.4*rng.Float64()),
+		}
+	}
+	return a, nil
+}
+
+// Len returns the number of agents.
+func (a *Agents) Len() int { return len(a.ag) }
+
+// Position returns agent i's current map coordinates, interpolated along
+// its road segment.
+func (a *Agents) Position(i int) geo.Point {
+	ag := &a.ag[i]
+	p, q := a.net.Node(ag.from), a.net.Node(ag.to)
+	segLen := p.Dist(q)
+	if segLen == 0 {
+		return p
+	}
+	t := ag.progress / segLen
+	if t > 1 {
+		t = 1
+	}
+	return geo.Point{
+		X: clamp32(float64(p.X)+t*float64(q.X-p.X), a.net.bounds),
+		Y: clampY32(float64(p.Y)+t*float64(q.Y-p.Y), a.net.bounds),
+	}
+}
+
+// Positions returns all agent coordinates.
+func (a *Agents) Positions() []geo.Point {
+	out := make([]geo.Point, len(a.ag))
+	for i := range a.ag {
+		out[i] = a.Position(i)
+	}
+	return out
+}
+
+// Step advances every agent by dt seconds along the network: agents run
+// down their segment and pick a random next road at each intersection,
+// avoiding immediate U-turns where possible.
+func (a *Agents) Step(dt float64) {
+	for i := range a.ag {
+		ag := &a.ag[i]
+		remaining := ag.speed * dt
+		for remaining > 0 {
+			p, q := a.net.Node(ag.from), a.net.Node(ag.to)
+			segLen := p.Dist(q)
+			if segLen == 0 {
+				// Isolated node: stay put.
+				break
+			}
+			left := segLen - ag.progress
+			if remaining < left {
+				ag.progress += remaining
+				break
+			}
+			remaining -= left
+			// Arrived at ag.to: choose the next road.
+			prev := ag.from
+			ag.from = ag.to
+			ag.progress = 0
+			nb := a.net.Neighbors(ag.from)
+			if len(nb) == 0 {
+				ag.to = ag.from
+				break
+			}
+			next := nb[a.rng.Intn(len(nb))]
+			if next == prev && len(nb) > 1 {
+				// avoid a U-turn when an alternative exists
+				for _, cand := range nb {
+					if cand != prev {
+						next = cand
+						break
+					}
+				}
+			}
+			ag.to = next
+		}
+	}
+}
+
+func clamp32(v float64, b geo.Rect) int32 {
+	if v < float64(b.MinX) {
+		return b.MinX
+	}
+	if v >= float64(b.MaxX) {
+		return b.MaxX - 1
+	}
+	return int32(v)
+}
+
+func clampY32(v float64, b geo.Rect) int32 {
+	if v < float64(b.MinY) {
+		return b.MinY
+	}
+	if v >= float64(b.MaxY) {
+		return b.MaxY - 1
+	}
+	return int32(v)
+}
+
+func maxAbs32(a, b int32) int32 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,161 @@
+package roadnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"policyanon/internal/geo"
+)
+
+func testNetwork(t *testing.T, n int, seed int64) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Int31n(4096), Y: rng.Int31n(4096)}
+	}
+	net, err := BuildNetwork(pts, geo.NewRect(0, 0, 4096, 4096), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestBuildNetworkBasics(t *testing.T) {
+	net := testNetwork(t, 500, 1)
+	if net.NumNodes() != 500 {
+		t.Fatalf("nodes = %d", net.NumNodes())
+	}
+	if net.NumEdges() < 500 {
+		t.Fatalf("suspiciously few edges: %d", net.NumEdges())
+	}
+	// Adjacency is symmetric and self-loop free.
+	for i := int32(0); i < int32(net.NumNodes()); i++ {
+		for _, j := range net.Neighbors(i) {
+			if j == i {
+				t.Fatalf("self loop at %d", i)
+			}
+			found := false
+			for _, back := range net.Neighbors(j) {
+				if back == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d-%d not symmetric", i, j)
+			}
+		}
+	}
+}
+
+func TestBuildNetworkValidation(t *testing.T) {
+	b := geo.NewRect(0, 0, 64, 64)
+	if _, err := BuildNetwork(nil, b, 3); err == nil {
+		t.Error("empty intersections accepted")
+	}
+	if _, err := BuildNetwork([]geo.Point{{X: 1, Y: 1}}, b, 0); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := BuildNetwork([]geo.Point{{X: 99, Y: 1}}, b, 2); err == nil {
+		t.Error("out-of-bounds intersection accepted")
+	}
+}
+
+func TestAgentsStayOnMapAndMove(t *testing.T) {
+	net := testNetwork(t, 400, 2)
+	agents, err := NewAgents(net, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agents.Len() != 200 {
+		t.Fatalf("agents = %d", agents.Len())
+	}
+	before := agents.Positions()
+	bounds := net.Bounds()
+	moved := 0
+	for step := 0; step < 20; step++ {
+		agents.Step(10) // 10-second snapshot interval
+		for i := 0; i < agents.Len(); i++ {
+			p := agents.Position(i)
+			if !bounds.Contains(p) {
+				t.Fatalf("agent %d left the map: %v", i, p)
+			}
+		}
+	}
+	after := agents.Positions()
+	for i := range before {
+		if before[i] != after[i] {
+			moved++
+		}
+	}
+	if moved < agents.Len()/2 {
+		t.Fatalf("only %d of %d agents moved over 200 s", moved, agents.Len())
+	}
+}
+
+// Movement per step is bounded by speed*dt (along the network, hence also
+// in Euclidean distance).
+func TestStepDistanceBounded(t *testing.T) {
+	net := testNetwork(t, 300, 3)
+	agents, err := NewAgents(net, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 10.0
+	maxSpeed := float64(Highway) * 1.2 // class jitter upper bound
+	for step := 0; step < 10; step++ {
+		before := agents.Positions()
+		agents.Step(dt)
+		for i := range before {
+			if d := before[i].Dist(agents.Position(i)); d > maxSpeed*dt+2 {
+				t.Fatalf("agent %d moved %.1f m in %v s (max %.1f)", i, d, dt, maxSpeed*dt)
+			}
+		}
+	}
+}
+
+func TestAgentsDeterministic(t *testing.T) {
+	net := testNetwork(t, 200, 4)
+	a1, err := NewAgents(net, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewAgents(net, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 5; step++ {
+		a1.Step(10)
+		a2.Step(10)
+	}
+	for i := 0; i < a1.Len(); i++ {
+		if a1.Position(i) != a2.Position(i) {
+			t.Fatalf("agent %d diverged between identical seeds", i)
+		}
+	}
+	if _, err := NewAgents(net, -1, 0); err == nil {
+		t.Error("negative agent count accepted")
+	}
+}
+
+// Consecutive snapshots must be strongly correlated: most 10-second steps
+// keep agents within a few hundred meters, which is what makes
+// incremental maintenance effective on road-network workloads.
+func TestSnapshotsAreCorrelated(t *testing.T) {
+	net := testNetwork(t, 400, 5)
+	agents, err := NewAgents(net, 300, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := agents.Positions()
+	agents.Step(10)
+	within := 0
+	for i := range before {
+		if before[i].Dist(agents.Position(i)) <= 400 {
+			within++
+		}
+	}
+	if within < 9*agents.Len()/10 {
+		t.Fatalf("only %d of %d agents stayed within 400 m over one snapshot", within, agents.Len())
+	}
+}

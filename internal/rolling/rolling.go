@@ -1,0 +1,131 @@
+// Package rolling provides the serving-path wrapper around the core
+// anonymizer: a CSP must answer cloak lookups continuously while the next
+// snapshot's policy is being computed. Rolling keeps the published policy
+// in an atomic pointer — reads never block — and performs movement
+// ingestion, incremental maintenance, verification and policy swap under a
+// single writer lock (Commit).
+//
+// Published policies are bound to immutable clones of the location
+// snapshot, so readers always observe a consistent (snapshot, policy)
+// pair: requests racing a snapshot boundary get either the old pair or
+// the new pair, never a partial one.
+package rolling
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/verify"
+)
+
+// Anonymizer is the rolling-policy server. Create with New, which takes
+// ownership of db (callers must not mutate it afterwards).
+type Anonymizer struct {
+	k int
+
+	// current holds the published policy over an immutable snapshot
+	// clone; lookups read it lock-free.
+	current atomic.Pointer[lbs.Assignment]
+	epoch   atomic.Int64
+
+	// mu serializes writers (Move/Commit) and guards db/anon/pending.
+	mu      sync.Mutex
+	db      *location.DB // live snapshot, owned by this Anonymizer
+	anon    *core.Anonymizer
+	pending int
+}
+
+// New computes, verifies and publishes the initial policy.
+func New(db *location.DB, bounds geo.Rect, k int) (*Anonymizer, error) {
+	anon, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: k})
+	if err != nil {
+		return nil, err
+	}
+	r := &Anonymizer{k: k, db: db, anon: anon}
+	if err := r.publishLocked(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// publishLocked extracts, verifies and atomically publishes the current
+// policy over an immutable snapshot clone. Callers hold mu (or are in New
+// before the value escapes).
+func (r *Anonymizer) publishLocked() error {
+	cloaks, err := r.anon.Matrix().Extract()
+	if err != nil {
+		return err
+	}
+	policy, err := lbs.NewAssignment(r.db.Clone(), cloaks)
+	if err != nil {
+		return err
+	}
+	if rep := verify.Policy(policy, r.k); !rep.OK() {
+		return fmt.Errorf("rolling: refusing to publish: %s", rep.Problems[0])
+	}
+	r.current.Store(policy)
+	r.epoch.Add(1)
+	return nil
+}
+
+// CloakOf returns the user's cloak under the currently published policy.
+// It never blocks on policy recomputation.
+func (r *Anonymizer) CloakOf(userID string) (geo.Rect, error) {
+	return r.current.Load().CloakOf(userID)
+}
+
+// Policy returns the currently published (snapshot, policy) pair.
+func (r *Anonymizer) Policy() *lbs.Assignment { return r.current.Load() }
+
+// Epoch returns the number of policies published so far.
+func (r *Anonymizer) Epoch() int64 { return r.epoch.Load() }
+
+// Move stages one user relocation for the next snapshot. The published
+// policy is unaffected until Commit.
+func (r *Anonymizer) Move(userID string, to geo.Point) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.db.Index(userID)
+	if i < 0 {
+		return fmt.Errorf("rolling: unknown user %q", userID)
+	}
+	if err := r.anon.Move(i, to); err != nil {
+		return err
+	}
+	r.pending++
+	return nil
+}
+
+// Stats reports the outcome of a Commit.
+type Stats struct {
+	Epoch        int64
+	PendingMoves int
+	PolicyCost   int64
+	CommitTime   time.Duration
+}
+
+// Commit refreshes the configuration matrix incrementally, extracts and
+// verifies the next policy, and publishes it atomically.
+func (r *Anonymizer) Commit() (Stats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start := time.Now()
+	r.anon.Refresh()
+	pending := r.pending
+	if err := r.publishLocked(); err != nil {
+		return Stats{}, err
+	}
+	r.pending = 0
+	return Stats{
+		Epoch:        r.epoch.Load(),
+		PendingMoves: pending,
+		PolicyCost:   r.current.Load().Cost(),
+		CommitTime:   time.Since(start),
+	}, nil
+}

@@ -1,0 +1,163 @@
+package rolling
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+)
+
+func makeDB(t *testing.T, n int, side int32, seed int64) *location.DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := location.New(n)
+	for i := 0; i < n; i++ {
+		if err := db.Add(fmt.Sprintf("u%04d", i),
+			geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestInitialPublish(t *testing.T) {
+	const k = 5
+	r, err := New(makeDB(t, 100, 256, 1), geo.NewRect(0, 0, 256, 256), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 1 {
+		t.Fatalf("epoch = %d", r.Epoch())
+	}
+	cloak, err := r.CloakOf("u0042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cloak.Empty() {
+		t.Fatal("empty cloak")
+	}
+	if !attacker.IsKAnonymous(r.Policy(), k, attacker.PolicyAware) {
+		t.Fatal("published policy breached")
+	}
+}
+
+func TestCommitPublishesNewEpochAndKeepsSafety(t *testing.T) {
+	const (
+		k    = 4
+		side = int32(256)
+	)
+	r, err := New(makeDB(t, 80, side, 2), geo.NewRect(0, 0, side, side), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 5; round++ {
+		for j := 0; j < 10; j++ {
+			id := fmt.Sprintf("u%04d", rng.Intn(80))
+			if err := r.Move(id, geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := r.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.PendingMoves != 10 {
+			t.Fatalf("round %d: pending %d", round, st.PendingMoves)
+		}
+		if st.Epoch != int64(round+2) {
+			t.Fatalf("round %d: epoch %d", round, st.Epoch)
+		}
+		pol := r.Policy()
+		if !attacker.IsKAnonymous(pol, k, attacker.PolicyAware) {
+			t.Fatalf("round %d: published policy breached", round)
+		}
+		// The published pair is self-consistent: cloaks mask the
+		// snapshot the policy was built for.
+		db := pol.DB()
+		for i := 0; i < db.Len(); i++ {
+			if !pol.CloakAt(i).ContainsClosed(db.At(i).Loc) {
+				t.Fatalf("round %d: inconsistent (snapshot, policy) pair", round)
+			}
+		}
+	}
+}
+
+func TestMoveUnknownUser(t *testing.T) {
+	r, err := New(makeDB(t, 20, 64, 4), geo.NewRect(0, 0, 64, 64), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Move("ghost", geo.Point{X: 1, Y: 1}); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+}
+
+// Readers run lock-free against concurrent writers; run with -race.
+func TestConcurrentLookupsDuringCommits(t *testing.T) {
+	const (
+		k    = 5
+		side = int32(512)
+		n    = 200
+	)
+	r, err := New(makeDB(t, n, side, 5), geo.NewRect(0, 0, side, side), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("u%04d", rng.Intn(n))
+				pol := r.Policy()
+				cloak, err := pol.CloakOf(id)
+				if err != nil {
+					t.Errorf("lookup failed: %v", err)
+					return
+				}
+				// Consistency within the captured pair.
+				loc, err := pol.DB().Lookup(id)
+				if err != nil || !cloak.ContainsClosed(loc) {
+					t.Errorf("inconsistent pair for %s", id)
+					return
+				}
+			}
+		}(w)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 20; round++ {
+		for j := 0; j < 5; j++ {
+			id := fmt.Sprintf("u%04d", rng.Intn(n))
+			if err := r.Move(id, geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := r.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if r.Epoch() != 21 {
+		t.Fatalf("epoch = %d", r.Epoch())
+	}
+}
+
+func TestNewRejectsInsufficientUsers(t *testing.T) {
+	if _, err := New(makeDB(t, 2, 64, 6), geo.NewRect(0, 0, 64, 64), 5); err == nil {
+		t.Fatal("insufficient users accepted")
+	}
+}

@@ -1,0 +1,449 @@
+// Package server exposes the anonymizing CSP as a JSON-over-HTTP service,
+// the deployable component behind cmd/anonserver. One server instance
+// plays the role of a single anonymization server of Section V; a fleet of
+// them, one per jurisdiction, forms the parallel deployment.
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness probe
+//	POST /v1/snapshot          install a location snapshot and compute the
+//	                           optimal policy-aware k-anonymous policy
+//	POST /v1/moves             apply user movement for the next snapshot
+//	                           and incrementally maintain the policy
+//	POST /v1/pois              install the point-of-interest catalogue
+//	GET  /v1/cloak?user=ID     look up a user's cloak under the policy
+//	POST /v1/request           anonymize a service request and answer it
+//	GET  /v1/stats             snapshot, policy and cache statistics
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"policyanon/internal/checkpoint"
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/metrics"
+)
+
+// Server is the HTTP anonymization service. Create with New and mount via
+// Handler.
+type Server struct {
+	mu       sync.RWMutex
+	k        int
+	bounds   geo.Rect
+	db       *location.DB
+	anon     *core.Anonymizer
+	policy   *lbs.Assignment
+	csp      *lbs.CSP
+	provider *lbs.POIProvider
+	stats    Stats
+	reg      *metrics.Registry
+}
+
+// Stats reports the server's state.
+type Stats struct {
+	Users          int     `json:"users"`
+	K              int     `json:"k"`
+	PolicyCost     int64   `json:"policyCost"`
+	AvgCloakArea   float64 `json:"avgCloakArea"`
+	AnonymizeMs    float64 `json:"anonymizeMs"`
+	POIs           int     `json:"pois"`
+	RequestsServed int64   `json:"requestsServed"`
+	CacheHits      int64   `json:"cacheHits"`
+	CacheMisses    int64   `json:"cacheMisses"`
+	MovesApplied   int64   `json:"movesApplied"`
+	RowsRecomputed int64   `json:"rowsRecomputed"`
+	MaintenanceMs  float64 `json:"maintenanceMs"`
+}
+
+// New returns an empty server; install a snapshot before serving requests.
+func New() *Server { return &Server{reg: metrics.NewRegistry()} }
+
+// Handler returns the HTTP handler tree. Every endpoint is wrapped with
+// per-route request counting and latency histograms, exported at
+// /v1/metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	})
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/moves", s.handleMoves)
+	mux.HandleFunc("POST /v1/pois", s.handlePOIs)
+	mux.HandleFunc("GET /v1/checkpoint", s.handleCheckpointSave)
+	mux.HandleFunc("POST /v1/restore", s.handleCheckpointRestore)
+	mux.HandleFunc("GET /v1/cloak", s.handleCloak)
+	mux.HandleFunc("POST /v1/request", s.handleRequest)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s.instrument(mux)
+}
+
+// instrument wraps the handler tree with per-route metrics.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := r.Method + " " + r.URL.Path
+		s.reg.Counter("requests:" + route).Inc()
+		s.reg.Histogram("latency:" + route).Time(func() {
+			next.ServeHTTP(w, r)
+		})
+	})
+}
+
+// UserJSON is one location-database row on the wire.
+type UserJSON struct {
+	ID string `json:"id"`
+	X  int32  `json:"x"`
+	Y  int32  `json:"y"`
+}
+
+// SnapshotRequest installs a new location snapshot.
+type SnapshotRequest struct {
+	K       int        `json:"k"`
+	MapSide int32      `json:"mapSide"`
+	Users   []UserJSON `json:"users"`
+}
+
+// RectJSON is a cloak on the wire.
+type RectJSON struct {
+	MinX int32 `json:"minX"`
+	MinY int32 `json:"minY"`
+	MaxX int32 `json:"maxX"`
+	MaxY int32 `json:"maxY"`
+}
+
+func rectJSON(r geo.Rect) RectJSON {
+	return RectJSON{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req SnapshotRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if req.K < 1 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("k must be >= 1, got %d", req.K))
+		return
+	}
+	if req.MapSide < 1 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("mapSide must be >= 1, got %d", req.MapSide))
+		return
+	}
+	db := location.New(len(req.Users))
+	for _, u := range req.Users {
+		if err := db.Add(u.ID, geo.Point{X: u.X, Y: u.Y}); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	bounds := geo.NewRect(0, 0, req.MapSide, req.MapSide)
+	start := time.Now()
+	anon, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: req.K})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	policy, err := anon.Policy()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrInsufficientUsers) {
+			status = http.StatusUnprocessableEntity
+		}
+		httpError(w, status, err)
+		return
+	}
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	s.k = req.K
+	s.bounds = bounds
+	s.db = db
+	s.anon = anon
+	s.policy = policy
+	if s.provider != nil {
+		if s.csp == nil {
+			s.csp = lbs.NewCSP(policy, s.provider)
+		} else {
+			s.csp.SetPolicy(policy)
+		}
+	}
+	s.stats.Users = db.Len()
+	s.stats.K = req.K
+	s.stats.PolicyCost = policy.Cost()
+	s.stats.AvgCloakArea = policy.AvgArea()
+	s.stats.AnonymizeMs = float64(elapsed.Microseconds()) / 1000
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, map[string]any{
+		"users":        db.Len(),
+		"policyCost":   policy.Cost(),
+		"avgCloakArea": policy.AvgArea(),
+		"anonymizeMs":  float64(elapsed.Microseconds()) / 1000,
+	})
+}
+
+// MovesRequest applies one snapshot interval's worth of user movement.
+type MovesRequest struct {
+	Moves []UserJSON `json:"moves"`
+}
+
+func (s *Server) handleMoves(w http.ResponseWriter, r *http.Request) {
+	var req MovesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.anon == nil && s.db != nil {
+		// State restored from a checkpoint carries no configuration
+		// matrix; rebuild it once, after which maintenance is incremental.
+		anon, err := core.NewAnonymizer(s.db, s.bounds, core.AnonymizerOptions{K: s.k})
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		s.anon = anon
+	}
+	if s.anon == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("no snapshot installed"))
+		return
+	}
+	start := time.Now()
+	for _, m := range req.Moves {
+		idx := s.db.Index(m.ID)
+		if idx < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown user %q", m.ID))
+			return
+		}
+		if err := s.anon.Move(idx, geo.Point{X: m.X, Y: m.Y}); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("move %q: %w", m.ID, err))
+			return
+		}
+	}
+	rows := s.anon.Refresh()
+	policy, err := s.anon.Policy()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	elapsed := time.Since(start)
+	s.policy = policy
+	if s.csp != nil {
+		s.csp.SetPolicy(policy)
+	}
+	s.stats.MovesApplied += int64(len(req.Moves))
+	s.stats.RowsRecomputed += int64(rows)
+	s.stats.MaintenanceMs = float64(elapsed.Microseconds()) / 1000
+	s.stats.PolicyCost = policy.Cost()
+	s.stats.AvgCloakArea = policy.AvgArea()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"moves":          len(req.Moves),
+		"rowsRecomputed": rows,
+		"policyCost":     policy.Cost(),
+		"maintenanceMs":  float64(elapsed.Microseconds()) / 1000,
+	})
+}
+
+// POIJSON is one catalogue entry on the wire.
+type POIJSON struct {
+	ID       string `json:"id"`
+	X        int32  `json:"x"`
+	Y        int32  `json:"y"`
+	Category string `json:"category"`
+}
+
+func (s *Server) handlePOIs(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		MapSide int32     `json:"mapSide"`
+		POIs    []POIJSON `json:"pois"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if req.MapSide < 1 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("mapSide must be >= 1"))
+		return
+	}
+	pois := make([]lbs.POI, len(req.POIs))
+	for i, p := range req.POIs {
+		pois[i] = lbs.POI{ID: p.ID, Loc: geo.Point{X: p.X, Y: p.Y}, Category: p.Category}
+	}
+	store, err := lbs.NewPOIStore(pois, geo.NewRect(0, 0, req.MapSide, req.MapSide), 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.provider = lbs.NewPOIProvider(store)
+	if s.policy != nil {
+		s.csp = lbs.NewCSP(s.policy, s.provider)
+	} else {
+		s.csp = nil
+	}
+	s.stats.POIs = len(pois)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int{"pois": len(pois)})
+}
+
+func (s *Server) handleCloak(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing user parameter"))
+		return
+	}
+	s.mu.RLock()
+	policy := s.policy
+	s.mu.RUnlock()
+	if policy == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("no snapshot installed"))
+		return
+	}
+	cloak, err := policy.CloakOf(user)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"user": user, "cloak": rectJSON(cloak)})
+}
+
+// ServiceRequestJSON is a user request on the wire.
+type ServiceRequestJSON struct {
+	User   string      `json:"user"`
+	X      int32       `json:"x"`
+	Y      int32       `json:"y"`
+	Params []lbs.Param `json:"params"`
+}
+
+func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
+	var req ServiceRequestJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	s.mu.RLock()
+	csp := s.csp
+	s.mu.RUnlock()
+	if csp == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("snapshot and POIs must be installed first"))
+		return
+	}
+	sr := lbs.ServiceRequest{UserID: req.User, Loc: geo.Point{X: req.X, Y: req.Y}, Params: req.Params}
+	ar, answer, err := csp.Serve(sr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.stats.RequestsServed++
+	s.stats.CacheHits, s.stats.CacheMisses = csp.CacheStats()
+	s.mu.Unlock()
+	out := make([]POIJSON, len(answer))
+	for i, p := range answer {
+		out[i] = POIJSON{ID: p.ID, X: p.Loc.X, Y: p.Loc.Y, Category: p.Category}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rid":        ar.RID,
+		"cloak":      rectJSON(ar.Cloak),
+		"candidates": out,
+	})
+}
+
+// CheckpointTo streams the current state as a checkpoint; it fails when
+// no snapshot is installed.
+func (s *Server) CheckpointTo(w io.Writer) error {
+	s.mu.RLock()
+	policy, k, bounds := s.policy, s.k, s.bounds
+	s.mu.RUnlock()
+	if policy == nil {
+		return fmt.Errorf("server: no snapshot installed")
+	}
+	return checkpoint.Save(w, k, bounds, policy)
+}
+
+// RestoreFrom installs a previously saved checkpoint. The configuration
+// matrix is rebuilt lazily on the first movement update.
+func (s *Server) RestoreFrom(r io.Reader) error {
+	st, err := checkpoint.Load(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.k = st.K
+	s.bounds = st.Bounds
+	s.db = st.DB
+	s.anon = nil // lazily rebuilt by the next /v1/moves
+	s.policy = st.Policy
+	if s.provider != nil {
+		if s.csp == nil {
+			s.csp = lbs.NewCSP(st.Policy, s.provider)
+		} else {
+			s.csp.SetPolicy(st.Policy)
+		}
+	}
+	s.stats.Users = st.DB.Len()
+	s.stats.K = st.K
+	s.stats.PolicyCost = st.Policy.Cost()
+	s.stats.AvgCloakArea = st.Policy.AvgArea()
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) handleCheckpointSave(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	installed := s.policy != nil
+	s.mu.RUnlock()
+	if !installed {
+		httpError(w, http.StatusConflict, fmt.Errorf("no snapshot installed"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := s.CheckpointTo(w); err != nil {
+		// Headers are already out; log-style best effort.
+		fmt.Fprintf(w, "\ncheckpoint error: %v", err)
+	}
+}
+
+func (s *Server) handleCheckpointRestore(w http.ResponseWriter, r *http.Request) {
+	if err := s.RestoreFrom(r.Body); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, checkpoint.ErrUnsafe) {
+			status = http.StatusUnprocessableEntity
+		}
+		httpError(w, status, err)
+		return
+	}
+	s.mu.RLock()
+	users, k := s.stats.Users, s.stats.K
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"users": users, "k": k})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	st := s.stats
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,330 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func installSnapshot(t *testing.T, base string, k int) {
+	t.Helper()
+	users := []UserJSON{}
+	for i := 0; i < 40; i++ {
+		users = append(users, UserJSON{
+			ID: fmt.Sprintf("u%02d", i),
+			X:  int32((i * 13) % 64), Y: int32((i * 29) % 64),
+		})
+	}
+	resp, body := post(t, base+"/v1/snapshot", SnapshotRequest{K: k, MapSide: 64, Users: users})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d %v", resp.StatusCode, body)
+	}
+	if body["users"].(float64) != 40 {
+		t.Fatalf("snapshot users = %v", body["users"])
+	}
+	if body["policyCost"].(float64) <= 0 {
+		t.Fatalf("snapshot policyCost = %v", body["policyCost"])
+	}
+}
+
+func installPOIs(t *testing.T, base string) {
+	t.Helper()
+	resp, body := post(t, base+"/v1/pois", map[string]any{
+		"mapSide": 64,
+		"pois": []POIJSON{
+			{ID: "gas1", X: 10, Y: 10, Category: "gas"},
+			{ID: "gas2", X: 50, Y: 50, Category: "gas"},
+			{ID: "rest1", X: 30, Y: 30, Category: "rest"},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pois: %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestSnapshotAndCloakLookup(t *testing.T) {
+	ts := newTestServer(t)
+	installSnapshot(t, ts.URL, 5)
+	resp, body := get(t, ts.URL+"/v1/cloak?user=u07")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cloak: %d %v", resp.StatusCode, body)
+	}
+	cloak := body["cloak"].(map[string]any)
+	if cloak["maxX"].(float64) <= cloak["minX"].(float64) {
+		t.Fatalf("degenerate cloak %v", cloak)
+	}
+	// Unknown user is a 404.
+	resp, _ = get(t, ts.URL+"/v1/cloak?user=nobody")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown user: %d", resp.StatusCode)
+	}
+	// Missing parameter is a 400.
+	resp, _ = get(t, ts.URL+"/v1/cloak")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing user: %d", resp.StatusCode)
+	}
+}
+
+func TestCloakBeforeSnapshot(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := get(t, ts.URL+"/v1/cloak?user=u01")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("expected 409, got %d", resp.StatusCode)
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []SnapshotRequest{
+		{K: 0, MapSide: 64},
+		{K: 2, MapSide: 0},
+		{K: 2, MapSide: 64, Users: []UserJSON{{ID: "a", X: 1, Y: 1}, {ID: "a", X: 2, Y: 2}}},
+		{K: 2, MapSide: 64, Users: []UserJSON{{ID: "a", X: 99, Y: 1}, {ID: "b", X: 2, Y: 2}}},
+	}
+	for i, c := range cases {
+		resp, _ := post(t, ts.URL+"/v1/snapshot", c)
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Fewer than k users: 422.
+	resp, _ := post(t, ts.URL+"/v1/snapshot", SnapshotRequest{
+		K: 5, MapSide: 64, Users: []UserJSON{{ID: "a", X: 1, Y: 1}},
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("insufficient users: %d", resp.StatusCode)
+	}
+}
+
+func TestRequestEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+	installSnapshot(t, ts.URL, 5)
+	installPOIs(t, ts.URL)
+	resp, body := post(t, ts.URL+"/v1/request", ServiceRequestJSON{User: "u03", X: 39, Y: 23})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request: %d %v", resp.StatusCode, body)
+	}
+	if body["candidates"] == nil {
+		t.Fatalf("no candidates: %v", body)
+	}
+	// Identical request from another group member hits the cache.
+	_, stats := get(t, ts.URL+"/v1/stats")
+	if stats["requestsServed"].(float64) != 1 {
+		t.Fatalf("stats %v", stats)
+	}
+}
+
+func TestRequestBeforeSetup(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := post(t, ts.URL+"/v1/request", ServiceRequestJSON{User: "u01"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("expected 409, got %d", resp.StatusCode)
+	}
+	installSnapshot(t, ts.URL, 5)
+	// POIs still missing.
+	resp, _ = post(t, ts.URL+"/v1/request", ServiceRequestJSON{User: "u01"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("expected 409 without POIs, got %d", resp.StatusCode)
+	}
+}
+
+func TestRequestSpoofedLocationRejected(t *testing.T) {
+	ts := newTestServer(t)
+	installSnapshot(t, ts.URL, 5)
+	installPOIs(t, ts.URL)
+	resp, _ := post(t, ts.URL+"/v1/request", ServiceRequestJSON{User: "u03", X: 1, Y: 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("spoofed location: %d", resp.StatusCode)
+	}
+}
+
+func TestPOIValidation(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := post(t, ts.URL+"/v1/pois", map[string]any{"mapSide": 0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mapSide 0: %d", resp.StatusCode)
+	}
+	resp, _ = post(t, ts.URL+"/v1/pois", map[string]any{
+		"mapSide": 16,
+		"pois":    []POIJSON{{ID: "x", X: 99, Y: 99}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-bounds POI: %d", resp.StatusCode)
+	}
+}
+
+func TestMovesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	installSnapshot(t, ts.URL, 5)
+	// Move two users; the policy must be maintained incrementally.
+	resp, body := post(t, ts.URL+"/v1/moves", MovesRequest{Moves: []UserJSON{
+		{ID: "u03", X: 10, Y: 10},
+		{ID: "u07", X: 60, Y: 60},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("moves: %d %v", resp.StatusCode, body)
+	}
+	if body["policyCost"].(float64) <= 0 {
+		t.Fatalf("moves response %v", body)
+	}
+	// The cloak lookup reflects the new position.
+	resp, body = get(t, ts.URL+"/v1/cloak?user=u03")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cloak after move: %d", resp.StatusCode)
+	}
+	cloak := body["cloak"].(map[string]any)
+	if cloak["minX"].(float64) > 10 || cloak["maxX"].(float64) < 10 {
+		t.Fatalf("cloak %v does not cover the new location", cloak)
+	}
+	// Unknown user and missing snapshot are rejected.
+	resp, _ = post(t, ts.URL+"/v1/moves", MovesRequest{Moves: []UserJSON{{ID: "ghost", X: 1, Y: 1}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ghost move: %d", resp.StatusCode)
+	}
+	fresh := newTestServer(t)
+	resp, _ = post(t, fresh.URL+"/v1/moves", MovesRequest{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("moves without snapshot: %d", resp.StatusCode)
+	}
+	// Out-of-bounds move rejected.
+	resp, _ = post(t, ts.URL+"/v1/moves", MovesRequest{Moves: []UserJSON{{ID: "u01", X: 999, Y: 1}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-bounds move: %d", resp.StatusCode)
+	}
+	// Stats reflect the maintenance work.
+	_, stats := get(t, ts.URL+"/v1/stats")
+	if stats["movesApplied"].(float64) < 2 {
+		t.Fatalf("stats %v", stats)
+	}
+}
+
+func TestCheckpointSaveRestore(t *testing.T) {
+	ts := newTestServer(t)
+	installSnapshot(t, ts.URL, 5)
+	// Download the checkpoint.
+	resp, err := http.Get(ts.URL + "/v1/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint download: %d %v", resp.StatusCode, err)
+	}
+	// Restore into a fresh server.
+	fresh := newTestServer(t)
+	resp2, err := http.Post(fresh.URL+"/v1/restore", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("restore: %d", resp2.StatusCode)
+	}
+	// The restored server answers cloak lookups identically.
+	_, a := get(t, ts.URL+"/v1/cloak?user=u07")
+	_, b := get(t, fresh.URL+"/v1/cloak?user=u07")
+	ac, bc := a["cloak"].(map[string]any), b["cloak"].(map[string]any)
+	for _, f := range []string{"minX", "minY", "maxX", "maxY"} {
+		if ac[f] != bc[f] {
+			t.Fatalf("restored cloak differs on %s: %v vs %v", f, ac, bc)
+		}
+	}
+	// Moves work after restore (matrix rebuilt lazily).
+	resp3, body := post(t, fresh.URL+"/v1/moves", MovesRequest{Moves: []UserJSON{{ID: "u01", X: 5, Y: 5}}})
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("moves after restore: %d %v", resp3.StatusCode, body)
+	}
+	// Corrupt restore rejected.
+	blob[len(blob)/2] ^= 0xFF
+	resp4, err := http.Post(fresh.URL+"/v1/restore", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode == http.StatusOK {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	// Checkpoint of an empty server is a 409.
+	empty := newTestServer(t)
+	resp5, err := http.Get(empty.URL + "/v1/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp5.Body.Close()
+	if resp5.StatusCode != http.StatusConflict {
+		t.Fatalf("empty checkpoint: %d", resp5.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	installSnapshot(t, ts.URL, 5)
+	get(t, ts.URL+"/healthz")
+	resp, body := get(t, ts.URL+"/v1/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	counters := body["counters"].(map[string]any)
+	if counters["requests:POST /v1/snapshot"].(float64) < 1 {
+		t.Fatalf("snapshot requests not counted: %v", counters)
+	}
+	if counters["requests:GET /healthz"].(float64) < 1 {
+		t.Fatalf("healthz requests not counted: %v", counters)
+	}
+	hists := body["histograms"].(map[string]any)
+	if _, ok := hists["latency:POST /v1/snapshot"]; !ok {
+		t.Fatalf("snapshot latency not recorded: %v", hists)
+	}
+}

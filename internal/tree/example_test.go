@@ -1,0 +1,30 @@
+package tree_test
+
+import (
+	"fmt"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/tree"
+)
+
+// ExampleBuild shows the lazy materialization rule: with k=2, only regions
+// holding at least 2 users split.
+func ExampleBuild() {
+	pts := []geo.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 60, Y: 60}}
+	t, err := tree.Build(pts, geo.NewRect(0, 0, 64, 64), tree.Options{
+		Kind: tree.Binary, MinCountToSplit: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := t.Stats()
+	fmt.Println("nodes:", s.Nodes, "max leaf count:", s.MaxLeafCount)
+	// Moving the lone user next to the others deepens the tree.
+	if err := t.Move(2, geo.Point{X: 3, Y: 3}); err != nil {
+		panic(err)
+	}
+	fmt.Println("nodes after move:", t.Stats().Nodes)
+	// Output:
+	// nodes: 19 max leaf count: 1
+	// nodes after move: 23
+}

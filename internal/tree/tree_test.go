@@ -1,0 +1,348 @@
+package tree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"policyanon/internal/geo"
+)
+
+func mustBuild(t *testing.T, pts []geo.Point, side int32, opt Options) *Tree {
+	t.Helper()
+	tr, err := Build(pts, geo.NewRect(0, 0, side, side), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid tree after build: %v", err)
+	}
+	return tr
+}
+
+func randPoints(rng *rand.Rand, n int, side int32) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}
+	}
+	return pts
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(nil, geo.NewRect(0, 0, 4, 8), Options{}); err == nil {
+		t.Error("non-square bounds accepted")
+	}
+	if _, err := Build(nil, geo.NewRect(2, 2, 2, 2), Options{}); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	_, err := Build([]geo.Point{{X: 9, Y: 9}}, geo.NewRect(0, 0, 8, 8), Options{})
+	if !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("out-of-bounds point: got %v", err)
+	}
+}
+
+func TestSingleLeafTree(t *testing.T) {
+	pts := []geo.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	tr := mustBuild(t, pts, 8, Options{MinCountToSplit: 5})
+	if !tr.IsLeaf(tr.Root()) {
+		t.Fatal("root should be a leaf below the split threshold")
+	}
+	if tr.Count(tr.Root()) != 2 || tr.NumNodes() != 1 {
+		t.Fatalf("count=%d nodes=%d", tr.Count(tr.Root()), tr.NumNodes())
+	}
+}
+
+func TestBinarySplitAlternates(t *testing.T) {
+	// Enough points to force splitting everywhere.
+	rng := rand.New(rand.NewSource(1))
+	tr := mustBuild(t, randPoints(rng, 500, 64), 64, Options{MinCountToSplit: 2})
+	// Root (square) must split vertically into two portrait semi-quadrants.
+	root := tr.Root()
+	if tr.IsLeaf(root) {
+		t.Fatal("root unexpectedly a leaf")
+	}
+	kids := tr.Children(root)
+	if len(kids) != 2 {
+		t.Fatalf("binary root has %d children", len(kids))
+	}
+	for _, c := range kids {
+		r := tr.Rect(c)
+		if r.Height() != 2*r.Width() {
+			t.Errorf("semi-quadrant %v is not a vertical half", r)
+		}
+		if !tr.IsLeaf(c) {
+			for _, g := range tr.Children(c) {
+				gr := tr.Rect(g)
+				if gr.Width() != gr.Height() {
+					t.Errorf("grandchild %v is not square", gr)
+				}
+			}
+		}
+	}
+}
+
+func TestQuadSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := mustBuild(t, randPoints(rng, 500, 64), 64, Options{Kind: Quad, MinCountToSplit: 2})
+	if got := len(tr.Children(tr.Root())); got != 4 {
+		t.Fatalf("quad root has %d children", got)
+	}
+	for _, c := range tr.Children(tr.Root()) {
+		r := tr.Rect(c)
+		if r.Width() != 32 || r.Height() != 32 {
+			t.Errorf("quadrant %v has wrong size", r)
+		}
+	}
+}
+
+func TestLazyMaterializationRule(t *testing.T) {
+	// All leaves must have fewer than MinCountToSplit points (or be at
+	// max depth / minimum size), and all internal nodes at least that.
+	rng := rand.New(rand.NewSource(3))
+	const k = 10
+	tr := mustBuild(t, randPoints(rng, 2000, 1024), 1024, Options{MinCountToSplit: k})
+	tr.PostOrder(func(id NodeID) {
+		if tr.IsLeaf(id) {
+			if tr.Count(id) >= k && tr.Height(id) < defaultMaxDepth && tr.Rect(id).Width() >= 2 {
+				t.Errorf("leaf %d with %d >= k points should have split", id, tr.Count(id))
+			}
+		} else if tr.Count(id) < k {
+			t.Errorf("internal node %d with %d < k points", id, tr.Count(id))
+		}
+	})
+}
+
+func TestMaxDepthStopsCoLocatedPoints(t *testing.T) {
+	pts := make([]geo.Point, 50)
+	for i := range pts {
+		pts[i] = geo.Point{X: 3, Y: 3} // all identical
+	}
+	tr := mustBuild(t, pts, 1024, Options{MinCountToSplit: 2, MaxDepth: 6})
+	s := tr.Stats()
+	if s.MaxHeight > 6 {
+		t.Fatalf("max height %d exceeds MaxDepth", s.MaxHeight)
+	}
+	if s.TotalPoints != 50 {
+		t.Fatalf("lost points: %d", s.TotalPoints)
+	}
+}
+
+func TestLocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randPoints(rng, 300, 256)
+	tr := mustBuild(t, pts, 256, Options{MinCountToSplit: 5})
+	for i, p := range pts {
+		leaf, err := tr.Locate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leaf != tr.LeafOf(int32(i)) {
+			t.Fatalf("Locate(%v) = %d, LeafOf = %d", p, leaf, tr.LeafOf(int32(i)))
+		}
+	}
+	if _, err := tr.Locate(geo.Point{X: 999, Y: 0}); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("Locate outside bounds: %v", err)
+	}
+}
+
+func TestPostOrderVisitsChildrenFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := mustBuild(t, randPoints(rng, 200, 128), 128, Options{MinCountToSplit: 4})
+	visited := make(map[NodeID]bool)
+	n := 0
+	tr.PostOrder(func(id NodeID) {
+		for _, c := range tr.Children(id) {
+			if !visited[c] {
+				t.Fatalf("node %d visited before child %d", id, c)
+			}
+		}
+		visited[id] = true
+		n++
+	})
+	if n != tr.NumNodes() {
+		t.Fatalf("visited %d of %d nodes", n, tr.NumNodes())
+	}
+}
+
+func TestCountsSumExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := mustBuild(t, randPoints(rng, 1000, 512), 512, Options{MinCountToSplit: 8})
+	tr.PostOrder(func(id NodeID) {
+		if tr.IsLeaf(id) {
+			return
+		}
+		sum := 0
+		for _, c := range tr.Children(id) {
+			sum += tr.Count(c)
+		}
+		if sum != tr.Count(id) {
+			t.Fatalf("node %d: children sum %d != %d", id, sum, tr.Count(id))
+		}
+	})
+}
+
+func TestMoveWithinLeafIsFree(t *testing.T) {
+	pts := []geo.Point{{X: 1, Y: 1}, {X: 100, Y: 100}, {X: 101, Y: 101}}
+	tr := mustBuild(t, pts, 256, Options{MinCountToSplit: 2})
+	leaf := tr.LeafOf(0)
+	r := tr.Rect(leaf)
+	inside := geo.Point{X: r.MinX, Y: r.MinY}
+	if err := tr.Move(0, inside); err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.TakeDirty(); len(d) != 0 {
+		t.Fatalf("move within leaf marked %d nodes dirty", len(d))
+	}
+	if tr.Point(0) != inside {
+		t.Fatal("location not updated")
+	}
+}
+
+func TestMoveAcrossTreeKeepsCanonicalShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const side = 512
+	pts := randPoints(rng, 400, side)
+	tr := mustBuild(t, pts, side, Options{MinCountToSplit: 10})
+	// Perform many random moves and compare against fresh builds.
+	for step := 0; step < 30; step++ {
+		i := int32(rng.Intn(len(pts)))
+		to := geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}
+		if err := tr.Move(i, to); err != nil {
+			t.Fatal(err)
+		}
+		pts[i] = to
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid tree after moves: %v", err)
+	}
+	fresh := mustBuild(t, pts, side, Options{MinCountToSplit: 10})
+	if !sameShape(tr, fresh, tr.Root(), fresh.Root()) {
+		t.Fatal("mutated tree shape differs from fresh build")
+	}
+}
+
+// sameShape compares two trees node by node: same rects, counts, structure.
+func sameShape(a, b *Tree, ai, bi NodeID) bool {
+	if a.Rect(ai) != b.Rect(bi) || a.Count(ai) != b.Count(bi) || a.IsLeaf(ai) != b.IsLeaf(bi) {
+		return false
+	}
+	ac, bc := a.Children(ai), b.Children(bi)
+	if len(ac) != len(bc) {
+		return false
+	}
+	for j := range ac {
+		if !sameShape(a, b, ac[j], bc[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMoveDirtySetCoversChangedCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const side = 512
+	pts := randPoints(rng, 300, side)
+	tr := mustBuild(t, pts, side, Options{MinCountToSplit: 8})
+	tr.TakeDirty()
+
+	// Snapshot counts per rect before the move.
+	before := make(map[geo.Rect]int)
+	tr.PostOrder(func(id NodeID) { before[tr.Rect(id)] = tr.Count(id) })
+
+	i := int32(rng.Intn(len(pts)))
+	to := geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}
+	if err := tr.Move(i, to); err != nil {
+		t.Fatal(err)
+	}
+	dirty := make(map[geo.Rect]bool)
+	for _, id := range tr.TakeDirty() {
+		dirty[tr.Rect(id)] = true
+	}
+	tr.PostOrder(func(id NodeID) {
+		r := tr.Rect(id)
+		if prev, ok := before[r]; ok && prev != tr.Count(id) && !dirty[r] {
+			t.Errorf("node %v count changed %d->%d but not dirty", r, prev, tr.Count(id))
+		}
+	})
+}
+
+func TestMoveSplitAndCollapse(t *testing.T) {
+	// Start with 3 points in the west, threshold 4; moving a 4th point in
+	// must split, moving it back must collapse.
+	pts := []geo.Point{{X: 1, Y: 1}, {X: 2, Y: 9}, {X: 3, Y: 20}, {X: 60, Y: 60}}
+	tr := mustBuild(t, pts, 64, Options{MinCountToSplit: 4})
+	if !tr.IsLeaf(tr.Root()) {
+		// Root has 4 points: it must be split already.
+		t.Log("root split at build as expected")
+	}
+	if err := tr.Move(3, geo.Point{X: 4, Y: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Move(3, geo.Point{X: 60, Y: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustBuild(t, pts, 64, Options{MinCountToSplit: 4})
+	if !sameShape(tr, fresh, tr.Root(), fresh.Root()) {
+		t.Fatal("shape after round-trip move differs from fresh build")
+	}
+}
+
+func TestMoveOutOfBoundsRejected(t *testing.T) {
+	tr := mustBuild(t, []geo.Point{{X: 1, Y: 1}}, 8, Options{})
+	if err := tr.Move(0, geo.Point{X: 8, Y: 8}); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := mustBuild(t, randPoints(rng, 1000, 1024), 1024, Options{MinCountToSplit: 50})
+	s := tr.Stats()
+	if s.TotalPoints != 1000 {
+		t.Errorf("TotalPoints = %d", s.TotalPoints)
+	}
+	if s.Leaves == 0 || s.Nodes < s.Leaves {
+		t.Errorf("bad stats %+v", s)
+	}
+	if s.MaxLeafCount >= 50 {
+		t.Errorf("leaf with %d >= k points survived", s.MaxLeafCount)
+	}
+	if s.Nodes != tr.NumNodes() {
+		t.Errorf("Stats.Nodes %d != NumNodes %d", s.Nodes, tr.NumNodes())
+	}
+}
+
+// Randomized stress: long random move sequences keep the tree valid and
+// canonical for both kinds.
+func TestMoveStress(t *testing.T) {
+	for _, kind := range []Kind{Binary, Quad} {
+		rng := rand.New(rand.NewSource(int64(10 + kind)))
+		const side = 256
+		pts := randPoints(rng, 150, side)
+		opt := Options{Kind: kind, MinCountToSplit: 5}
+		tr := mustBuild(t, pts, side, opt)
+		for step := 0; step < 200; step++ {
+			i := int32(rng.Intn(len(pts)))
+			to := geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}
+			if err := tr.Move(i, to); err != nil {
+				t.Fatal(err)
+			}
+			pts[i] = to
+			if step%50 == 49 {
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("%v after %d moves: %v", kind, step+1, err)
+				}
+			}
+		}
+		fresh := mustBuild(t, pts, side, opt)
+		if !sameShape(tr, fresh, tr.Root(), fresh.Root()) {
+			t.Fatalf("%v: stress-mutated tree diverged from fresh build", kind)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package verify is the defence-in-depth validation harness run before a
+// policy is trusted: it re-derives, from first principles, every property
+// the system promises about an assignment — the masking property
+// (Definition 4), sender k-anonymity against both attacker classes
+// (Definition 6, including the explicit construction of the k Possible
+// Reverse Engineerings whose existence the definition requires), and the
+// structural sanity of the cloaking groups.
+//
+// The anonymization pipeline already guarantees these properties by
+// construction; this package exists so that operational surfaces
+// (checkpoint restore, cluster assembly, simulation) can verify rather
+// than trust, and so the Definition 6 witness lives in library code
+// instead of only in tests.
+package verify
+
+import (
+	"fmt"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+)
+
+// Report is the outcome of a full policy verification.
+type Report struct {
+	K     int
+	Users int
+	// Masking is true when every cloak contains its user's location.
+	Masking bool
+	// PolicyAware / PolicyUnaware report sender k-anonymity against each
+	// attacker class.
+	PolicyAware   bool
+	PolicyUnaware bool
+	// MinAware / MinUnaware are the smallest candidate sets observed.
+	MinAware   int
+	MinUnaware int
+	// Witness holds, when PolicyAware is true, the k PREs of
+	// Definition 6: Witness[i] maps every issued cloak to the i-th
+	// distinct possible sender.
+	Witness []map[geo.Rect]string
+	// Problems lists human-readable violations (empty when OK()).
+	Problems []string
+}
+
+// OK reports whether the policy passed every check.
+func (r *Report) OK() bool { return len(r.Problems) == 0 }
+
+// String summarizes the report.
+func (r *Report) String() string {
+	status := "OK"
+	if !r.OK() {
+		status = fmt.Sprintf("FAILED (%d problems)", len(r.Problems))
+	}
+	return fmt.Sprintf("verify: %s — %d users, k=%d, masking=%v, aware=%v(min %d), unaware=%v(min %d)",
+		status, r.Users, r.K, r.Masking, r.PolicyAware, r.MinAware, r.PolicyUnaware, r.MinUnaware)
+}
+
+// Policy runs the full verification of an assignment at anonymity level k.
+func Policy(a *lbs.Assignment, k int) *Report {
+	r := &Report{K: k, Users: a.Len(), Masking: true}
+	if k < 1 {
+		r.Problems = append(r.Problems, fmt.Sprintf("k=%d is not a valid anonymity level", k))
+		return r
+	}
+	db := a.DB()
+	for i := 0; i < db.Len(); i++ {
+		if !a.CloakAt(i).ContainsClosed(db.At(i).Loc) {
+			r.Masking = false
+			r.Problems = append(r.Problems, fmt.Sprintf(
+				"cloak %v of user %q does not contain her location %v",
+				a.CloakAt(i), db.At(i).UserID, db.At(i).Loc))
+		}
+	}
+	awareBreaches, minAware := attacker.Audit(a, k, attacker.PolicyAware)
+	r.MinAware = minAware
+	r.PolicyAware = len(awareBreaches) == 0
+	for _, b := range awareBreaches {
+		r.Problems = append(r.Problems, "policy-aware: "+b.String())
+	}
+	unawareBreaches, minUnaware := attacker.Audit(a, k, attacker.PolicyUnaware)
+	r.MinUnaware = minUnaware
+	r.PolicyUnaware = len(unawareBreaches) == 0
+	for _, b := range unawareBreaches {
+		r.Problems = append(r.Problems, "policy-unaware: "+b.String())
+	}
+	// Proposition 1 cross-check: policy-aware anonymity must imply
+	// policy-unaware anonymity; if the audits ever disagree in the other
+	// direction, the attacker model itself is broken.
+	if r.PolicyAware && !r.PolicyUnaware {
+		r.Problems = append(r.Problems, "Proposition 1 violated: aware-safe but unaware-breached")
+	}
+	// Definition 6 witness: k PREs with pairwise distinct senders per
+	// observed cloak, each mapping back to the observed cloak under the
+	// policy itself.
+	if r.PolicyAware && a.Len() > 0 {
+		witness, err := buildWitness(a, k)
+		if err != nil {
+			r.Problems = append(r.Problems, "witness construction failed: "+err.Error())
+		} else {
+			r.Witness = witness
+		}
+	}
+	return r
+}
+
+// buildWitness constructs and validates the k PREs of Definition 6.
+func buildWitness(a *lbs.Assignment, k int) ([]map[geo.Rect]string, error) {
+	witness := make([]map[geo.Rect]string, k)
+	for i := range witness {
+		witness[i] = make(map[geo.Rect]string)
+	}
+	db := a.DB()
+	for _, g := range a.Groups() {
+		cands := attacker.Candidates(a, g.Cloak, attacker.PolicyAware)
+		if len(cands) < k {
+			return nil, fmt.Errorf("cloak %v admits only %d PREs", g.Cloak, len(cands))
+		}
+		for i := 0; i < k; i++ {
+			witness[i][g.Cloak] = cands[i]
+		}
+	}
+	// Validate each PRE against Definition 5: the mapped service request
+	// is valid w.r.t. D and the policy maps it back to the observed cloak.
+	for i, pre := range witness {
+		for cloak, user := range pre {
+			loc, err := db.Lookup(user)
+			if err != nil {
+				return nil, fmt.Errorf("PRE %d maps %v to unknown user %q", i, cloak, user)
+			}
+			back, err := a.CloakOf(user)
+			if err != nil || back != cloak {
+				return nil, fmt.Errorf("PRE %d not reproduced by the policy for %q", i, user)
+			}
+			if !cloak.ContainsClosed(loc) {
+				return nil, fmt.Errorf("PRE %d violates masking for %q", i, user)
+			}
+			for j := 0; j < i; j++ {
+				if witness[j][cloak] == user {
+					return nil, fmt.Errorf("PREs %d and %d collide on %v", i, j, cloak)
+				}
+			}
+		}
+	}
+	return witness, nil
+}

@@ -1,0 +1,21 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"policyanon/internal/workload"
+)
+
+// ExampleGenerate builds a small deterministic synthetic snapshot.
+func ExampleGenerate() {
+	db := workload.Generate(workload.Config{
+		Intersections:        100,
+		UsersPerIntersection: 10,
+	}, 42)
+	fmt.Println("users:", db.Len())
+	grid := workload.DensityGrid(db, workload.DefaultMapSide, 8)
+	fmt.Println("skewed:", workload.SkewRatio(grid) > 2)
+	// Output:
+	// users: 1000
+	// skewed: true
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"policyanon/internal/geo"
+)
+
+// smallCfg keeps generation fast in unit tests.
+func smallCfg() Config {
+	return Config{Intersections: 2000, UsersPerIntersection: 5}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallCfg(), 42)
+	b := Generate(smallCfg(), 42)
+	if a.Len() != b.Len() {
+		t.Fatalf("lens differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("record %d differs: %v vs %v", i, a.At(i), b.At(i))
+		}
+	}
+	c := Generate(smallCfg(), 43)
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		same = a.At(i) == c.At(i)
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateSizeAndBounds(t *testing.T) {
+	cfg := smallCfg()
+	db := Generate(cfg, 1)
+	if db.Len() != cfg.Intersections*cfg.UsersPerIntersection {
+		t.Fatalf("len = %d, want %d", db.Len(), cfg.Intersections*cfg.UsersPerIntersection)
+	}
+	bounds := MapBounds(DefaultMapSide)
+	for _, r := range db.Records() {
+		if !bounds.Contains(r.Loc) {
+			t.Fatalf("point %v outside map", r.Loc)
+		}
+	}
+}
+
+func TestGenerateIsSkewed(t *testing.T) {
+	db := Generate(smallCfg(), 7)
+	grid := DensityGrid(db, DefaultMapSide, 16)
+	ratio := SkewRatio(grid)
+	if ratio < 3 {
+		t.Fatalf("synthetic data not skewed enough: max/mean = %.2f", ratio)
+	}
+	// And a uniform control should be near 1.
+	rng := rand.New(rand.NewSource(1))
+	uni := Generate(Config{Intersections: 10000, UsersPerIntersection: 1,
+		BackgroundFrac: 1, SpreadSigma: 1, Cores: 1, Corridors: 1}, 1)
+	_ = rng
+	uratio := SkewRatio(DensityGrid(uni, DefaultMapSide, 4))
+	if uratio > 3 {
+		t.Fatalf("uniform control unexpectedly skewed: %.2f", uratio)
+	}
+}
+
+func TestPlanMovesRespectsDistanceAndFraction(t *testing.T) {
+	db := Generate(smallCfg(), 3)
+	rng := rand.New(rand.NewSource(9))
+	const maxDist = 200.0
+	moves := PlanMoves(rng, db, 0.05, maxDist, DefaultMapSide)
+	want := int(math.Round(0.05 * float64(db.Len())))
+	if len(moves) != want {
+		t.Fatalf("planned %d moves, want %d", len(moves), want)
+	}
+	seen := make(map[int]bool)
+	bounds := MapBounds(DefaultMapSide)
+	for _, m := range moves {
+		if seen[m.Index] {
+			t.Fatalf("user %d moved twice", m.Index)
+		}
+		seen[m.Index] = true
+		if !bounds.Contains(m.To) {
+			t.Fatalf("move target %v outside map", m.To)
+		}
+		from := db.At(m.Index).Loc
+		// Clipping at the map edge can only shorten the step.
+		if d := from.Dist(m.To); d > maxDist+1.5 {
+			t.Fatalf("move of %.1f m exceeds bound %v", d, maxDist)
+		}
+	}
+}
+
+func TestPlanMovesFractionClamped(t *testing.T) {
+	db := Generate(Config{Intersections: 10, UsersPerIntersection: 1}, 5)
+	rng := rand.New(rand.NewSource(2))
+	moves := PlanMoves(rng, db, 2.0, 100, DefaultMapSide)
+	if len(moves) != db.Len() {
+		t.Fatalf("fraction > 1 should move everyone: %d of %d", len(moves), db.Len())
+	}
+}
+
+func TestApply(t *testing.T) {
+	db := Generate(smallCfg(), 11)
+	rng := rand.New(rand.NewSource(4))
+	moves := PlanMoves(rng, db, 0.01, 200, DefaultMapSide)
+	before := db.Clone()
+	Apply(db, moves)
+	diff, err := before.Diff(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some planned moves may coincidentally land on the same point;
+	// every changed record must be a planned one.
+	planned := make(map[int]geo.Point)
+	for _, m := range moves {
+		planned[m.Index] = m.To
+	}
+	for _, idx := range diff {
+		to, ok := planned[idx]
+		if !ok {
+			t.Fatalf("record %d changed without a planned move", idx)
+		}
+		if db.At(idx).Loc != to {
+			t.Fatalf("record %d at %v, planned %v", idx, db.At(idx).Loc, to)
+		}
+	}
+}
+
+func TestDensityGridCountsEverything(t *testing.T) {
+	db := Generate(smallCfg(), 13)
+	grid := DensityGrid(db, DefaultMapSide, 8)
+	total := 0
+	for _, row := range grid {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != db.Len() {
+		t.Fatalf("grid total %d != %d", total, db.Len())
+	}
+}
+
+func TestSkewRatioEmpty(t *testing.T) {
+	if r := SkewRatio([][]int{{0, 0}, {0, 0}}); r != 0 {
+		t.Fatalf("empty skew = %v", r)
+	}
+}

@@ -1,0 +1,304 @@
+package policyanon_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"policyanon"
+)
+
+// tableIDB builds the Example-1-shaped five-user snapshot through the
+// public API.
+func tableIDB(t *testing.T) *policyanon.LocationDB {
+	t.Helper()
+	db := policyanon.NewLocationDB()
+	for _, u := range []struct {
+		id   string
+		x, y int32
+	}{{"Alice", 1, 1}, {"Bob", 1, 2}, {"Carol", 1, 5}, {"Sam", 5, 1}, {"Tom", 6, 2}} {
+		if err := db.Add(u.id, policyanon.Pt(u.x, u.y)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := tableIDB(t)
+	bounds := policyanon.Square(0, 0, 8)
+	const k = 2
+
+	puq, err := policyanon.PUQ(db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policyanon.IsKAnonymous(puq, k, policyanon.PolicyAware) {
+		t.Fatal("Example 1 breach not reproduced via public API")
+	}
+	anon, err := policyanon.NewAnonymizer(db, bounds, policyanon.Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := anon.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !policyanon.IsKAnonymous(pol, k, policyanon.PolicyAware) {
+		t.Fatal("optimal policy breached via public API")
+	}
+	cloak, err := pol.CloakOf("Carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := policyanon.Candidates(pol, cloak, policyanon.PolicyAware)
+	if len(cands) < k {
+		t.Fatalf("Carol's candidates %v below k", cands)
+	}
+}
+
+func TestPublicAPIInsufficientUsers(t *testing.T) {
+	db := tableIDB(t)
+	anon, err := policyanon.NewAnonymizer(db, policyanon.Square(0, 0, 8), policyanon.Options{K: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := anon.Policy(); !errors.Is(err, policyanon.ErrInsufficientUsers) {
+		t.Fatalf("got %v, want ErrInsufficientUsers", err)
+	}
+}
+
+func TestPublicAPIWorkloadAndEngine(t *testing.T) {
+	cfg := policyanon.WorkloadConfig{
+		MapSide: 1 << 12, Intersections: 800, UsersPerIntersection: 5, SpreadSigma: 60,
+	}
+	db := policyanon.GenerateWorkload(cfg, 5)
+	bounds := policyanon.Square(0, 0, cfg.MapSide)
+	eng, err := policyanon.NewEngine(db, bounds, policyanon.EngineOptions{K: 20, Servers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := eng.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !policyanon.IsKAnonymous(pol, 20, policyanon.PolicyAware) {
+		t.Fatal("engine master policy breached")
+	}
+	jur, err := policyanon.Partition(db, bounds, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jur) == 0 || len(jur) > 4 {
+		t.Fatalf("partition returned %d jurisdictions", len(jur))
+	}
+}
+
+func TestPublicAPICSVRoundTrip(t *testing.T) {
+	db := tableIDB(t)
+	var sb strings.Builder
+	if err := db.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := policyanon.ReadLocationCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("round trip lost users: %d", back.Len())
+	}
+}
+
+func TestPublicAPICircular(t *testing.T) {
+	db := policyanon.NewLocationDB()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 8; i++ {
+		if err := db.Add(fmt.Sprintf("u%d", i),
+			policyanon.Pt(rng.Int31n(64), rng.Int31n(64))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	centers := []policyanon.Point{policyanon.Pt(16, 16), policyanon.Pt(48, 48)}
+	exact, err := policyanon.OptimalCircular(db, centers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := policyanon.GreedyCircular(db, centers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Cost() > greedy.Cost()+1e-9 {
+		t.Fatalf("exact %.1f worse than greedy %.1f", exact.Cost(), greedy.Cost())
+	}
+	nc, err := policyanon.NearestCenterCircles(db, centers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc.MinPolicyAwareAnonymity() < 1 {
+		t.Fatal("degenerate nearest-center policy")
+	}
+}
+
+func TestPublicAPIKSharing(t *testing.T) {
+	db := tableIDB(t)
+	cloaks, err := policyanon.KSharing(db, 2, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cloaks) != 2 {
+		t.Fatalf("got %d cloaks", len(cloaks))
+	}
+}
+
+func TestPublicAPIAuditOrderingDeterministic(t *testing.T) {
+	db := tableIDB(t)
+	pol, err := policyanon.PUQ(db, policyanon.Square(0, 0, 8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, m1 := policyanon.Audit(pol, 3, policyanon.PolicyAware)
+	b2, m2 := policyanon.Audit(pol, 3, policyanon.PolicyAware)
+	if m1 != m2 || len(b1) != len(b2) {
+		t.Fatal("audit not deterministic")
+	}
+	for i := range b1 {
+		if b1[i].Cloak != b2[i].Cloak {
+			t.Fatal("audit breach order not deterministic")
+		}
+		if !sort.StringsAreSorted(b1[i].Candidates) {
+			// Candidates come in record order, not sorted; just ensure
+			// the two runs agree element-wise.
+			for j := range b1[i].Candidates {
+				if b1[i].Candidates[j] != b2[i].Candidates[j] {
+					t.Fatal("audit candidates not deterministic")
+				}
+			}
+		}
+	}
+}
+
+// ExampleNewAnonymizer demonstrates the core flow for godoc.
+func ExampleNewAnonymizer() {
+	db := policyanon.NewLocationDB()
+	users := []struct {
+		id   string
+		x, y int32
+	}{{"Alice", 1, 1}, {"Bob", 1, 2}, {"Carol", 1, 5}, {"Sam", 5, 1}, {"Tom", 6, 2}}
+	for _, u := range users {
+		if err := db.Add(u.id, policyanon.Pt(u.x, u.y)); err != nil {
+			panic(err)
+		}
+	}
+	anon, err := policyanon.NewAnonymizer(db, policyanon.Square(0, 0, 8), policyanon.Options{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	policy, err := anon.Policy()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("policy-aware 2-anonymous:",
+		policyanon.IsKAnonymous(policy, 2, policyanon.PolicyAware))
+	// Output: policy-aware 2-anonymous: true
+}
+
+// ExampleAudit shows breach detection on a broken k-inside policy.
+func ExampleAudit() {
+	db := policyanon.NewLocationDB()
+	users := []struct {
+		id   string
+		x, y int32
+	}{{"Alice", 1, 1}, {"Bob", 1, 2}, {"Carol", 1, 5}, {"Sam", 5, 1}, {"Tom", 6, 2}}
+	for _, u := range users {
+		if err := db.Add(u.id, policyanon.Pt(u.x, u.y)); err != nil {
+			panic(err)
+		}
+	}
+	puq, err := policyanon.PUQ(db, policyanon.Square(0, 0, 8), 2)
+	if err != nil {
+		panic(err)
+	}
+	breaches, minAnon := policyanon.Audit(puq, 2, policyanon.PolicyAware)
+	fmt.Printf("breaches: %d, min anonymity: %d\n", len(breaches), minAnon)
+	// Output: breaches: 1, min anonymity: 1
+}
+
+func TestPublicAPIExtensions(t *testing.T) {
+	// Verify + adaptive + hilbert through the facade.
+	cfg := policyanon.WorkloadConfig{
+		MapSide: 1 << 12, Intersections: 600, UsersPerIntersection: 5, SpreadSigma: 60,
+	}
+	db := policyanon.GenerateWorkload(cfg, 8)
+	bounds := policyanon.Square(0, 0, cfg.MapSide)
+	const k = 15
+
+	adaptive, err := policyanon.AdaptivePolicy(db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := policyanon.Verify(adaptive, k); !rep.OK() {
+		t.Fatalf("adaptive policy failed verification: %v", rep.Problems)
+	}
+	hil, err := policyanon.HilbertCloak(db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := policyanon.Verify(hil, k); !rep.OK() {
+		t.Fatalf("hilbert policy failed verification: %v", rep.Problems)
+	}
+	mbc, err := policyanon.FindMBC(db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mbc.PolicyAwareAnonymity() >= k {
+		t.Fatal("FindMBC unexpectedly policy-aware safe")
+	}
+
+	// Checkpoint + history round trip through the facade.
+	var hist strings.Builder
+	hw := policyanon.NewHistoryWriter(&hist)
+	if err := hw.Append(k, bounds, adaptive); err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.Append(k, bounds, hil); err != nil {
+		t.Fatal(err)
+	}
+	states, err := policyanon.ReadHistory(strings.NewReader(hist.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 2 {
+		t.Fatalf("history replayed %d epochs", len(states))
+	}
+	cands, err := policyanon.ReplayTrajectory(states, db.At(0).UserID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("trajectory replay lost the sender")
+	}
+
+	// Rolling anonymizer through the facade.
+	r, err := policyanon.NewRollingAnonymizer(db.Clone(), bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CloakOf(db.At(1).UserID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulation through the facade.
+	simRep, err := policyanon.RunSimulation(policyanon.SimConfig{Users: 400, K: 5, Snapshots: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRep.BreachedSnapshots != 0 {
+		t.Fatal("facade simulation breached")
+	}
+}
