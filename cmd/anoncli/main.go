@@ -7,10 +7,16 @@
 //
 //	datagen -intersections 5000 -out snap.csv
 //	anoncli -in snap.csv -k 50 -out cloaks.csv
+//
+// Observability: -trace FILE writes a Chrome trace_event JSON file of the
+// run's phase spans (open it in chrome://tracing or https://ui.perfetto.dev);
+// -phase-summary prints an aggregated per-phase timing table to stderr.
+// See docs/OBSERVABILITY.md for the span taxonomy.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -21,24 +27,33 @@ import (
 	"policyanon/internal/core"
 	"policyanon/internal/geo"
 	"policyanon/internal/location"
+	"policyanon/internal/obs"
 	"policyanon/internal/workload"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "-", "input CSV ('-' for stdin)")
-		out     = flag.String("out", "-", "output CSV ('-' for stdout)")
-		k       = flag.Int("k", 50, "anonymity parameter k")
-		mapSide = flag.Int("mapside", int(workload.DefaultMapSide), "square map side (meters)")
+		in       = flag.String("in", "-", "input CSV ('-' for stdin)")
+		out      = flag.String("out", "-", "output CSV ('-' for stdout)")
+		k        = flag.Int("k", 50, "anonymity parameter k")
+		mapSide  = flag.Int("mapside", int(workload.DefaultMapSide), "square map side (meters)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
+		phases   = flag.Bool("phase-summary", false, "print per-phase timing table to stderr")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *k, int32(*mapSide)); err != nil {
+	if err := run(*in, *out, *k, int32(*mapSide), *traceOut, *phases); err != nil {
 		fmt.Fprintln(os.Stderr, "anoncli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, k int, mapSide int32) error {
+func run(in, out string, k int, mapSide int32, traceOut string, phases bool) error {
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if traceOut != "" || phases {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 	r := os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -54,7 +69,7 @@ func run(in, out string, k int, mapSide int32) error {
 	}
 	bounds := geo.NewRect(0, 0, mapSide, mapSide)
 	start := time.Now()
-	anon, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: k})
+	anon, err := core.NewAnonymizerContext(ctx, db, bounds, core.AnonymizerOptions{K: k})
 	if err != nil {
 		return err
 	}
@@ -96,5 +111,24 @@ func run(in, out string, k int, mapSide int32) error {
 	fmt.Fprintf(os.Stderr,
 		"anoncli: anonymized %d users with k=%d in %v (cost %d, avg cloak %.0f m^2)\n",
 		db.Len(), k, elapsed.Round(time.Millisecond), policy.Cost(), policy.AvgArea())
+	if phases {
+		if err := tracer.WritePhaseTable(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "anoncli: trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", traceOut)
+	}
 	return nil
 }

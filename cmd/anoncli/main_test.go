@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -34,7 +35,7 @@ func TestRunAnonymizesCSV(t *testing.T) {
 	out := filepath.Join(dir, "out.csv")
 	db := writeSnapshot(t, in, 400)
 	const k = 10
-	if err := run(in, out, k, 1<<12); err != nil {
+	if err := run(in, out, k, 1<<12, "", false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -78,18 +79,63 @@ func TestRunAnonymizesCSV(t *testing.T) {
 	}
 }
 
+// TestRunEmitsChromeTrace locks the acceptance criterion: a -trace run
+// produces a valid Chrome trace_event file holding at least 4 distinct
+// phase span names.
+func TestRunEmitsChromeTrace(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	tracePath := filepath.Join(dir, "trace.json")
+	writeSnapshot(t, in, 400)
+	if err := run(in, filepath.Join(dir, "out.csv"), 10, 1<<12, tracePath, false); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace file is not valid trace_event JSON: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+		if ev.Dur < 0 {
+			t.Errorf("negative duration on %q", ev.Name)
+		}
+		names[ev.Name] = true
+	}
+	if len(names) < 4 {
+		t.Fatalf("trace has %d distinct span names (%v), want >= 4", len(names), names)
+	}
+	for _, want := range []string{"bulkdp.build", "tree.build", "bulkdp.combine", "bulkdp.extract"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (got %v)", want, names)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "in.csv")
 	writeSnapshot(t, in, 40)
-	if err := run(in, filepath.Join(dir, "out.csv"), 0, 1<<12); err == nil {
+	if err := run(in, filepath.Join(dir, "out.csv"), 0, 1<<12, "", false); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if err := run(filepath.Join(dir, "missing.csv"), "-", 5, 1<<12); err == nil {
+	if err := run(filepath.Join(dir, "missing.csv"), "-", 5, 1<<12, "", false); err == nil {
 		t.Error("missing input accepted")
 	}
 	// Too few users for k.
-	if err := run(in, filepath.Join(dir, "out2.csv"), 10000, 1<<12); err == nil {
+	if err := run(in, filepath.Join(dir, "out2.csv"), 10000, 1<<12, "", false); err == nil {
 		t.Error("k > |D| accepted")
 	}
 }

@@ -10,6 +10,14 @@
 // SIGTERM, so a restarted server resumes serving cloak lookups without
 // recomputation.
 //
+// Observability: GET /v1/metrics serves the metrics registry as JSON, or
+// as Prometheus text exposition with ?format=prometheus (per-route
+// request counters and latency histograms plus per-phase anonymization
+// timings — bulkdp.build, bulkdp.combine, bulkdp.extract, bulkdp.update,
+// csp.serve). Unless -pprof=false, the Go profiling endpoints are mounted
+// under /debug/pprof/ (CPU: /debug/pprof/profile, heap: /debug/pprof/heap).
+// See docs/OBSERVABILITY.md.
+//
 // Quick exercise:
 //
 //	curl -s localhost:8080/healthz
@@ -26,6 +34,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,8 +45,9 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		state = flag.String("state", "", "checkpoint file: restored at startup, written on shutdown")
+		addr      = flag.String("addr", ":8080", "listen address")
+		state     = flag.String("state", "", "checkpoint file: restored at startup, written on shutdown")
+		withPprof = flag.Bool("pprof", true, "mount Go profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -57,7 +67,7 @@ func main() {
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler(srv, *withPprof),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -86,6 +96,24 @@ func main() {
 			log.Printf("anonserver: state checkpointed to %s", *state)
 		}
 	}
+}
+
+// handler mounts the service tree, plus the Go profiling endpoints under
+// /debug/pprof/ when withPprof is set. The pprof handlers are referenced
+// explicitly instead of relying on the net/http/pprof side-effect
+// registration, so nothing leaks onto http.DefaultServeMux.
+func handler(srv *server.Server, withPprof bool) http.Handler {
+	if !withPprof {
+		return srv.Handler()
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // writeCheckpoint saves atomically via a temp file rename.

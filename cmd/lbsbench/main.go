@@ -14,34 +14,45 @@
 // (Section VI-D utility loss), hilbert (policy-aware-safe schemes),
 // adaptive (semi-quadrant orientation), trajectory (anonymity erosion),
 // utility (answer sizes), all.
+//
+// Observability: -trace FILE writes a Chrome trace_event JSON file of
+// every anonymization phase the selected experiments ran (open in
+// chrome://tracing or ui.perfetto.dev); -phase-summary prints the
+// aggregated per-phase timing table to stderr, the combine/pass-up/
+// extract breakdown the Section VI evaluation is built around. See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"policyanon/internal/experiments"
+	"policyanon/internal/obs"
 	"policyanon/internal/workload"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|all")
-		scale  = flag.String("scale", "small", "dataset scale: small (~50k users) or paper (1.75M users)")
-		k      = flag.Int("k", 50, "anonymity parameter k")
-		seed   = flag.Int64("seed", 42, "dataset seed")
-		format = flag.String("format", "table", "output format: table|csv|markdown")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|all")
+		scale    = flag.String("scale", "small", "dataset scale: small (~50k users) or paper (1.75M users)")
+		k        = flag.Int("k", 50, "anonymity parameter k")
+		seed     = flag.Int64("seed", 42, "dataset seed")
+		format   = flag.String("format", "table", "output format: table|csv|markdown")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
+		phases   = flag.Bool("phase-summary", false, "print per-phase timing table to stderr")
 	)
 	flag.Parse()
-	if err := run(*exp, *scale, *k, *seed, *format); err != nil {
+	if err := run(*exp, *scale, *k, *seed, *format, *traceOut, *phases); err != nil {
 		fmt.Fprintln(os.Stderr, "lbsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, scale string, k int, seed int64, format string) error {
+func run(exp, scale string, k int, seed int64, format, traceOut string, phases bool) error {
 	switch format {
 	case "table", "csv", "markdown":
 	default:
@@ -89,6 +100,11 @@ func run(exp, scale string, k int, seed int64, format string) error {
 		fmt.Printf("generating %s-scale dataset (seed %d)...\n", scale, seed)
 	}
 	d := experiments.NewDataset(cfg, seed)
+	var tracer *obs.Tracer
+	if traceOut != "" || phases {
+		tracer = obs.NewTracer()
+		d.Ctx = obs.WithTracer(context.Background(), tracer)
+	}
 	if tableMode {
 		fmt.Printf("master set: %d locations in %v\n\n", d.Master.Len(), time.Since(start).Round(time.Millisecond))
 	}
@@ -217,6 +233,25 @@ func run(exp, scale string, k int, seed int64, format string) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if phases {
+		if err := tracer.WritePhaseTable(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lbsbench: trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", traceOut)
 	}
 	return nil
 }

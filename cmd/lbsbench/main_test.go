@@ -9,13 +9,13 @@ import (
 // wiring covered; heavy paths run at paper scale only when invoked
 // explicitly.
 func TestRunUnknownInputs(t *testing.T) {
-	if err := run("fig3", "nope", 10, 1, "table"); err == nil {
+	if err := run("fig3", "nope", 10, 1, "table", "", false); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run("figZZ", "small", 10, 1, "table"); err == nil {
+	if err := run("figZZ", "small", 10, 1, "table", "", false); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("fig2", "small", 10, 1, "xml"); err == nil {
+	if err := run("fig2", "small", 10, 1, "xml", "", false); err == nil {
 		t.Error("unknown format accepted")
 	}
 }
@@ -32,10 +32,18 @@ func TestRunSingleExperimentSmall(t *testing.T) {
 	}
 	os.Stdout = devnull
 	defer func() { os.Stdout = old; devnull.Close() }()
-	if err := run("fig3", "small", 50, 1, "table"); err != nil {
+	if err := run("fig3", "small", 50, 1, "table", "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("fig2", "small", 50, 1, "csv"); err != nil {
+	if err := run("fig2", "small", 50, 1, "csv", "", false); err != nil {
 		t.Fatal(err)
+	}
+	// Tracing path: fig3 builds anonymizers, so the trace must be non-empty.
+	trace := t.TempDir() + "/trace.json"
+	if err := run("fig3", "small", 50, 1, "csv", trace, false); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(trace); err != nil || st.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
 	}
 }

@@ -5,12 +5,18 @@
 // It then plays the attacker: with the provider's log, the location
 // database, and full knowledge of the policy, every request still has at
 // least k possible senders.
+//
+// The run is traced end to end: it finishes by printing the aggregated
+// per-phase timing table and writing pipeline-trace.json, a Chrome
+// trace_event file viewable in chrome://tracing or ui.perfetto.dev.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"policyanon"
 )
@@ -21,6 +27,10 @@ func main() {
 		side = int32(4096)
 	)
 	rng := rand.New(rand.NewSource(7))
+
+	// Every phase of the pipeline records spans into this tracer.
+	tracer := policyanon.NewTracer()
+	ctx := policyanon.WithTracer(context.Background(), tracer)
 
 	// Snapshot: 400 users.
 	db := policyanon.NewLocationDB()
@@ -52,7 +62,7 @@ func main() {
 	provider := policyanon.NewPOIProvider(store)
 
 	// The CSP computes the optimal policy-aware policy and serves.
-	anon, err := policyanon.NewAnonymizer(db, bounds, policyanon.Options{K: k})
+	anon, err := policyanon.NewAnonymizerContext(ctx, db, bounds, policyanon.Options{K: k})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +80,7 @@ func main() {
 			UserID: rec.UserID, Loc: rec.Loc,
 			Params: []policyanon.Param{{Name: "cat", Value: "gas"}},
 		}
-		_, answer, err := csp.Serve(sr)
+		_, answer, err := csp.ServeContext(ctx, sr)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -99,4 +109,21 @@ func main() {
 		log.Fatal("BREACH: this should be impossible")
 	}
 	fmt.Println("sender k-anonymity holds against the policy-aware attacker")
+
+	// --- Where did the time go? The tracer aggregated every phase.
+	fmt.Println("\nper-phase timing:")
+	if err := tracer.WritePhaseTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create("pipeline-trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntrace written to pipeline-trace.json (open in chrome://tracing or ui.perfetto.dev)")
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,14 +25,22 @@ import (
 	"policyanon/internal/geo"
 	"policyanon/internal/lbs"
 	"policyanon/internal/location"
+	"policyanon/internal/metrics"
+	"policyanon/internal/obs"
 	"policyanon/internal/parallel"
 	"policyanon/internal/verify"
 )
+
+// shardAttempts is how many times one shard RPC sequence is tried before
+// the whole Anonymize call fails; only transport-level failures are
+// retried (a rejected snapshot is deterministic and retried never).
+const shardAttempts = 2
 
 // Coordinator drives a pool of anonymization servers.
 type Coordinator struct {
 	workers []string // base URLs, e.g. "http://10.0.0.7:8080"
 	client  *http.Client
+	reg     *metrics.Registry
 }
 
 // New returns a coordinator over the given worker base URLs. client may be
@@ -43,8 +52,17 @@ func New(workers []string, client *http.Client) (*Coordinator, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 60 * time.Second}
 	}
-	return &Coordinator{workers: append([]string(nil), workers...), client: client}, nil
+	return &Coordinator{
+		workers: append([]string(nil), workers...),
+		client:  client,
+		reg:     metrics.NewRegistry(),
+	}, nil
 }
+
+// Metrics exposes the coordinator's registry: per-worker shard wall-time
+// histograms ("cluster_shard:<worker>"), retry counters
+// ("cluster_retries:<worker>") and failover counts ("cluster_failovers").
+func (c *Coordinator) Metrics() *metrics.Registry { return c.reg }
 
 // NumWorkers returns the pool size.
 func (c *Coordinator) NumWorkers() int { return len(c.workers) }
@@ -83,7 +101,14 @@ func (c *Coordinator) Anonymize(ctx context.Context, db *location.DB, bounds geo
 	if k < 1 {
 		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
 	}
-	jur, err := parallel.Partition(db, bounds, k, len(c.workers))
+	ctx, csp := obs.Start(ctx, "cluster.anonymize")
+	if csp != nil {
+		csp.SetInt("users", int64(db.Len()))
+		csp.SetInt("k", int64(k))
+		csp.SetInt("workers", int64(len(c.workers)))
+		defer csp.End()
+	}
+	jur, err := parallel.PartitionContext(ctx, db, bounds, k, len(c.workers))
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +144,34 @@ func (c *Coordinator) Anonymize(ctx context.Context, db *location.DB, bounds geo
 		go func(j int) {
 			defer wg.Done()
 			worker := c.workers[j%len(c.workers)]
-			st, err := c.anonymizeShard(ctx, worker, jur[j], k, shards[j])
+			sctx, ssp := obs.StartLane(ctx, "cluster.shard")
+			if ssp != nil {
+				ssp.SetAttr("worker", worker)
+				ssp.SetInt("jurisdiction", int64(j))
+				ssp.SetInt("users", int64(len(shards[j])))
+			}
+			start := time.Now()
+			var st *checkpoint.State
+			var err error
+			retries := 0
+			for attempt := 1; ; attempt++ {
+				st, err = c.anonymizeShard(sctx, worker, jur[j], k, shards[j])
+				if err == nil || attempt >= shardAttempts ||
+					!errors.Is(err, errTransient) || sctx.Err() != nil {
+					break
+				}
+				retries++
+				c.reg.Counter("cluster_retries:" + worker).Inc()
+			}
+			c.reg.Histogram("cluster_shard:" + worker).Observe(time.Since(start))
+			c.reg.Counter("cluster_shards:" + worker).Inc()
+			if ssp != nil {
+				ssp.SetInt("retries", int64(retries))
+				if err != nil {
+					ssp.SetAttr("error", err.Error())
+				}
+				ssp.End()
+			}
 			results[j] = result{worker: worker, state: st, err: err}
 		}(j)
 	}
@@ -156,10 +208,23 @@ func (c *Coordinator) Anonymize(ctx context.Context, db *location.DB, bounds geo
 	// Verify rather than trust: the master policy assembled from remote
 	// workers must still pass the full Definition 6 verification before
 	// it is handed to a CSP.
-	if rep := verify.Policy(policy, k); !rep.OK() {
+	_, vsp := obs.Start(ctx, "cluster.verify")
+	rep := verify.Policy(policy, k)
+	vsp.End()
+	if !rep.OK() {
 		return nil, fmt.Errorf("cluster: assembled policy failed verification: %s", rep.Problems[0])
 	}
 	return policy, nil
+}
+
+// errTransient marks transport-level shard failures that a retry against
+// the same worker can plausibly fix (connection resets, timeouts), as
+// opposed to deterministic rejections (bad snapshot, decode failures).
+var errTransient = errors.New("cluster: transient transport error")
+
+// transient wraps err as retryable.
+func transient(err error) error {
+	return fmt.Errorf("%w: %w", errTransient, err)
 }
 
 // anonymizeShard installs one jurisdiction's shard on a worker and fetches
@@ -189,7 +254,7 @@ func (c *Coordinator) anonymizeShard(ctx context.Context, worker string, jur geo
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, transient(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -204,7 +269,7 @@ func (c *Coordinator) anonymizeShard(ctx context.Context, worker string, jur geo
 	}
 	ckResp, err := c.client.Do(ckReq)
 	if err != nil {
-		return nil, err
+		return nil, transient(err)
 	}
 	defer ckResp.Body.Close()
 	if ckResp.StatusCode != http.StatusOK {
@@ -241,7 +306,8 @@ var ErrDegraded = errors.New("cluster: degraded: some workers unavailable")
 
 // AnonymizeWithFailover is Anonymize with liveness pre-checks: jurisdictions
 // of unreachable workers are re-routed round-robin to healthy ones. The
-// returned error wraps ErrDegraded when failover occurred.
+// returned error wraps ErrDegraded when failover occurred and names the
+// workers that were skipped, so operators can act on the error alone.
 func (c *Coordinator) AnonymizeWithFailover(ctx context.Context, db *location.DB, bounds geo.Rect, k int) (*lbs.Assignment, error) {
 	down := c.Healthy(ctx)
 	if len(down) == 0 {
@@ -258,12 +324,18 @@ func (c *Coordinator) AnonymizeWithFailover(ctx context.Context, db *location.DB
 		}
 	}
 	if len(healthy) == 0 {
-		return nil, fmt.Errorf("cluster: all %d workers down", len(c.workers))
+		return nil, fmt.Errorf("cluster: all %d workers down: %s",
+			len(c.workers), strings.Join(down, ", "))
 	}
-	sub := &Coordinator{workers: healthy, client: c.client}
+	for _, w := range down {
+		c.reg.Counter("cluster_down:" + w).Inc()
+	}
+	c.reg.Counter("cluster_failovers").Inc()
+	sub := &Coordinator{workers: healthy, client: c.client, reg: c.reg}
 	pol, err := sub.Anonymize(ctx, db, bounds, k)
 	if err != nil {
 		return nil, err
 	}
-	return pol, fmt.Errorf("%w: %d of %d workers down", ErrDegraded, len(down), len(c.workers))
+	return pol, fmt.Errorf("%w: %d of %d workers down: %s",
+		ErrDegraded, len(down), len(c.workers), strings.Join(down, ", "))
 }

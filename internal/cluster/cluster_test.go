@@ -7,6 +7,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"policyanon/internal/attacker"
@@ -110,12 +111,86 @@ func TestClusterHealthAndFailover(t *testing.T) {
 	if !errors.Is(err, ErrDegraded) {
 		t.Fatalf("expected ErrDegraded, got %v", err)
 	}
+	// The degradation report names the worker that was dropped.
+	if !strings.Contains(err.Error(), deadURL) {
+		t.Fatalf("ErrDegraded does not name down worker %s: %v", deadURL, err)
+	}
 	if pol == nil || !attacker.IsKAnonymous(pol, 15, attacker.PolicyAware) {
 		t.Fatal("failover policy missing or breached")
+	}
+	snap := coord.Metrics().Snapshot()
+	if got := snap.Counters["cluster_down:"+deadURL]; got != 1 {
+		t.Errorf("cluster_down for dead worker = %d, want 1", got)
+	}
+	if got := snap.Counters["cluster_failovers"]; got != 1 {
+		t.Errorf("cluster_failovers = %d, want 1", got)
 	}
 	// Plain Anonymize against the dead worker fails.
 	if _, err := coord.Anonymize(context.Background(), db, bounds, 15); err == nil {
 		t.Fatal("dead worker not reported")
+	}
+}
+
+// TestClusterShardMetricsRecorded: a successful Anonymize leaves one
+// cluster_shard wall-time histogram and shard counter per worker in the
+// coordinator's registry, with no retries recorded against healthy
+// workers.
+func TestClusterShardMetricsRecorded(t *testing.T) {
+	db, bounds := testSnapshot(t, 1500)
+	urls := pool(t, 3)
+	coord, err := New(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Anonymize(context.Background(), db, bounds, 15); err != nil {
+		t.Fatal(err)
+	}
+	snap := coord.Metrics().Snapshot()
+	for _, u := range urls {
+		h, ok := snap.Histograms["cluster_shard:"+u]
+		if !ok || h.Count < 1 {
+			t.Errorf("no shard wall-time histogram for %s: %+v", u, snap.Histograms)
+		}
+		if h.Mean <= 0 {
+			t.Errorf("shard wall time for %s not positive: %+v", u, h)
+		}
+		if got := snap.Counters["cluster_shards:"+u]; got < 1 {
+			t.Errorf("cluster_shards counter for %s = %d", u, got)
+		}
+		if got := snap.Counters["cluster_retries:"+u]; got != 0 {
+			t.Errorf("healthy worker %s shows %d retries", u, got)
+		}
+	}
+}
+
+// TestClusterRetriesTransientError: a worker whose first snapshot POST
+// dies at the transport level is retried once, the retry is counted, and
+// the job still succeeds.
+func TestClusterRetriesTransientError(t *testing.T) {
+	real := server.New().Handler()
+	var failed bool
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/snapshot" && !failed {
+			failed = true
+			panic(http.ErrAbortHandler) // drop the connection mid-response
+		}
+		real.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+	coord, err := New([]string{flaky.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, bounds := testSnapshot(t, 500)
+	pol, err := coord.Anonymize(context.Background(), db, bounds, 10)
+	if err != nil {
+		t.Fatalf("transient failure not retried: %v", err)
+	}
+	if !attacker.IsKAnonymous(pol, 10, attacker.PolicyAware) {
+		t.Fatal("policy breached after retry")
+	}
+	if got := coord.Metrics().Snapshot().Counters["cluster_retries:"+flaky.URL]; got != 1 {
+		t.Errorf("cluster_retries = %d, want 1", got)
 	}
 }
 

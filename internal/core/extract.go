@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"policyanon/internal/geo"
 	"policyanon/internal/lbs"
 	"policyanon/internal/location"
+	"policyanon/internal/obs"
 	"policyanon/internal/tree"
 )
 
@@ -18,6 +20,11 @@ import (
 func (m *Matrix) Extract() ([]geo.Rect, error) {
 	if _, err := m.OptimalCost(); err != nil {
 		return nil, err
+	}
+	_, sp := obs.Start(m.octx(), "bulkdp.extract")
+	if sp != nil {
+		sp.SetInt("users", int64(m.t.Len()))
+		defer sp.End()
 	}
 	cloaks := make([]geo.Rect, m.t.Len())
 	if m.t.Len() == 0 {
@@ -117,10 +124,25 @@ type AnonymizerOptions struct {
 // NewAnonymizer builds the cloaking tree over db and runs the bulk dynamic
 // program. bounds must be the square map region.
 func NewAnonymizer(db *location.DB, bounds geo.Rect, opt AnonymizerOptions) (*Anonymizer, error) {
+	return NewAnonymizerContext(context.Background(), db, bounds, opt)
+}
+
+// NewAnonymizerContext is NewAnonymizer with tracing: when ctx carries an
+// obs.Tracer the bulk anonymization is recorded as a "bulkdp.build" span
+// enclosing "tree.build" (materialization) and "bulkdp.combine" (the
+// Algorithm 1 main loop); later Extract and Update calls report
+// "bulkdp.extract" and "bulkdp.update" under the same trace.
+func NewAnonymizerContext(ctx context.Context, db *location.DB, bounds geo.Rect, opt AnonymizerOptions) (*Anonymizer, error) {
 	if opt.K < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", opt.K)
 	}
-	t, err := tree.Build(db.Points(), bounds, tree.Options{
+	ctx, sp := obs.Start(ctx, "bulkdp.build")
+	if sp != nil {
+		sp.SetInt("users", int64(db.Len()))
+		sp.SetInt("k", int64(opt.K))
+		defer sp.End()
+	}
+	t, err := tree.BuildContext(ctx, db.Points(), bounds, tree.Options{
 		Kind:            opt.Kind,
 		MinCountToSplit: opt.K,
 		MaxDepth:        opt.MaxDepth,
@@ -128,7 +150,7 @@ func NewAnonymizer(db *location.DB, bounds geo.Rect, opt AnonymizerOptions) (*An
 	if err != nil {
 		return nil, err
 	}
-	mx, err := NewMatrix(t, opt.K, opt.DP)
+	mx, err := NewMatrixContext(ctx, t, opt.K, opt.DP)
 	if err != nil {
 		return nil, err
 	}

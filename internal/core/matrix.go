@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"policyanon/internal/obs"
 	"policyanon/internal/tree"
 )
 
@@ -69,6 +71,12 @@ type Matrix struct {
 	opt  Options
 	rows []row
 
+	// obsCtx carries the tracer (and enclosing span) installed at
+	// construction so that later phases — extraction, incremental
+	// updates — nest under the same trace without threading a context
+	// through every method. Nil means tracing disabled.
+	obsCtx context.Context
+
 	// scratch buffers for the profile fold, sized to |D|+1.
 	scratch        []int64
 	scratchTouched []int32
@@ -76,15 +84,38 @@ type Matrix struct {
 
 // NewMatrix runs the bottom-up dynamic program over the whole tree.
 func NewMatrix(t *tree.Tree, k int, opt Options) (*Matrix, error) {
+	return NewMatrixContext(context.Background(), t, k, opt)
+}
+
+// NewMatrixContext is NewMatrix with tracing: the dynamic-program main
+// loop (combine + pass-up over every node) is recorded as a
+// "bulkdp.combine" span, and the context is retained so Extract and
+// Update report under the same trace.
+func NewMatrixContext(ctx context.Context, t *tree.Tree, k int, opt Options) (*Matrix, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
-	m := &Matrix{t: t, k: k, opt: opt, scratch: make([]int64, t.Len()+1)}
+	m := &Matrix{t: t, k: k, opt: opt, obsCtx: ctx, scratch: make([]int64, t.Len()+1)}
 	for i := range m.scratch {
 		m.scratch[i] = inf
 	}
+	_, sp := obs.Start(ctx, "bulkdp.combine")
 	t.PostOrder(func(id tree.NodeID) { m.computeRow(id) })
+	if sp != nil {
+		sp.SetInt("nodes", int64(t.NumNodes()))
+		sp.SetInt("k", int64(k))
+		sp.End()
+	}
 	return m, nil
+}
+
+// octx returns the construction-time observability context (Background
+// for matrices built without one, e.g. zero values in tests).
+func (m *Matrix) octx() context.Context {
+	if m.obsCtx != nil {
+		return m.obsCtx
+	}
+	return context.Background()
 }
 
 // Tree returns the underlying cloaking tree.
@@ -325,6 +356,7 @@ func (m *Matrix) Update() int {
 	if len(dirty) == 0 {
 		return 0
 	}
+	_, sp := obs.Start(m.octx(), "bulkdp.update")
 	if need := m.t.Len() + 1; len(m.scratch) < need {
 		old := len(m.scratch)
 		m.scratch = append(m.scratch, make([]int64, need-old)...)
@@ -350,6 +382,11 @@ func (m *Matrix) Update() int {
 	})
 	for _, id := range order {
 		m.computeRow(id)
+	}
+	if sp != nil {
+		sp.SetInt("dirty", int64(len(dirty)))
+		sp.SetInt("rows", int64(len(order)))
+		sp.End()
 	}
 	return len(order)
 }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/obs"
+	"policyanon/internal/workload"
+)
+
+// TestSpanTaxonomyStable locks the phase names and nesting the docs and
+// dashboards depend on: a traced build emits bulkdp.build containing
+// tree.build and bulkdp.combine; Policy emits bulkdp.extract and Update
+// emits bulkdp.update, both nested under the build span.
+func TestSpanTaxonomyStable(t *testing.T) {
+	db := workload.Generate(workload.Config{
+		MapSide: 1 << 10, Intersections: 50, UsersPerIntersection: 4, SpreadSigma: 20,
+	}, 3)
+	bounds := geo.NewRect(0, 0, 1<<10, 1<<10)
+
+	tracer := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tracer)
+	anon, err := NewAnonymizerContext(ctx, db, bounds, AnonymizerOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := anon.Policy(); err != nil {
+		t.Fatal(err)
+	}
+	// Move user 0 to the opposite corner so leaves really change and the
+	// incremental maintenance has rows to recompute.
+	rec := db.At(0)
+	if err := anon.Move(0, geo.Point{X: (1<<10 - 1) - rec.Loc.X, Y: (1<<10 - 1) - rec.Loc.Y}); err != nil {
+		t.Fatal(err)
+	}
+	if n := anon.Refresh(); n == 0 {
+		t.Fatal("Refresh recomputed no rows after a cross-map move")
+	}
+	if _, err := anon.Policy(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tracer.Spans()
+	byName := make(map[string][]obs.SpanRecord)
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	for _, name := range []string{
+		"bulkdp.build", "tree.build", "bulkdp.combine", "bulkdp.extract", "bulkdp.update",
+	} {
+		if len(byName[name]) == 0 {
+			t.Fatalf("no %q span recorded (got %v)", name, names(spans))
+		}
+	}
+	build := byName["bulkdp.build"][0]
+	// tree.build and bulkdp.combine are direct children of bulkdp.build and
+	// temporally contained in it.
+	for _, name := range []string{"tree.build", "bulkdp.combine"} {
+		child := byName[name][0]
+		if child.Parent != build.ID {
+			t.Errorf("%s parent = %d, want bulkdp.build (%d)", name, child.Parent, build.ID)
+		}
+		if child.Start < build.Start || child.Start+child.Dur > build.Start+build.Dur {
+			t.Errorf("%s [%v,%v) not contained in bulkdp.build [%v,%v)",
+				name, child.Start, child.Start+child.Dur, build.Start, build.Start+build.Dur)
+		}
+	}
+	// extract and update nest under the build span even though they run
+	// after it ended (the anonymizer remembers its build context).
+	for _, name := range []string{"bulkdp.extract", "bulkdp.update"} {
+		for _, s := range byName[name] {
+			if s.Parent != build.ID {
+				t.Errorf("%s parent = %d, want bulkdp.build (%d)", name, s.Parent, build.ID)
+			}
+		}
+	}
+	// Aggregates track the same taxonomy, with extract counted twice (one
+	// per Policy call: first fresh, then after the incremental update).
+	stats := tracer.PhaseSummary()
+	counts := make(map[string]int64)
+	for _, st := range stats {
+		counts[st.Name] = st.Count
+	}
+	if counts["bulkdp.build"] != 1 || counts["bulkdp.update"] != 1 {
+		t.Errorf("aggregate counts %v", counts)
+	}
+	if counts["bulkdp.extract"] != 2 {
+		t.Errorf("bulkdp.extract count = %d, want 2", counts["bulkdp.extract"])
+	}
+}
+
+func names(spans []obs.SpanRecord) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -28,6 +29,17 @@ type Dataset struct {
 	Master *location.DB
 	Bounds geo.Rect
 	Seed   int64
+	// Ctx, when set, carries an obs.Tracer through every experiment so
+	// lbsbench runs emit per-phase traces (nil = tracing disabled).
+	Ctx context.Context
+}
+
+// ctx returns the observability context for experiment runs.
+func (d Dataset) ctx() context.Context {
+	if d.Ctx != nil {
+		return d.Ctx
+	}
+	return context.Background()
 }
 
 // NewDataset generates the synthetic Bay-Area Master set (Section VI
@@ -102,7 +114,7 @@ func Fig3(d Dataset, sizes []int, k int) ([]Fig3Row, error) {
 			return nil, err
 		}
 		start := time.Now()
-		t, err := tree.Build(db.Points(), d.Bounds, tree.Options{Kind: tree.Binary, MinCountToSplit: k})
+		t, err := tree.BuildContext(d.ctx(), db.Points(), d.Bounds, tree.Options{Kind: tree.Binary, MinCountToSplit: k})
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +157,7 @@ func Fig4a(d Dataset, sizes, serverCounts []int, k int) ([]Fig4aRow, error) {
 			// Sequential execution keeps the per-server critical-path
 			// measurement honest on machines with fewer cores than
 			// servers; see parallel.Options.Sequential.
-			eng, err := parallel.NewEngine(db, d.Bounds, parallel.Options{K: k, Servers: s, Sequential: true})
+			eng, err := parallel.NewEngineContext(d.ctx(), db, d.Bounds, parallel.Options{K: k, Servers: s, Sequential: true})
 			if err != nil {
 				return nil, err
 			}
@@ -179,7 +191,7 @@ func Fig4b(d Dataset, n int, ks []int) ([]Fig4bRow, error) {
 	var rows []Fig4bRow
 	for _, k := range ks {
 		start := time.Now()
-		anon, err := core.NewAnonymizer(db, d.Bounds, core.AnonymizerOptions{K: k})
+		anon, err := core.NewAnonymizerContext(d.ctx(), db, d.Bounds, core.AnonymizerOptions{K: k})
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +237,7 @@ func Fig5a(d Dataset, sizes []int, k int) ([]Fig5aRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		anon, err := core.NewAnonymizer(db, d.Bounds, core.AnonymizerOptions{K: k})
+		anon, err := core.NewAnonymizerContext(d.ctx(), db, d.Bounds, core.AnonymizerOptions{K: k})
 		if err != nil {
 			return nil, err
 		}
@@ -265,7 +277,7 @@ func Fig5b(d Dataset, n, k int, fractions []float64, maxMoveMeters float64) ([]F
 	var rows []Fig5bRow
 	for fi, f := range fractions {
 		db := base.Clone()
-		anon, err := core.NewAnonymizer(db, d.Bounds, core.AnonymizerOptions{K: k})
+		anon, err := core.NewAnonymizerContext(d.ctx(), db, d.Bounds, core.AnonymizerOptions{K: k})
 		if err != nil {
 			return nil, err
 		}
@@ -286,7 +298,7 @@ func Fig5b(d Dataset, n, k int, fractions []float64, maxMoveMeters float64) ([]F
 		}
 
 		start = time.Now()
-		fresh, err := core.NewAnonymizer(db, d.Bounds, core.AnonymizerOptions{K: k})
+		fresh, err := core.NewAnonymizerContext(d.ctx(), db, d.Bounds, core.AnonymizerOptions{K: k})
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +332,7 @@ func ParallelUtility(d Dataset, n, k int, serverCounts []int) ([]ParallelRow, er
 	if err != nil {
 		return nil, err
 	}
-	anon, err := core.NewAnonymizer(db, d.Bounds, core.AnonymizerOptions{K: k})
+	anon, err := core.NewAnonymizerContext(d.ctx(), db, d.Bounds, core.AnonymizerOptions{K: k})
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +342,7 @@ func ParallelUtility(d Dataset, n, k int, serverCounts []int) ([]ParallelRow, er
 	}
 	var rows []ParallelRow
 	for _, s := range serverCounts {
-		eng, err := parallel.NewEngine(db, d.Bounds, parallel.Options{K: k, Servers: s})
+		eng, err := parallel.NewEngineContext(d.ctx(), db, d.Bounds, parallel.Options{K: k, Servers: s})
 		if err != nil {
 			return nil, err
 		}
@@ -393,7 +405,7 @@ func AnswerSize(d Dataset, n, k, pois int) ([]UtilityRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	anon, err := core.NewAnonymizer(db, d.Bounds, core.AnonymizerOptions{K: k})
+	anon, err := core.NewAnonymizerContext(d.ctx(), db, d.Bounds, core.AnonymizerOptions{K: k})
 	if err != nil {
 		return nil, err
 	}
@@ -446,7 +458,7 @@ func Hilbert(d Dataset, sizes []int, k int) ([]HilbertRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		anon, err := core.NewAnonymizer(db, d.Bounds, core.AnonymizerOptions{K: k})
+		anon, err := core.NewAnonymizerContext(d.ctx(), db, d.Bounds, core.AnonymizerOptions{K: k})
 		if err != nil {
 			return nil, err
 		}
@@ -509,7 +521,7 @@ func Adaptive(d Dataset, sizes []int, k int) ([]AdaptiveRow, error) {
 			return nil, err
 		}
 		t0 := time.Now()
-		anon, err := core.NewAnonymizer(db, d.Bounds, core.AnonymizerOptions{K: k})
+		anon, err := core.NewAnonymizerContext(d.ctx(), db, d.Bounds, core.AnonymizerOptions{K: k})
 		if err != nil {
 			return nil, err
 		}
@@ -520,7 +532,7 @@ func Adaptive(d Dataset, sizes []int, k int) ([]AdaptiveRow, error) {
 		staticTime := time.Since(t0)
 
 		t1 := time.Now()
-		qt, err := tree.Build(db.Points(), d.Bounds, tree.Options{Kind: tree.Quad, MinCountToSplit: k})
+		qt, err := tree.BuildContext(d.ctx(), db.Points(), d.Bounds, tree.Options{Kind: tree.Quad, MinCountToSplit: k})
 		if err != nil {
 			return nil, err
 		}
@@ -594,7 +606,7 @@ func TrajectoryErosion(d Dataset, n, k, snapshots int, target int) ([]Trajectory
 	var series []attacker.TrajectoryObservation
 	var rows []TrajectoryRow
 	for s := 0; s < snapshots; s++ {
-		anon, err := core.NewAnonymizer(db, d.Bounds, core.AnonymizerOptions{K: k})
+		anon, err := core.NewAnonymizerContext(d.ctx(), db, d.Bounds, core.AnonymizerOptions{K: k})
 		if err != nil {
 			return nil, err
 		}

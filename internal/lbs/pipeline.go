@@ -1,9 +1,12 @@
 package lbs
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
+
+	"policyanon/internal/obs"
 )
 
 // Provider is the untrusted LBS provider's query interface: it sees only
@@ -128,16 +131,27 @@ func (c *CSP) SetPolicy(policy *Assignment) {
 // from cache or provider, and return the candidate set together with the
 // anonymized request that was (or would have been) forwarded.
 func (c *CSP) Serve(sr ServiceRequest) (AnonymizedRequest, []POI, error) {
+	return c.ServeContext(context.Background(), sr)
+}
+
+// ServeContext is Serve with tracing: when ctx carries an obs.Tracer the
+// request is recorded as a "csp.serve" span annotated with the cache
+// outcome ("hit" or "miss") and the candidate count, making cache
+// effectiveness visible per request in traces and per phase in metrics.
+func (c *CSP) ServeContext(ctx context.Context, sr ServiceRequest) (AnonymizedRequest, []POI, error) {
+	_, sp := obs.Start(ctx, "csp.serve")
 	c.mu.Lock()
 	policy := c.policy
 	c.nextRID++
 	rid := c.nextRID
 	c.mu.Unlock()
 	if policy == nil {
+		sp.End()
 		return AnonymizedRequest{}, nil, fmt.Errorf("lbs: no policy installed")
 	}
 	ar, err := policy.Anonymize(rid, sr)
 	if err != nil {
+		sp.End()
 		return AnonymizedRequest{}, nil, err
 	}
 	key := keyOf(ar)
@@ -148,16 +162,27 @@ func (c *CSP) Serve(sr ServiceRequest) (AnonymizedRequest, []POI, error) {
 	}
 	c.mu.Unlock()
 	if ok {
+		if sp != nil {
+			sp.SetAttr("cache", "hit")
+			sp.SetInt("candidates", int64(len(cached)))
+			sp.End()
+		}
 		return ar, cached, nil
 	}
 	answer, err := c.provider.Answer(ar)
 	if err != nil {
+		sp.End()
 		return ar, nil, fmt.Errorf("lbs: provider: %w", err)
 	}
 	c.mu.Lock()
 	c.misses++
 	c.cache[key] = answer
 	c.mu.Unlock()
+	if sp != nil {
+		sp.SetAttr("cache", "miss")
+		sp.SetInt("candidates", int64(len(answer)))
+		sp.End()
+	}
 	return ar, answer, nil
 }
 

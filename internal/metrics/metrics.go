@@ -44,8 +44,9 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 // Value returns the stored value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// Histogram is a fixed-boundary latency histogram. The zero value is not
-// usable; create with NewHistogram.
+// Histogram is a fixed-boundary latency histogram. The zero value is
+// ready to use and lazily adopts DefaultLatencyBounds on the first
+// observation; use NewHistogram to choose custom bounds.
 type Histogram struct {
 	mu      sync.Mutex
 	bounds  []time.Duration // upper bounds, ascending; implicit +inf last
@@ -78,10 +79,20 @@ func NewHistogram(bounds []time.Duration) (*Histogram, error) {
 	}, nil
 }
 
+// lazyInit installs the default bounds on a zero-value histogram. Callers
+// must hold h.mu.
+func (h *Histogram) lazyInit() {
+	if h.counts == nil {
+		h.bounds = append([]time.Duration(nil), DefaultLatencyBounds...)
+		h.counts = make([]int64, len(h.bounds)+1)
+	}
+}
+
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.lazyInit()
 	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
 	h.counts[i]++
 	h.total++
@@ -110,6 +121,7 @@ type Summary struct {
 func (h *Histogram) Summary() Summary {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.lazyInit()
 	s := Summary{Count: h.total, Max: h.maxSeen, Under: make(map[string]int64, len(h.bounds)+1)}
 	if h.total > 0 {
 		s.Mean = h.sum / time.Duration(h.total)
@@ -121,6 +133,23 @@ func (h *Histogram) Summary() Summary {
 	}
 	s.Under["inf"] = h.total
 	return s
+}
+
+// export returns the histogram internals the Prometheus encoder needs:
+// upper bounds, cumulative per-bucket counts (one extra entry for +Inf),
+// total count, and the observation sum.
+func (h *Histogram) export() (bounds []time.Duration, cum []int64, count int64, sum time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.lazyInit()
+	bounds = append([]time.Duration(nil), h.bounds...)
+	cum = make([]int64, len(h.counts))
+	running := int64(0)
+	for i, c := range h.counts {
+		running += c
+		cum[i] = running
+	}
+	return bounds, cum, h.total, h.sum
 }
 
 // Registry names and exports a set of metrics.

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text exposition (format version 0.0.4), hand-rolled so the
+// package stays dependency-free.
+//
+// Registry names follow the "family:instance" convention (for example
+// "latency:GET /v1/cloak" or "phase:bulkdp.combine"). The encoder maps
+// the family to a sanitized metric name under the "policyanon" namespace
+// and the instance to a {name="..."} label, so one scrape config covers
+// every route and phase:
+//
+//	requests:POST /v1/snapshot  -> policyanon_requests_total{name="POST /v1/snapshot"}
+//	latency:POST /v1/snapshot   -> policyanon_latency_seconds{name="POST /v1/snapshot"} (histogram)
+//	phase:bulkdp.combine        -> policyanon_phase_seconds{name="bulkdp.combine"} (histogram)
+//
+// Durations are exported in seconds, per Prometheus convention.
+
+// ContentTypePrometheus is the scrape response content type.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+const promNamespace = "policyanon"
+
+// splitName separates a registry name into its metric family and the
+// optional instance label value.
+func splitName(name string) (family, label string) {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return name, ""
+}
+
+// sanitize rewrites s into a legal Prometheus metric-name fragment.
+func sanitize(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "unnamed"
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func labelSuffix(label string) string {
+	if label == "" {
+		return ""
+	}
+	return `{name="` + escapeLabel(label) + `"}`
+}
+
+func histoLabels(label string, le string) string {
+	if label == "" {
+		return `{le="` + le + `"}`
+	}
+	return `{name="` + escapeLabel(label) + `",le="` + le + `"}`
+}
+
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// WritePrometheus renders every metric in the registry in Prometheus text
+// exposition format 0.0.4. Families are emitted in sorted order with one
+// HELP/TYPE header each, making the output stable for golden tests.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	writeFamilies(bw, counters, func(bw *bufio.Writer, fam string, names []string) {
+		metric := promNamespace + "_" + sanitize(fam) + "_total"
+		fmt.Fprintf(bw, "# HELP %s Cumulative count of %s events.\n", metric, fam)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", metric)
+		for _, name := range names {
+			_, label := splitName(name)
+			fmt.Fprintf(bw, "%s%s %d\n", metric, labelSuffix(label), counters[name].Value())
+		}
+	})
+	writeFamilies(bw, gauges, func(bw *bufio.Writer, fam string, names []string) {
+		metric := promNamespace + "_" + sanitize(fam)
+		fmt.Fprintf(bw, "# HELP %s Instantaneous %s value.\n", metric, fam)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", metric)
+		for _, name := range names {
+			_, label := splitName(name)
+			fmt.Fprintf(bw, "%s%s %d\n", metric, labelSuffix(label), gauges[name].Value())
+		}
+	})
+	writeFamilies(bw, histograms, func(bw *bufio.Writer, fam string, names []string) {
+		metric := promNamespace + "_" + sanitize(fam) + "_seconds"
+		fmt.Fprintf(bw, "# HELP %s Latency distribution of %s in seconds.\n", metric, fam)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", metric)
+		for _, name := range names {
+			_, label := splitName(name)
+			bounds, cum, count, sum := histograms[name].export()
+			for i, b := range bounds {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", metric, histoLabels(label, formatSeconds(b)), cum[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", metric, histoLabels(label, "+Inf"), count)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", metric, labelSuffix(label), formatSeconds(sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", metric, labelSuffix(label), count)
+		}
+	})
+	return bw.Flush()
+}
+
+// writeFamilies groups registry names by family, sorts both levels, and
+// hands each family to emit.
+func writeFamilies[M any](bw *bufio.Writer, metrics map[string]M, emit func(*bufio.Writer, string, []string)) {
+	families := make(map[string][]string)
+	for name := range metrics {
+		fam, _ := splitName(name)
+		families[fam] = append(families[fam], name)
+	}
+	famNames := make([]string, 0, len(families))
+	for fam := range families {
+		famNames = append(famNames, fam)
+	}
+	sort.Strings(famNames)
+	for _, fam := range famNames {
+		names := families[fam]
+		sort.Strings(names)
+		emit(bw, fam, names)
+	}
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramZeroValueUsable(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Millisecond) // must not panic on the zero value
+	h.Time(func() {})
+	s := h.Summary()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if got := s.Under[(10 * time.Millisecond).String()]; got != 2 {
+		t.Errorf("under 10ms = %d, want 2 (default bounds adopted)", got)
+	}
+	bounds, cum, count, _ := h.export()
+	if len(bounds) != len(DefaultLatencyBounds) {
+		t.Errorf("bounds = %v, want defaults", bounds)
+	}
+	if count != 2 || cum[len(cum)-1] != 2 {
+		t.Errorf("export count = %d, cum = %v", count, cum)
+	}
+}
+
+// promLine matches one valid exposition sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[^{}]*\})? -?[0-9][0-9eE+.\-]*$`)
+
+func TestWritePrometheusGrammarAndContent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests:POST /v1/snapshot").Add(3)
+	r.Counter("plain").Inc()
+	r.Gauge("users").Set(42)
+	r.Histogram("latency:GET /v1/cloak").Observe(2 * time.Millisecond)
+	r.Histogram("phase:bulkdp.combine").Observe(30 * time.Millisecond)
+	r.Histogram("phase:bulkdp.combine").Observe(300 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		`policyanon_requests_total{name="POST /v1/snapshot"} 3`,
+		`policyanon_plain_total 1`,
+		`policyanon_users 42`,
+		`# TYPE policyanon_latency_seconds histogram`,
+		`policyanon_latency_seconds_bucket{name="GET /v1/cloak",le="0.01"} 1`,
+		`policyanon_latency_seconds_bucket{name="GET /v1/cloak",le="+Inf"} 1`,
+		`policyanon_latency_seconds_count{name="GET /v1/cloak"} 1`,
+		`policyanon_phase_seconds_bucket{name="bulkdp.combine",le="1"} 2`,
+		`policyanon_phase_seconds_count{name="bulkdp.combine"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// Every non-comment, non-blank line must parse as a sample.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+	}
+	// Buckets must be cumulative (non-decreasing).
+	bucketRe := regexp.MustCompile(`policyanon_phase_seconds_bucket\{name="bulkdp\.combine",le="[^"]+"\} (\d+)`)
+	prev := int64(-1)
+	for _, m := range bucketRe.FindAllStringSubmatch(out, -1) {
+		v, err := strconv.ParseInt(m[1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Errorf("buckets not cumulative: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`weird:va"lue\with` + "\n" + `newline`).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `policyanon_weird_total{name="va\"lue\\with\nnewline"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("escaping wrong:\n%s", buf.String())
+	}
+}

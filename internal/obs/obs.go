@@ -1,0 +1,272 @@
+// Package obs is the zero-dependency tracing layer of the anonymization
+// stack: hierarchical wall-clock spans carried through context.Context,
+// aggregated into per-phase timing statistics and exportable as Chrome
+// trace_event JSON (loadable in chrome://tracing or Perfetto).
+//
+// The stable span taxonomy (see docs/OBSERVABILITY.md) names the phases of
+// the paper's Algorithm 1 / Section V pipeline — tree.build,
+// bulkdp.build ⊃ bulkdp.combine, bulkdp.extract, bulkdp.update,
+// parallel.worker, cluster.shard, csp.serve — so that traces stay
+// comparable across benchmark runs and PRs.
+//
+// Tracing is opt-in per call tree: a Tracer is installed with WithTracer
+// and picked up by Start. When no tracer is installed, Start returns a nil
+// *Span whose methods are no-ops; the disabled path performs no
+// allocations and no locking, so instrumented hot paths cost nothing in
+// production configurations that do not trace.
+package obs
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"policyanon/internal/metrics"
+)
+
+// Attr is one key/value span annotation.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed operation. A nil *Span is valid and inert: every
+// method is a no-op, which is how the disabled-tracing path stays free.
+type Span struct {
+	tracer *Tracer
+	name   string
+	id     uint64
+	parent uint64
+	lane   uint64
+	start  time.Time
+	attrs  []Attr
+}
+
+// ctxKey carries the current *Span (whose tracer field identifies the
+// installed Tracer) through a context chain.
+type ctxKey struct{}
+
+// DefaultSpanLimit bounds the number of finished spans a Tracer retains
+// for export; beyond it spans still feed the aggregates but are dropped
+// from the trace buffer (Dropped reports how many).
+const DefaultSpanLimit = 1 << 16
+
+// Tracer collects finished spans and per-phase aggregates. It is safe for
+// concurrent use by multiple goroutines.
+type Tracer struct {
+	nextID   atomic.Uint64
+	nextLane atomic.Uint64
+
+	mu      sync.Mutex
+	epoch   time.Time
+	spans   []SpanRecord
+	dropped int64
+	limit   int
+	keep    bool
+	agg     map[string]*phaseAgg
+	reg     *metrics.Registry
+}
+
+type phaseAgg struct {
+	count      int64
+	total, min time.Duration
+	max        time.Duration
+}
+
+// NewTracer returns a tracer that retains up to DefaultSpanLimit spans.
+func NewTracer() *Tracer {
+	return &Tracer{
+		epoch: time.Now(),
+		limit: DefaultSpanLimit,
+		keep:  true,
+		agg:   make(map[string]*phaseAgg),
+	}
+}
+
+// SetRegistry mirrors every finished span into reg: a latency observation
+// on histogram "phase:<name>" and an increment of counter
+// "phase_spans:<name>". This is how the server turns spans into
+// Prometheus series without retaining trace buffers.
+func (t *Tracer) SetRegistry(reg *metrics.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reg = reg
+}
+
+// KeepSpans toggles span retention for trace export. With keep=false only
+// the per-phase aggregates (and the registry mirror) are maintained —
+// the right setting for long-running servers.
+func (t *Tracer) KeepSpans(keep bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.keep = keep
+}
+
+// SetLimit caps the retained-span buffer (n < 1 resets to the default).
+func (t *Tracer) SetLimit(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 1 {
+		n = DefaultSpanLimit
+	}
+	t.limit = n
+}
+
+// Dropped reports spans discarded after the buffer limit was reached.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WithTracer installs tr as the tracer for the returned context's call
+// tree. A nil tr returns ctx unchanged (tracing stays disabled).
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, &Span{tracer: tr})
+}
+
+// TracerFrom returns the tracer installed in ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	if sp, ok := ctx.Value(ctxKey{}).(*Span); ok {
+		return sp.tracer
+	}
+	return nil
+}
+
+// Start begins a span named name under the span current in ctx and
+// returns a derived context carrying the new span. When ctx carries no
+// tracer it returns ctx unchanged and a nil span, without allocating.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent, ok := ctx.Value(ctxKey{}).(*Span)
+	if !ok || parent.tracer == nil {
+		return ctx, nil
+	}
+	return startUnder(ctx, parent, name, false)
+}
+
+// StartLane is Start on a fresh display lane: the span (and its children)
+// render on their own timeline row in the Chrome trace instead of
+// stacking under the parent's row. Use it for spans that run concurrently
+// with their siblings — per-jurisdiction workers, per-shard RPCs — so
+// overlapping work stays readable; the parent/child relation is preserved
+// in the span records either way.
+func StartLane(ctx context.Context, name string) (context.Context, *Span) {
+	parent, ok := ctx.Value(ctxKey{}).(*Span)
+	if !ok || parent.tracer == nil {
+		return ctx, nil
+	}
+	return startUnder(ctx, parent, name, true)
+}
+
+func startUnder(ctx context.Context, parent *Span, name string, newLane bool) (context.Context, *Span) {
+	tr := parent.tracer
+	lane := parent.lane
+	if newLane || parent.id == 0 {
+		lane = tr.nextLane.Add(1)
+	}
+	sp := &Span{
+		tracer: tr,
+		name:   name,
+		id:     tr.nextID.Add(1),
+		parent: parent.id,
+		lane:   lane,
+		start:  time.Now(),
+	}
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// SetAttr annotates the span. No-op on a nil span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetInt annotates the span with an integer value. No-op on a nil span.
+func (s *Span) SetInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(value, 10)})
+}
+
+// End finishes the span, recording its duration into the tracer. No-op on
+// a nil span. End must be called at most once, from the goroutine that
+// started the span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tracer.finish(s, time.Since(s.start))
+}
+
+// SpanRecord is one finished span as retained by the tracer. Start is the
+// offset from the tracer's epoch (its creation time).
+type SpanRecord struct {
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent"` // 0 = root
+	Lane   uint64        `json:"lane"`
+	Name   string        `json:"name"`
+	Start  time.Duration `json:"startNs"`
+	Dur    time.Duration `json:"durNs"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+}
+
+func (t *Tracer) finish(s *Span, dur time.Duration) {
+	t.mu.Lock()
+	a, ok := t.agg[s.name]
+	if !ok {
+		a = &phaseAgg{min: dur}
+		t.agg[s.name] = a
+	}
+	a.count++
+	a.total += dur
+	if dur < a.min {
+		a.min = dur
+	}
+	if dur > a.max {
+		a.max = dur
+	}
+	if t.keep {
+		if len(t.spans) < t.limit {
+			t.spans = append(t.spans, SpanRecord{
+				ID: s.id, Parent: s.parent, Lane: s.lane, Name: s.name,
+				Start: s.start.Sub(t.epoch), Dur: dur, Attrs: s.attrs,
+			})
+		} else {
+			t.dropped++
+		}
+	}
+	reg := t.reg
+	t.mu.Unlock()
+	if reg != nil {
+		reg.Histogram("phase:" + s.name).Observe(dur)
+		reg.Counter("phase_spans:" + s.name).Inc()
+	}
+}
+
+// Spans returns a copy of the retained spans ordered by start time.
+func (t *Tracer) Spans() []SpanRecord {
+	t.mu.Lock()
+	out := append([]SpanRecord(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Reset discards retained spans and aggregates, starting a new epoch.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.epoch = time.Now()
+	t.spans = t.spans[:0]
+	t.dropped = 0
+	t.agg = make(map[string]*phaseAgg)
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// PhaseStat aggregates every finished span of one name.
+type PhaseStat struct {
+	Name  string        `json:"name"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"totalNs"`
+	Min   time.Duration `json:"minNs"`
+	Max   time.Duration `json:"maxNs"`
+	Mean  time.Duration `json:"meanNs"`
+}
+
+// PhaseSummary returns per-phase timing statistics, heaviest total first.
+// It is maintained independently of span retention, so it works on
+// tracers running with KeepSpans(false).
+func (t *Tracer) PhaseSummary() []PhaseStat {
+	t.mu.Lock()
+	stats := make([]PhaseStat, 0, len(t.agg))
+	for name, a := range t.agg {
+		stats = append(stats, PhaseStat{
+			Name: name, Count: a.count, Total: a.total,
+			Min: a.min, Max: a.max, Mean: a.total / time.Duration(a.count),
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Total != stats[j].Total {
+			return stats[i].Total > stats[j].Total
+		}
+		return stats[i].Name < stats[j].Name
+	})
+	return stats
+}
+
+// WritePhaseTable renders the phase summary as an aligned text table, the
+// in-process per-phase breakdown the Section VI evaluation tables are
+// built from.
+func (t *Tracer) WritePhaseTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tcount\ttotal\tmean\tmin\tmax")
+	for _, s := range t.PhaseSummary() {
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%v\t%v\t%v\n",
+			s.Name, s.Count,
+			s.Total.Round(time.Microsecond), s.Mean.Round(time.Microsecond),
+			s.Min.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	}
+	return tw.Flush()
+}

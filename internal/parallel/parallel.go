@@ -13,6 +13,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"policyanon/internal/geo"
 	"policyanon/internal/lbs"
 	"policyanon/internal/location"
+	"policyanon/internal/obs"
 	"policyanon/internal/tree"
 )
 
@@ -32,10 +34,21 @@ import (
 // list reaches n entries or no node can be split. The returned rectangles
 // partition the map.
 func Partition(db *location.DB, bounds geo.Rect, k, n int) ([]geo.Rect, error) {
+	return PartitionContext(context.Background(), db, bounds, k, n)
+}
+
+// PartitionContext is Partition with tracing: the greedy jurisdiction
+// selection is recorded as a "parallel.partition" span.
+func PartitionContext(ctx context.Context, db *location.DB, bounds geo.Rect, k, n int) ([]geo.Rect, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("parallel: need at least 1 jurisdiction, got %d", n)
 	}
-	t, err := tree.Build(db.Points(), bounds, tree.Options{Kind: tree.Binary, MinCountToSplit: k})
+	ctx, sp := obs.Start(ctx, "parallel.partition")
+	if sp != nil {
+		sp.SetInt("requested", int64(n))
+		defer sp.End()
+	}
+	t, err := tree.BuildContext(ctx, db.Points(), bounds, tree.Options{Kind: tree.Binary, MinCountToSplit: k})
 	if err != nil {
 		return nil, err
 	}
@@ -120,13 +133,28 @@ type Options struct {
 // dynamic program on every non-empty jurisdiction concurrently, one
 // goroutine per server.
 func NewEngine(db *location.DB, bounds geo.Rect, opt Options) (*Engine, error) {
+	return NewEngineContext(context.Background(), db, bounds, opt)
+}
+
+// NewEngineContext is NewEngine with tracing: the whole build is recorded
+// as a "parallel.build" span; every per-jurisdiction server runs as a
+// "parallel.worker" span on its own display lane, so a Chrome trace shows
+// the critical-path imbalance that CriticalPath() summarizes as one
+// number.
+func NewEngineContext(ctx context.Context, db *location.DB, bounds geo.Rect, opt Options) (*Engine, error) {
 	if opt.K < 1 {
 		return nil, fmt.Errorf("parallel: k must be >= 1, got %d", opt.K)
 	}
 	if opt.Servers < 1 {
 		opt.Servers = 1
 	}
-	jur, err := Partition(db, bounds, opt.K, opt.Servers)
+	ctx, bsp := obs.Start(ctx, "parallel.build")
+	if bsp != nil {
+		bsp.SetInt("users", int64(db.Len()))
+		bsp.SetInt("servers", int64(opt.Servers))
+		defer bsp.End()
+	}
+	jur, err := PartitionContext(ctx, db, bounds, opt.K, opt.Servers)
 	if err != nil {
 		return nil, err
 	}
@@ -152,11 +180,17 @@ func NewEngine(db *location.DB, bounds geo.Rect, opt Options) (*Engine, error) {
 	var wg sync.WaitGroup
 	errs := make([]error, len(jur))
 	runServer := func(j int) {
+		wctx, wsp := obs.StartLane(ctx, "parallel.worker")
+		if wsp != nil {
+			wsp.SetInt("jurisdiction", int64(j))
+			wsp.SetInt("users", int64(subs[j].Len()))
+		}
 		start := time.Now()
-		anon, err := core.NewAnonymizer(subs[j], squareOver(jur[j]), core.AnonymizerOptions{
+		anon, err := core.NewAnonymizerContext(wctx, subs[j], squareOver(jur[j]), core.AnonymizerOptions{
 			K: opt.K, DP: opt.DP,
 		})
 		e.servers[j].elapsed = time.Since(start)
+		wsp.End()
 		if err != nil {
 			errs[j] = fmt.Errorf("parallel: jurisdiction %d: %w", j, err)
 			return

@@ -17,6 +17,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"policyanon/internal/lbs"
 	"policyanon/internal/location"
 	"policyanon/internal/metrics"
+	"policyanon/internal/obs"
 )
 
 // Server is the HTTP anonymization service. Create with New and mount via
@@ -46,6 +48,7 @@ type Server struct {
 	provider *lbs.POIProvider
 	stats    Stats
 	reg      *metrics.Registry
+	tracer   *obs.Tracer
 }
 
 // Stats reports the server's state.
@@ -65,19 +68,39 @@ type Stats struct {
 }
 
 // New returns an empty server; install a snapshot before serving requests.
-func New() *Server { return &Server{reg: metrics.NewRegistry()} }
+// The server traces every anonymization and serve phase into its metrics
+// registry (span retention stays off: a long-running server keeps
+// aggregates and histograms, not trace buffers).
+func New() *Server {
+	reg := metrics.NewRegistry()
+	tracer := obs.NewTracer()
+	tracer.KeepSpans(false)
+	tracer.SetRegistry(reg)
+	return &Server{reg: reg, tracer: tracer}
+}
+
+// Metrics exposes the server's registry (shared with the phase tracer).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Tracer exposes the server's phase tracer, e.g. to print a phase table
+// on shutdown.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// obsCtx threads the server's tracer into a request-scoped context.
+func (s *Server) obsCtx(r *http.Request) context.Context {
+	return obs.WithTracer(r.Context(), s.tracer)
+}
 
 // Handler returns the HTTP handler tree. Every endpoint is wrapped with
 // per-route request counting and latency histograms, exported at
-// /v1/metrics.
+// /v1/metrics (JSON by default, Prometheus text exposition with
+// ?format=prometheus).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.reg.Snapshot())
-	})
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/moves", s.handleMoves)
 	mux.HandleFunc("POST /v1/pois", s.handlePOIs)
@@ -98,6 +121,25 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 		})
 	})
+}
+
+// handleMetrics exports the registry: JSON snapshot by default, or
+// Prometheus text exposition format 0.0.4 with ?format=prometheus.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	case "prometheus":
+		w.Header().Set("Content-Type", metrics.ContentTypePrometheus)
+		w.WriteHeader(http.StatusOK)
+		if err := s.reg.WritePrometheus(w); err != nil {
+			// Headers are out; nothing better to do than note it inline.
+			fmt.Fprintf(w, "\n# exposition error: %v\n", err)
+		}
+	default:
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (want json or prometheus)", r.URL.Query().Get("format")))
+	}
 }
 
 // UserJSON is one location-database row on the wire.
@@ -149,7 +191,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	bounds := geo.NewRect(0, 0, req.MapSide, req.MapSide)
 	start := time.Now()
-	anon, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: req.K})
+	anon, err := core.NewAnonymizerContext(s.obsCtx(r), db, bounds, core.AnonymizerOptions{K: req.K})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -209,7 +251,7 @@ func (s *Server) handleMoves(w http.ResponseWriter, r *http.Request) {
 	if s.anon == nil && s.db != nil {
 		// State restored from a checkpoint carries no configuration
 		// matrix; rebuild it once, after which maintenance is incremental.
-		anon, err := core.NewAnonymizer(s.db, s.bounds, core.AnonymizerOptions{K: s.k})
+		anon, err := core.NewAnonymizerContext(s.obsCtx(r), s.db, s.bounds, core.AnonymizerOptions{K: s.k})
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, err)
 			return
@@ -341,7 +383,7 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sr := lbs.ServiceRequest{UserID: req.User, Loc: geo.Point{X: req.X, Y: req.Y}, Params: req.Params}
-	ar, answer, err := csp.Serve(sr)
+	ar, answer, err := csp.ServeContext(s.obsCtx(r), sr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -326,5 +328,73 @@ func TestMetricsEndpoint(t *testing.T) {
 	hists := body["histograms"].(map[string]any)
 	if _, ok := hists["latency:POST /v1/snapshot"]; !ok {
 		t.Fatalf("snapshot latency not recorded: %v", hists)
+	}
+}
+
+// TestServerPrometheusExposition locks the /v1/metrics?format=prometheus
+// contract: valid text exposition (v0.0.4) carrying the per-route request
+// counters and latency histograms plus the per-phase anonymization
+// timings recorded by the server's tracer.
+func TestServerPrometheusExposition(t *testing.T) {
+	ts := newTestServer(t)
+	installSnapshot(t, ts.URL, 5)
+	installPOIs(t, ts.URL)
+	resp, body := post(t, ts.URL+"/v1/request", ServiceRequestJSON{User: "u03", X: 39, Y: 23})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request: %d %v", resp.StatusCode, body)
+	}
+
+	promResp, err := http.Get(ts.URL + "/v1/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promResp.Body.Close()
+	if promResp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus metrics: %d", promResp.StatusCode)
+	}
+	if ct := promResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(promResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	// Every non-comment line must match the exposition grammar.
+	lineRE := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.e+-]+|\+Inf|NaN)$`)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !lineRE.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	// Request accounting, latency histograms, and span-derived phase
+	// timings must all be present.
+	for _, want := range []string{
+		`policyanon_requests_total{name="POST /v1/snapshot"} `,
+		`policyanon_requests_total{name="POST /v1/request"} `,
+		`policyanon_latency_seconds_count{name="POST /v1/snapshot"} `,
+		`policyanon_latency_seconds_bucket{name="POST /v1/snapshot",le="+Inf"} `,
+		`policyanon_phase_seconds_count{name="bulkdp.build"} `,
+		`policyanon_phase_seconds_count{name="csp.serve"} `,
+		`policyanon_phase_spans_total{name="bulkdp.build"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Unknown formats are rejected.
+	badResp, err := http.Get(ts.URL + "/v1/metrics?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("format=xml: %d, want 400", badResp.StatusCode)
 	}
 }

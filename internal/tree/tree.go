@@ -22,10 +22,12 @@
 package tree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"policyanon/internal/geo"
+	"policyanon/internal/obs"
 )
 
 // Kind selects the splitting discipline.
@@ -98,6 +100,23 @@ type Tree struct {
 
 // ErrOutOfBounds is returned when a point does not lie inside the map.
 var ErrOutOfBounds = errors.New("tree: point outside map bounds")
+
+// BuildContext is Build with tracing: when ctx carries an obs.Tracer the
+// materialization is recorded as a "tree.build" span annotated with the
+// point count, tree kind, and the number of nodes materialized.
+func BuildContext(ctx context.Context, points []geo.Point, bounds geo.Rect, opt Options) (*Tree, error) {
+	_, sp := obs.Start(ctx, "tree.build")
+	t, err := Build(points, bounds, opt)
+	if sp != nil {
+		sp.SetInt("points", int64(len(points)))
+		sp.SetAttr("kind", opt.Kind.String())
+		if err == nil {
+			sp.SetInt("nodes", int64(t.NumNodes()))
+		}
+		sp.End()
+	}
+	return t, err
+}
 
 // Build constructs the tree over the given points. bounds must be a square
 // containing every point (half-open).

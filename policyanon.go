@@ -36,6 +36,7 @@
 package policyanon
 
 import (
+	"context"
 	"io"
 
 	"policyanon/internal/attacker"
@@ -47,6 +48,8 @@ import (
 	"policyanon/internal/history"
 	"policyanon/internal/lbs"
 	"policyanon/internal/location"
+	"policyanon/internal/metrics"
+	"policyanon/internal/obs"
 	"policyanon/internal/parallel"
 	"policyanon/internal/roadnet"
 	"policyanon/internal/rolling"
@@ -189,6 +192,15 @@ func NewAnonymizer(db *LocationDB, bounds Rect, opt Options) (*Anonymizer, error
 	return core.NewAnonymizer(db, bounds, opt)
 }
 
+// NewAnonymizerContext is NewAnonymizer with a context: when ctx carries a
+// tracer (WithTracer), the build emits bulkdp.build, tree.build and
+// bulkdp.combine spans, and later Policy/Update calls emit bulkdp.extract
+// and bulkdp.update nested under the build. Without a tracer it behaves
+// exactly like NewAnonymizer at zero overhead.
+func NewAnonymizerContext(ctx context.Context, db *LocationDB, bounds Rect, opt Options) (*Anonymizer, error) {
+	return core.NewAnonymizerContext(ctx, db, bounds, opt)
+}
+
 // PUQ computes the policy-unaware quad-tree baseline of [16].
 func PUQ(db *LocationDB, bounds Rect, k int) (*Assignment, error) {
 	return baseline.PUQ(db, bounds, k)
@@ -298,6 +310,13 @@ func MultiKAudit(a *Assignment, ks []int) []int { return core.MultiKAudit(a, ks)
 // parallel (Section V, "Parallel Anonymization").
 func NewEngine(db *LocationDB, bounds Rect, opt EngineOptions) (*Engine, error) {
 	return parallel.NewEngine(db, bounds, opt)
+}
+
+// NewEngineContext is NewEngine with a context: a ctx-carried tracer
+// records parallel.build, parallel.partition and one parallel.worker lane
+// per jurisdiction server.
+func NewEngineContext(ctx context.Context, db *LocationDB, bounds Rect, opt EngineOptions) (*Engine, error) {
+	return parallel.NewEngineContext(ctx, db, bounds, opt)
 }
 
 // Partition returns the greedy jurisdiction partition without running the
@@ -422,3 +441,45 @@ func ReadHistory(r io.Reader) ([]*CheckpointState, error) { return history.ReadA
 func ReplayTrajectory(states []*CheckpointState, userID string) ([]string, error) {
 	return history.ReplayTrajectory(states, userID)
 }
+
+// Observability layer: hierarchical phase tracing and metrics. A Tracer
+// rides in a context (WithTracer) and every traced operation — bulk
+// anonymization, incremental maintenance, parallel workers, cluster shard
+// RPCs, the CSP serve path — records spans into it; export them as a
+// Chrome trace_event file (Tracer.WriteChromeTrace), an aggregated phase
+// table (Tracer.WritePhaseTable), or Prometheus text exposition via a
+// MetricsRegistry (Tracer.SetRegistry + Registry.WritePrometheus). A
+// context without a tracer costs nothing. See docs/OBSERVABILITY.md.
+type (
+	// Tracer collects hierarchical timing spans from traced operations.
+	Tracer = obs.Tracer
+	// Span is one timed phase; it is nil-safe, so untraced paths pay
+	// nothing.
+	Span = obs.Span
+	// PhaseStat is one row of the aggregated per-phase timing summary.
+	PhaseStat = obs.PhaseStat
+	// MetricsRegistry holds named counters and latency histograms and
+	// serves them as JSON or Prometheus text exposition.
+	MetricsRegistry = metrics.Registry
+)
+
+// NewTracer returns an empty tracer ready to attach with WithTracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// WithTracer returns a context whose traced operations record spans into
+// tr. Library calls that take a context (NewAnonymizerContext,
+// NewEngineContext, cluster and CSP paths) pick it up automatically.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return obs.WithTracer(ctx, tr)
+}
+
+// StartSpan opens an application-level span under the context's current
+// span, for bracketing caller code in the same trace; it returns the
+// unmodified context and a nil span when the context carries no tracer.
+// End the span with Span.End.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.Start(ctx, name)
+}
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
