@@ -1,17 +1,20 @@
 // Command anoncli bulk-anonymizes a location snapshot: it reads a CSV
-// location database (userid,locx,locy), computes the optimal policy-aware
-// sender k-anonymous policy, and writes the per-user cloaks as CSV
-// (userid,minx,miny,maxx,maxy).
+// location database (userid,locx,locy), computes a sender k-anonymous
+// cloaking policy with the selected engine, and writes the per-user
+// cloaks as CSV (userid,minx,miny,maxx,maxy).
 //
 // Usage:
 //
 //	datagen -intersections 5000 -out snap.csv
 //	anoncli -in snap.csv -k 50 -out cloaks.csv
+//	anoncli -in snap.csv -k 50 -engine casper -out cloaks.csv
+//	anoncli -list-engines
 //
 // Observability: -trace FILE writes a Chrome trace_event JSON file of the
 // run's phase spans (open it in chrome://tracing or https://ui.perfetto.dev);
 // -phase-summary prints an aggregated per-phase timing table to stderr.
-// See docs/OBSERVABILITY.md for the span taxonomy.
+// See docs/OBSERVABILITY.md for the span taxonomy and docs/ENGINES.md for
+// the engine registry.
 package main
 
 import (
@@ -20,14 +23,16 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"time"
 
-	"policyanon/internal/core"
+	"policyanon/internal/engine"
 	"policyanon/internal/geo"
 	"policyanon/internal/location"
 	"policyanon/internal/obs"
+	_ "policyanon/internal/parallel" // register the "parallel" engine
 	"policyanon/internal/workload"
 )
 
@@ -36,18 +41,41 @@ func main() {
 		in       = flag.String("in", "-", "input CSV ('-' for stdin)")
 		out      = flag.String("out", "-", "output CSV ('-' for stdout)")
 		k        = flag.Int("k", 50, "anonymity parameter k")
+		engName  = flag.String("engine", engine.DefaultName, "anonymization engine (see -list-engines)")
+		list     = flag.Bool("list-engines", false, "list registered engines and exit")
 		mapSide  = flag.Int("mapside", int(workload.DefaultMapSide), "square map side (meters)")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
 		phases   = flag.Bool("phase-summary", false, "print per-phase timing table to stderr")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *k, int32(*mapSide), *traceOut, *phases); err != nil {
+	if *list {
+		listEngines(os.Stdout)
+		return
+	}
+	if err := run(*in, *out, *k, *engName, int32(*mapSide), *traceOut, *phases); err != nil {
 		fmt.Fprintln(os.Stderr, "anoncli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, k int, mapSide int32, traceOut string, phases bool) error {
+// listEngines prints the registry, one engine per line, default first
+// column marked with '*'.
+func listEngines(w io.Writer) {
+	for _, info := range engine.Infos() {
+		marker := " "
+		if info.Name == engine.DefaultName {
+			marker = "*"
+		}
+		fmt.Fprintf(w, "%s %-14s policy-aware=%-5t incremental=%-5t %s\n",
+			marker, info.Name, info.PolicyAware, info.Incremental, info.Description)
+	}
+}
+
+func run(in, out string, k int, engName string, mapSide int32, traceOut string, phases bool) error {
+	eng, err := engine.Get(engName)
+	if err != nil {
+		return err
+	}
 	ctx := context.Background()
 	var tracer *obs.Tracer
 	if traceOut != "" || phases {
@@ -69,11 +97,7 @@ func run(in, out string, k int, mapSide int32, traceOut string, phases bool) err
 	}
 	bounds := geo.NewRect(0, 0, mapSide, mapSide)
 	start := time.Now()
-	anon, err := core.NewAnonymizerContext(ctx, db, bounds, core.AnonymizerOptions{K: k})
-	if err != nil {
-		return err
-	}
-	policy, err := anon.Policy()
+	policy, err := engine.Wrap(eng, engine.WithTracing()).Anonymize(ctx, db, bounds, engine.Params{K: k})
 	if err != nil {
 		return err
 	}
@@ -109,8 +133,8 @@ func run(in, out string, k int, mapSide int32, traceOut string, phases bool) err
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
-		"anoncli: anonymized %d users with k=%d in %v (cost %d, avg cloak %.0f m^2)\n",
-		db.Len(), k, elapsed.Round(time.Millisecond), policy.Cost(), policy.AvgArea())
+		"anoncli: anonymized %d users with %s k=%d in %v (cost %d, avg cloak %.0f m^2)\n",
+		db.Len(), engName, k, elapsed.Round(time.Millisecond), policy.Cost(), policy.AvgArea())
 	if phases {
 		if err := tracer.WritePhaseTable(os.Stderr); err != nil {
 			return err

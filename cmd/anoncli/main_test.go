@@ -6,8 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 
+	"policyanon/internal/engine"
 	"policyanon/internal/geo"
 	"policyanon/internal/location"
 	"policyanon/internal/workload"
@@ -35,7 +37,7 @@ func TestRunAnonymizesCSV(t *testing.T) {
 	out := filepath.Join(dir, "out.csv")
 	db := writeSnapshot(t, in, 400)
 	const k = 10
-	if err := run(in, out, k, 1<<12, "", false); err != nil {
+	if err := run(in, out, k, engine.DefaultName, 1<<12, "", false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -87,7 +89,7 @@ func TestRunEmitsChromeTrace(t *testing.T) {
 	in := filepath.Join(dir, "in.csv")
 	tracePath := filepath.Join(dir, "trace.json")
 	writeSnapshot(t, in, 400)
-	if err := run(in, filepath.Join(dir, "out.csv"), 10, 1<<12, tracePath, false); err != nil {
+	if err := run(in, filepath.Join(dir, "out.csv"), 10, engine.DefaultName, 1<<12, tracePath, false); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(tracePath)
@@ -128,14 +130,56 @@ func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "in.csv")
 	writeSnapshot(t, in, 40)
-	if err := run(in, filepath.Join(dir, "out.csv"), 0, 1<<12, "", false); err == nil {
+	if err := run(in, filepath.Join(dir, "out.csv"), 0, engine.DefaultName, 1<<12, "", false); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if err := run(filepath.Join(dir, "missing.csv"), "-", 5, 1<<12, "", false); err == nil {
+	if err := run(filepath.Join(dir, "missing.csv"), "-", 5, engine.DefaultName, 1<<12, "", false); err == nil {
 		t.Error("missing input accepted")
 	}
 	// Too few users for k.
-	if err := run(in, filepath.Join(dir, "out2.csv"), 10000, 1<<12, "", false); err == nil {
+	if err := run(in, filepath.Join(dir, "out2.csv"), 10000, engine.DefaultName, 1<<12, "", false); err == nil {
 		t.Error("k > |D| accepted")
+	}
+	// Unknown engine.
+	if err := run(in, filepath.Join(dir, "out3.csv"), 5, "no-such-engine", 1<<12, "", false); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+// TestRunWithBaselineEngine exercises per-engine selection end to end: the
+// casper engine produces a valid masking cloaking via the same CLI path.
+func TestRunWithBaselineEngine(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	out := filepath.Join(dir, "out.csv")
+	db := writeSnapshot(t, in, 400)
+	if err := run(in, out, 10, "casper", 1<<12, "", false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != db.Len() {
+		t.Fatalf("wrote %d cloaks for %d users", len(rows), db.Len())
+	}
+}
+
+func TestListEngines(t *testing.T) {
+	var sb strings.Builder
+	listEngines(&sb)
+	got := sb.String()
+	for _, name := range []string{"bulkdp-binary", "casper", "hilbert", "parallel"} {
+		if !strings.Contains(got, name) {
+			t.Errorf("list-engines output missing %q:\n%s", name, got)
+		}
+	}
+	if !strings.Contains(got, "* bulkdp-binary") {
+		t.Errorf("default engine not marked:\n%s", got)
 	}
 }

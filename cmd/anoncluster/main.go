@@ -35,17 +35,18 @@ func main() {
 		in      = flag.String("in", "-", "input CSV ('-' for stdin)")
 		out     = flag.String("out", "-", "output CSV ('-' for stdout)")
 		k       = flag.Int("k", 50, "anonymity parameter k")
+		engName = flag.String("engine", "", "anonymization engine run by every worker (empty = worker default)")
 		mapSide = flag.Int("mapside", int(workload.DefaultMapSide), "square map side (meters)")
 		timeout = flag.Duration("timeout", 5*time.Minute, "overall deadline")
 	)
 	flag.Parse()
-	if err := run(*workers, *in, *out, *k, int32(*mapSide), *timeout); err != nil {
+	if err := run(*workers, *in, *out, *k, *engName, int32(*mapSide), *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "anoncluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workers, in, out string, k int, mapSide int32, timeout time.Duration) error {
+func run(workers, in, out string, k int, engName string, mapSide int32, timeout time.Duration) error {
 	var urls []string
 	for _, w := range strings.Split(workers, ",") {
 		if w = strings.TrimSpace(w); w != "" {
@@ -55,6 +56,9 @@ func run(workers, in, out string, k int, mapSide int32, timeout time.Duration) e
 	coord, err := cluster.New(urls, nil)
 	if err != nil {
 		return err
+	}
+	if engName != "" {
+		coord.UseEngine(engName)
 	}
 	r := os.Stdin
 	if in != "-" {

@@ -35,7 +35,7 @@ func TestRunAgainstLivePool(t *testing.T) {
 	}
 	f.Close()
 
-	if err := run(strings.Join(urls, ","), in, out, 10, mapSide, time.Minute); err != nil {
+	if err := run(strings.Join(urls, ","), in, out, 10, "", mapSide, time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := os.ReadFile(out)
@@ -49,10 +49,10 @@ func TestRunAgainstLivePool(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "-", "-", 5, 1<<10, time.Second); err == nil {
+	if err := run("", "-", "-", 5, "", 1<<10, time.Second); err == nil {
 		t.Error("empty worker list accepted")
 	}
-	if err := run("http://127.0.0.1:1", "/nonexistent.csv", "-", 5, 1<<10, time.Second); err == nil {
+	if err := run("http://127.0.0.1:1", "/nonexistent.csv", "-", 5, "", 1<<10, time.Second); err == nil {
 		t.Error("missing input accepted")
 	}
 }

@@ -4,6 +4,10 @@
 // Usage:
 //
 //	anonserver -addr :8080 -state state.ck
+//	anonserver -addr :8080 -engine casper    # default engine for snapshots
+//
+// Snapshot requests may override the engine per request with ?engine=NAME
+// or an "engine" body field; GET /v1/engines lists the registry.
 //
 // With -state, the server restores the snapshot and policy from the file
 // at startup (when it exists) and checkpoints back to it on SIGINT or
@@ -40,6 +44,8 @@ import (
 	"syscall"
 	"time"
 
+	"policyanon/internal/engine"
+	_ "policyanon/internal/parallel" // register the "parallel" engine
 	"policyanon/internal/server"
 )
 
@@ -47,11 +53,15 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		state     = flag.String("state", "", "checkpoint file: restored at startup, written on shutdown")
+		engName   = flag.String("engine", engine.DefaultName, "default anonymization engine (see GET /v1/engines)")
 		withPprof = flag.Bool("pprof", true, "mount Go profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
 	srv := server.New()
+	if err := srv.SetDefaultEngine(*engName); err != nil {
+		log.Fatalf("anonserver: %v", err)
+	}
 	if *state != "" {
 		if f, err := os.Open(*state); err == nil {
 			err := srv.RestoreFrom(f)

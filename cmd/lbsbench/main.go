@@ -13,7 +13,11 @@
 // overhead vs Casper/PUB/PUQ), fig5b (incremental maintenance), parallel
 // (Section VI-D utility loss), hilbert (policy-aware-safe schemes),
 // adaptive (semi-quadrant orientation), trajectory (anonymity erosion),
-// utility (answer sizes), all.
+// utility (answer sizes), engines (cross-engine registry sweep; select
+// engines with -engines), all.
+//
+// All comparative experiments resolve their policies from the engine
+// registry (internal/engine), so output keys are stable registry names.
 //
 // Observability: -trace FILE writes a Chrome trace_event JSON file of
 // every anonymization phase the selected experiments ran (open in
@@ -28,31 +32,57 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"policyanon/internal/engine"
 	"policyanon/internal/experiments"
 	"policyanon/internal/obs"
+	_ "policyanon/internal/parallel" // register the "parallel" engine
 	"policyanon/internal/workload"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|engines|all")
 		scale    = flag.String("scale", "small", "dataset scale: small (~50k users) or paper (1.75M users)")
 		k        = flag.Int("k", 50, "anonymity parameter k")
 		seed     = flag.Int64("seed", 42, "dataset seed")
 		format   = flag.String("format", "table", "output format: table|csv|markdown")
+		engines  = flag.String("engines", "", "comma-separated registry names for -exp engines (default: all but bulkdp-naive)")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
 		phases   = flag.Bool("phase-summary", false, "print per-phase timing table to stderr")
 	)
 	flag.Parse()
-	if err := run(*exp, *scale, *k, *seed, *format, *traceOut, *phases); err != nil {
+	if err := run(*exp, *scale, *k, *seed, *format, *engines, *traceOut, *phases); err != nil {
 		fmt.Fprintln(os.Stderr, "lbsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, scale string, k int, seed int64, format, traceOut string, phases bool) error {
+// sweepEngines resolves the -engines flag: an explicit comma list, or
+// every registered engine except the quadratic bulkdp-naive ablation,
+// which is unusable at benchmark sizes.
+func sweepEngines(flagVal string) []string {
+	if flagVal != "" {
+		var names []string
+		for _, n := range strings.Split(flagVal, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		return names
+	}
+	var names []string
+	for _, n := range engine.Names() {
+		if n != "bulkdp-naive" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+func run(exp, scale string, k int, seed int64, format, engineList, traceOut string, phases bool) error {
 	switch format {
 	case "table", "csv", "markdown":
 	default:
@@ -217,6 +247,18 @@ func run(exp, scale string, k int, seed int64, format, traceOut string, phases b
 			return err
 		}
 		if err := emit(experiments.UtilityTable(rows), func() { experiments.PrintUtility(os.Stdout, rows) }); err != nil {
+			return err
+		}
+	}
+	if want("engines") {
+		ran = true
+		names := sweepEngines(engineList)
+		banner(fmt.Sprintf("== Cross-engine sweep: %s, |D|=%d, k=%d ==", strings.Join(names, " "), sizes[0], k))
+		rows, err := experiments.EngineSweep(d, sizes[0], k, names)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.EnginesTable(rows), func() { experiments.PrintEngines(os.Stdout, rows) }); err != nil {
 			return err
 		}
 	}

@@ -9,14 +9,33 @@ import (
 // wiring covered; heavy paths run at paper scale only when invoked
 // explicitly.
 func TestRunUnknownInputs(t *testing.T) {
-	if err := run("fig3", "nope", 10, 1, "table", "", false); err == nil {
+	if err := run("fig3", "nope", 10, 1, "table", "", "", false); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run("figZZ", "small", 10, 1, "table", "", false); err == nil {
+	if err := run("figZZ", "small", 10, 1, "table", "", "", false); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("fig2", "small", 10, 1, "xml", "", false); err == nil {
+	if err := run("fig2", "small", 10, 1, "xml", "", "", false); err == nil {
 		t.Error("unknown format accepted")
+	}
+	if err := run("engines", "small", 10, 1, "table", "no-such-engine", "", false); err == nil {
+		t.Error("unknown engine name accepted")
+	}
+}
+
+func TestSweepEngines(t *testing.T) {
+	names := sweepEngines("")
+	if len(names) == 0 {
+		t.Fatal("default sweep is empty")
+	}
+	for _, n := range names {
+		if n == "bulkdp-naive" {
+			t.Error("default sweep includes the quadratic bulkdp-naive ablation")
+		}
+	}
+	got := sweepEngines("casper, pub")
+	if len(got) != 2 || got[0] != "casper" || got[1] != "pub" {
+		t.Errorf("explicit list parsed as %v", got)
 	}
 }
 
@@ -32,18 +51,23 @@ func TestRunSingleExperimentSmall(t *testing.T) {
 	}
 	os.Stdout = devnull
 	defer func() { os.Stdout = old; devnull.Close() }()
-	if err := run("fig3", "small", 50, 1, "table", "", false); err != nil {
+	if err := run("fig3", "small", 50, 1, "table", "", "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("fig2", "small", 50, 1, "csv", "", false); err != nil {
+	if err := run("fig2", "small", 50, 1, "csv", "", "", false); err != nil {
 		t.Fatal(err)
 	}
 	// Tracing path: fig3 builds anonymizers, so the trace must be non-empty.
 	trace := t.TempDir() + "/trace.json"
-	if err := run("fig3", "small", 50, 1, "csv", trace, false); err != nil {
+	if err := run("fig3", "small", 50, 1, "csv", "", trace, false); err != nil {
 		t.Fatal(err)
 	}
 	if st, err := os.Stat(trace); err != nil || st.Size() == 0 {
 		t.Fatalf("trace file missing or empty: %v", err)
+	}
+	// The registry sweep over the two k-inside baselines stays cheap and
+	// exercises the engines experiment end to end.
+	if err := run("engines", "small", 50, 1, "csv", "casper,puq", "", false); err != nil {
+		t.Fatal(err)
 	}
 }

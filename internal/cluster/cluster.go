@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"policyanon/internal/checkpoint"
+	"policyanon/internal/engine"
 	"policyanon/internal/geo"
 	"policyanon/internal/lbs"
 	"policyanon/internal/location"
@@ -41,6 +42,7 @@ type Coordinator struct {
 	workers []string // base URLs, e.g. "http://10.0.0.7:8080"
 	client  *http.Client
 	reg     *metrics.Registry
+	engine  string // engine name shipped with shard snapshots; "" = worker default
 }
 
 // New returns a coordinator over the given worker base URLs. client may be
@@ -58,6 +60,16 @@ func New(workers []string, client *http.Client) (*Coordinator, error) {
 		reg:     metrics.NewRegistry(),
 	}, nil
 }
+
+// UseEngine selects the anonymization engine every worker runs, by
+// registry name; the empty string restores each worker's own default. The
+// name is validated by the workers (they may register engines this binary
+// does not link), so no local check is performed.
+func (c *Coordinator) UseEngine(name string) { c.engine = name }
+
+// Engine returns the engine name shipped with shard snapshots ("" when
+// workers use their own default).
+func (c *Coordinator) Engine() string { return c.engine }
 
 // Metrics exposes the coordinator's registry: per-worker shard wall-time
 // histograms ("cluster_shard:<worker>"), retry counters
@@ -206,12 +218,20 @@ func (c *Coordinator) Anonymize(ctx context.Context, db *location.DB, bounds geo
 		return nil, err
 	}
 	// Verify rather than trust: the master policy assembled from remote
-	// workers must still pass the full Definition 6 verification before
-	// it is handed to a CSP.
+	// workers must still pass Definition 6 verification before it is
+	// handed to a CSP. Masking and policy-unaware anonymity are required
+	// unconditionally; policy-aware anonymity only when the selected
+	// engine claims it (k-inside engines breach it by construction).
 	_, vsp := obs.Start(ctx, "cluster.verify")
 	rep := verify.Policy(policy, k)
 	vsp.End()
-	if !rep.OK() {
+	wantAware := true
+	if c.engine != "" {
+		if info, ok := engine.InfoOf(c.engine); ok {
+			wantAware = info.PolicyAware
+		}
+	}
+	if !rep.Masking || !rep.PolicyUnaware || (wantAware && !rep.PolicyAware) {
 		return nil, fmt.Errorf("cluster: assembled policy failed verification: %s", rep.Problems[0])
 	}
 	return policy, nil
@@ -243,6 +263,9 @@ func (c *Coordinator) anonymizeShard(ctx context.Context, worker string, jur geo
 		local[i] = userJSON{ID: u.ID, X: u.X - jur.MinX, Y: u.Y - jur.MinY}
 	}
 	snap := map[string]any{"k": k, "mapSide": side, "users": local}
+	if c.engine != "" {
+		snap["engine"] = c.engine
+	}
 	body, err := json.Marshal(snap)
 	if err != nil {
 		return nil, err
@@ -331,7 +354,7 @@ func (c *Coordinator) AnonymizeWithFailover(ctx context.Context, db *location.DB
 		c.reg.Counter("cluster_down:" + w).Inc()
 	}
 	c.reg.Counter("cluster_failovers").Inc()
-	sub := &Coordinator{workers: healthy, client: c.client, reg: c.reg}
+	sub := &Coordinator{workers: healthy, client: c.client, reg: c.reg, engine: c.engine}
 	pol, err := sub.Anonymize(ctx, db, bounds, k)
 	if err != nil {
 		return nil, err

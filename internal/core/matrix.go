@@ -143,8 +143,10 @@ func (m *Matrix) OptimalCost() (int64, error) {
 	return c, nil
 }
 
-// Row returns (a copy of) the feasible entries of node id's row, for tests
-// and diagnostics, as parallel (u, cost) slices.
+// Row returns the feasible entries of node id's row, for tests and
+// diagnostics, as parallel (u, cost) slices. Both slices are freshly
+// allocated on every call: mutating them never corrupts the matrix (the
+// aliasing regression test in the engine package relies on this).
 func (m *Matrix) Row(id tree.NodeID) ([]int32, []int64) {
 	var us []int32
 	var cs []int64

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+
+	"policyanon/internal/baseline"
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/tree"
+)
+
+// This file adapts every algorithm the repository implements behind the
+// Engine interface and registers them into the Default registry. The
+// bulkdp family honours the ablation options of core.Options via
+// Params.Opts ("noprune", "naive", "maxdepth"); bulkdp-naive pins the
+// first-cut Algorithm 1 regardless of Opts, as the named ablation.
+
+// dpOptions derives the dynamic-program ablation switches from Opts.
+func dpOptions(p Params) core.Options {
+	return core.Options{
+		NoPrune:      p.Opt("noprune", "") == "true",
+		NaiveCombine: p.Opt("naive", "") == "true",
+	}
+}
+
+// intOpt parses an integer engine option, with a default for absent keys.
+func intOpt(p Params, name string, def int) (int, error) {
+	v := p.Opt(name, "")
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("engine: option %s=%q: %w", name, v, err)
+	}
+	return n, nil
+}
+
+// bulkDP builds the Bulk_dp adapter over the given tree kind.
+func bulkDP(name string, kind tree.Kind, forceNaive bool) Func {
+	return func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
+		depth, err := intOpt(p, "maxdepth", 0)
+		if err != nil {
+			return nil, err
+		}
+		opt := core.AnonymizerOptions{K: p.K, Kind: kind, MaxDepth: depth, DP: dpOptions(p)}
+		if forceNaive {
+			opt.DP = core.Options{NaiveCombine: true, NoPrune: true}
+		}
+		anon, err := core.NewAnonymizerContext(ctx, db, bounds, opt)
+		if err != nil {
+			return nil, err
+		}
+		return anon.Policy()
+	}
+}
+
+// mbcRect is the axis-aligned bounding box of a minimum bounding circle,
+// the rectangular transport form of the FindMBC cloak (anonymized
+// requests carry closed rectangles — Definition 2 — so the box masks
+// every sender the circle does).
+func mbcRect(c geo.FCircle) geo.Rect {
+	return geo.Rect{
+		MinX: int32(math.Floor(c.CX - c.R)), MinY: int32(math.Floor(c.CY - c.R)),
+		MaxX: int32(math.Ceil(c.CX + c.R)), MaxY: int32(math.Ceil(c.CY + c.R)),
+	}
+}
+
+func init() {
+	MustRegister(Info{
+		Name:        DefaultName,
+		Description: "optimal policy-aware Bulk_dp over the binary semi-quadrant tree (Section V)",
+		PolicyAware: true,
+		Incremental: true,
+	}, New(DefaultName, bulkDP(DefaultName, tree.Binary, false)))
+
+	MustRegister(Info{
+		Name:        "bulkdp-quad",
+		Description: "optimal policy-aware Bulk_dp over the quad tree (Algorithm 1)",
+		PolicyAware: true,
+	}, New("bulkdp-quad", bulkDP("bulkdp-quad", tree.Quad, false)))
+
+	MustRegister(Info{
+		Name:        "bulkdp-naive",
+		Description: "first-cut Algorithm 1 ablation: naive child enumeration, no Lemma 5 pruning",
+		PolicyAware: true,
+	}, New("bulkdp-naive", bulkDP("bulkdp-naive", tree.Binary, true)))
+
+	MustRegister(Info{
+		Name:        "adaptive",
+		Description: "adaptive semi-quadrant orientation DP (Section V sketch); never worse than bulkdp-binary",
+		PolicyAware: true,
+	}, New("adaptive", func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
+		return core.AdaptivePolicy(db, bounds, p.K, dpOptions(p))
+	}))
+
+	MustRegister(Info{
+		Name:        "multik",
+		Description: "user-specified per-user anonymity levels via k-bucketed Bulk_dp (future-work extension)",
+		PolicyAware: true,
+	}, New("multik", func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
+		ks := p.Ks
+		if len(ks) == 0 {
+			ks = make([]int, db.Len())
+			for i := range ks {
+				ks[i] = p.K
+			}
+		}
+		return core.MultiKPolicy(db, bounds, ks, core.AnonymizerOptions{K: p.EffectiveK(), DP: dpOptions(p)})
+	}))
+
+	MustRegister(Info{
+		Name:        "casper",
+		Description: "Casper k-inside baseline [23]: quadrant or adjacent-sibling semi-quadrant cloaks",
+	}, New("casper", func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
+		return baseline.Casper(db, bounds, p.K)
+	}))
+
+	MustRegister(Info{
+		Name:        "pub",
+		Description: "policy-unaware binary-tree k-inside baseline (tightest enclosing semi-quadrant)",
+	}, New("pub", func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
+		return baseline.PUB(db, bounds, p.K)
+	}))
+
+	MustRegister(Info{
+		Name:        "puq",
+		Description: "policy-unaware quad-tree k-inside baseline of Gruteser–Grunwald [16]",
+	}, New("puq", func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
+		return baseline.PUQ(db, bounds, p.K)
+	}))
+
+	MustRegister(Info{
+		Name:        "hilbert",
+		Description: "HilbertCloak static bucketing of Kalnis et al. [17]; policy-aware safe, not tree-optimal",
+		PolicyAware: true,
+	}, New("hilbert", func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
+		return baseline.HilbertCloak(db, bounds, p.K)
+	}))
+
+	MustRegister(Info{
+		Name:        "mbc",
+		Description: "FindMBC minimum-bounding-circle cloaks of Xu–Cai [27] (bounding-box transport form)",
+	}, New("mbc", func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
+		m, err := baseline.FindMBC(db, bounds, p.K)
+		if err != nil {
+			return nil, err
+		}
+		cloaks := make([]geo.Rect, db.Len())
+		for i := range cloaks {
+			cloaks[i] = mbcRect(m.CircleAt(i))
+		}
+		return lbs.NewAssignment(db, cloaks)
+	}))
+}

@@ -1,0 +1,286 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/baseline"
+	"policyanon/internal/core"
+	"policyanon/internal/engine"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/parallel"
+	"policyanon/internal/verify"
+	"policyanon/internal/workload"
+)
+
+// example1DB reproduces the Table I / Figure 1 layout on the 8x8 map:
+// the canonical instance on which every k-inside policy breaches against
+// a policy-aware attacker at k=2 (Example 1 / Proposition 3).
+func example1DB(t *testing.T) (*location.DB, geo.Rect) {
+	t.Helper()
+	db := location.New(0)
+	for _, u := range []struct {
+		id   string
+		x, y int32
+	}{{"Alice", 1, 1}, {"Bob", 1, 2}, {"Carol", 1, 5}, {"Sam", 5, 1}, {"Tom", 6, 2}} {
+		if err := db.Add(u.id, geo.Point{X: u.x, Y: u.y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, geo.NewRect(0, 0, 8, 8)
+}
+
+// TestEngineProperties is the cross-engine property suite: every
+// registered engine, on the same random snapshot, must cover every user
+// with a cloak that masks her location, and must deliver the anonymity
+// class its registration claims — policy-unaware k-anonymity always
+// (Proposition 2), policy-aware k-anonymity exactly when flagged.
+func TestEngineProperties(t *testing.T) {
+	const side = 1 << 10
+	const k = 10
+	db := workload.Generate(workload.Config{
+		MapSide: side, Intersections: 60, UsersPerIntersection: 5, SpreadSigma: 30,
+	}, 11)
+	bounds := geo.NewRect(0, 0, side, side)
+	ctx := context.Background()
+	for _, name := range engine.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			e, err := engine.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, _ := engine.InfoOf(name)
+			a, err := e.Anonymize(ctx, db, bounds, engine.Params{K: k})
+			if err != nil {
+				t.Fatalf("Anonymize: %v", err)
+			}
+			if a.Len() != db.Len() {
+				t.Fatalf("assignment covers %d of %d users", a.Len(), db.Len())
+			}
+			for i := 0; i < db.Len(); i++ {
+				if !a.CloakAt(i).ContainsClosed(db.At(i).Loc) {
+					t.Fatalf("cloak %v does not mask user %d at %v", a.CloakAt(i), i, db.At(i).Loc)
+				}
+			}
+			rep := verify.Policy(a, k)
+			if !rep.Masking {
+				t.Errorf("masking verification failed: %v", rep.Problems)
+			}
+			if !rep.PolicyUnaware {
+				t.Errorf("not %d-anonymous against policy-unaware attackers: %v", k, rep.Problems)
+			}
+			if info.PolicyAware && !rep.PolicyAware {
+				t.Errorf("registered PolicyAware but breached (min candidate set %d): %v",
+					rep.MinAware, rep.Problems)
+			}
+		})
+	}
+}
+
+// TestKInsideEnginesBreachExample1 pins the paper's central claim through
+// the registry: every engine registered with PolicyAware=false is
+// breachable by a policy-aware attacker on the Example 1 layout, while
+// every PolicyAware engine withstands it. The capability flag is
+// therefore an honest, machine-checked statement of Propositions 2 and 3.
+func TestKInsideEnginesBreachExample1(t *testing.T) {
+	db, bounds := example1DB(t)
+	const k = 2
+	ctx := context.Background()
+	for _, info := range engine.Infos() {
+		if info.Name == "parallel" {
+			// 5 users cannot be split into k-feasible jurisdictions.
+			continue
+		}
+		e, err := engine.Get(info.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.Anonymize(ctx, db, bounds, engine.Params{K: k})
+		if err != nil {
+			t.Fatalf("%s: %v", info.Name, err)
+		}
+		if !attacker.IsKAnonymous(a, k, attacker.PolicyUnaware) {
+			t.Errorf("%s: breached by a policy-unaware attacker (Prop. 2 violated)", info.Name)
+		}
+		aware := attacker.IsKAnonymous(a, k, attacker.PolicyAware)
+		if info.PolicyAware && !aware {
+			t.Errorf("%s: registered PolicyAware but breached on Example 1", info.Name)
+		}
+		if !info.PolicyAware && aware {
+			t.Errorf("%s: registered k-inside yet withstood the Example 1 attack; flag is wrong", info.Name)
+		}
+	}
+}
+
+// TestParity is the golden-parity gate (run in CI): routing through the
+// registry must be byte-identical to calling the underlying algorithm
+// directly, for both the flagship engine and a baseline.
+func TestParity(t *testing.T) {
+	const side = 1 << 11
+	const k = 15
+	db := workload.Generate(workload.Config{
+		MapSide: side, Intersections: 100, UsersPerIntersection: 5, SpreadSigma: 40,
+	}, 42)
+	bounds := geo.NewRect(0, 0, side, side)
+	ctx := context.Background()
+
+	sameCloaks := func(t *testing.T, got, want *lbs.Assignment) {
+		t.Helper()
+		if got.Len() != want.Len() {
+			t.Fatalf("lengths differ: %d vs %d", got.Len(), want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			if got.CloakAt(i) != want.CloakAt(i) {
+				t.Fatalf("cloak %d differs: registry %v, direct %v", i, got.CloakAt(i), want.CloakAt(i))
+			}
+		}
+		if got.Cost() != want.Cost() {
+			t.Fatalf("costs differ: %d vs %d", got.Cost(), want.Cost())
+		}
+	}
+
+	t.Run("bulkdp-binary", func(t *testing.T) {
+		e, err := engine.Get("bulkdp-binary")
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaRegistry, err := e.Anonymize(ctx, db, bounds, engine.Params{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		anon, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := anon.Policy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameCloaks(t, viaRegistry, direct)
+	})
+
+	t.Run("casper", func(t *testing.T) {
+		e, err := engine.Get("casper")
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaRegistry, err := e.Anonymize(ctx, db, bounds, engine.Params{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := baseline.Casper(db, bounds, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameCloaks(t, viaRegistry, direct)
+	})
+}
+
+// TestParallelEngine covers the self-registered Section V deployment: the
+// "parallel" name resolves once internal/parallel is linked, honours the
+// "servers" option, and produces a verified policy-aware assignment.
+func TestParallelEngine(t *testing.T) {
+	const side = 1 << 11
+	const k = 10
+	db := workload.Generate(workload.Config{
+		MapSide: side, Intersections: 120, UsersPerIntersection: 5, SpreadSigma: 40,
+	}, 13)
+	bounds := geo.NewRect(0, 0, side, side)
+	e, err := engine.Get("parallel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := engine.InfoOf("parallel")
+	if !ok || !info.PolicyAware {
+		t.Fatalf("parallel registration %+v lacks the PolicyAware flag", info)
+	}
+	a, err := e.Anonymize(context.Background(), db, bounds, engine.Params{
+		K: k, Opts: map[string]string{"servers": "2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify.Policy(a, k)
+	if !rep.Masking || !rep.PolicyUnaware || !rep.PolicyAware {
+		t.Fatalf("parallel policy failed verification: %v", rep.Problems)
+	}
+	if _, err := e.Anonymize(context.Background(), db, bounds, engine.Params{
+		K: k, Opts: map[string]string{"servers": "zero"},
+	}); err == nil {
+		t.Error("malformed servers option accepted")
+	}
+}
+
+// Aliasing audit (satellite): accessors that hand out internal state must
+// return copies, so caller mutation cannot corrupt policies or matrices.
+
+func TestMatrixRowReturnsCopies(t *testing.T) {
+	db, bounds := example1DB(t)
+	anon, err := core.NewAnonymizer(db, bounds, core.AnonymizerOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := anon.Matrix()
+	root := anon.Tree().Root()
+	us, cs := m.Row(root)
+	if len(us) == 0 {
+		t.Fatal("root row is empty")
+	}
+	for i := range us {
+		us[i] = -999
+		cs[i] = -999
+	}
+	us2, cs2 := m.Row(root)
+	for i := range us2 {
+		if us2[i] == -999 || cs2[i] == -999 {
+			t.Fatal("mutating Row results corrupted the matrix")
+		}
+	}
+}
+
+func TestNewAssignmentCopiesCloaks(t *testing.T) {
+	db, _ := example1DB(t)
+	cloaks := make([]geo.Rect, db.Len())
+	for i := range cloaks {
+		cloaks[i] = geo.NewRect(0, 0, 8, 8)
+	}
+	a, err := lbs.NewAssignment(db, cloaks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's slice must not reach into the assignment.
+	cloaks[0] = geo.NewRect(7, 7, 8, 8)
+	if got := a.CloakAt(0); got != geo.NewRect(0, 0, 8, 8) {
+		t.Fatalf("assignment aliased the caller's cloak slice: %v", got)
+	}
+	// Mutating the Cloaks() copy must not either.
+	out := a.Cloaks()
+	out[1] = geo.NewRect(7, 7, 8, 8)
+	if got := a.CloakAt(1); got != geo.NewRect(0, 0, 8, 8) {
+		t.Fatalf("Cloaks() aliases assignment state: %v", got)
+	}
+}
+
+func TestParallelJurisdictionsReturnsCopy(t *testing.T) {
+	const side = 1 << 11
+	db := workload.Generate(workload.Config{
+		MapSide: side, Intersections: 120, UsersPerIntersection: 5, SpreadSigma: 40,
+	}, 13)
+	e, err := parallel.NewEngine(db, geo.NewRect(0, 0, side, side), parallel.Options{K: 10, Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jur := e.Jurisdictions()
+	if len(jur) == 0 {
+		t.Fatal("no jurisdictions")
+	}
+	orig := jur[0]
+	jur[0] = geo.NewRect(1, 2, 3, 4)
+	if got := e.Jurisdictions()[0]; got != orig {
+		t.Fatalf("Jurisdictions() aliases engine state: %v", got)
+	}
+}

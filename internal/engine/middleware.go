@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/metrics"
+	"policyanon/internal/obs"
+	"policyanon/internal/verify"
+)
+
+// Middleware decorates an Engine with a cross-cutting concern. The
+// wrapped engine keeps the inner engine's name, so registry identity and
+// span/metric keys survive arbitrary stacking.
+type Middleware func(Engine) Engine
+
+// Wrap applies middlewares around e with mws[0] outermost: the call order
+// of Wrap(e, A, B) is A -> B -> e. The conventional serving stack is
+// Wrap(e, WithTracing(), WithMetrics(reg), WithVerify(reg), WithCache()),
+// so that cache hits are traced and metered but skip verification and the
+// engine itself.
+func Wrap(e Engine, mws ...Middleware) Engine {
+	for i := len(mws) - 1; i >= 0; i-- {
+		e = mws[i](e)
+	}
+	return e
+}
+
+// WithTracing records every Anonymize call as an "engine.<name>" span
+// (the engine-layer extension of the span taxonomy in
+// docs/OBSERVABILITY.md) carrying users, k, and — on success — the policy
+// cost. Contexts without a tracer pay nothing, as everywhere in obs.
+func WithTracing() Middleware {
+	return func(next Engine) Engine {
+		return New(next.Name(), func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
+			ctx, sp := obs.Start(ctx, "engine."+next.Name())
+			if sp != nil {
+				sp.SetInt("users", int64(db.Len()))
+				sp.SetInt("k", int64(p.EffectiveK()))
+			}
+			a, err := next.Anonymize(ctx, db, bounds, p)
+			if sp != nil {
+				if err != nil {
+					sp.SetAttr("error", err.Error())
+				} else {
+					sp.SetInt("cost", a.Cost())
+				}
+				sp.End()
+			}
+			return a, err
+		})
+	}
+}
+
+// WithMetrics records per-engine serving metrics into reg:
+//
+//	engine_calls:<name>    counter of Anonymize invocations
+//	engine_errors:<name>   counter of failed invocations
+//	engine_latency:<name>  wall-time histogram
+//	engine_cost:<name>     policy-cost histogram (summed cloak area, m^2)
+func WithMetrics(reg *metrics.Registry) Middleware {
+	return func(next Engine) Engine {
+		name := next.Name()
+		return New(name, func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
+			reg.Counter("engine_calls:" + name).Inc()
+			start := time.Now()
+			a, err := next.Anonymize(ctx, db, bounds, p)
+			reg.Histogram("engine_latency:" + name).Observe(time.Since(start))
+			if err != nil {
+				reg.Counter("engine_errors:" + name).Inc()
+				return nil, err
+			}
+			reg.ValueHistogram("engine_cost:" + name).Observe(a.Cost())
+			return a, nil
+		})
+	}
+}
+
+// BreachError reports a policy that failed post-hoc verification.
+type BreachError struct {
+	// Engine is the producing engine's name.
+	Engine string
+	// Report is the full first-principles verification outcome.
+	Report *verify.Report
+}
+
+// Error summarizes the first problems.
+func (e *BreachError) Error() string {
+	probs := e.Report.Problems
+	shown := probs
+	if len(shown) > 3 {
+		shown = shown[:3]
+	}
+	return fmt.Sprintf("engine %s: policy failed verification (%d problems): %s",
+		e.Engine, len(probs), strings.Join(shown, "; "))
+}
+
+// WithVerify runs the full internal/verify.Policy audit on every
+// assignment the engine produces and surfaces breaches as a *BreachError.
+// The masking property and policy-unaware k-anonymity are enforced for
+// every engine; policy-aware k-anonymity is enforced only for engines the
+// registry flags PolicyAware (k-inside baselines breach it by
+// construction — Example 1 — and registering that capability honestly is
+// the point of the flag). Engines unknown to reg are held to the full
+// policy-aware standard.
+func WithVerify(reg *Registry) Middleware {
+	return func(next Engine) Engine {
+		name := next.Name()
+		return New(name, func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
+			a, err := next.Anonymize(ctx, db, bounds, p)
+			if err != nil {
+				return nil, err
+			}
+			_, sp := obs.Start(ctx, "engine.verify")
+			rep := verify.Policy(a, p.EffectiveK())
+			sp.End()
+			wantAware := true
+			if reg != nil {
+				if info, ok := reg.Info(name); ok {
+					wantAware = info.PolicyAware
+				}
+			}
+			if !rep.Masking || !rep.PolicyUnaware || (wantAware && !rep.PolicyAware) {
+				return nil, &BreachError{Engine: name, Report: rep}
+			}
+			return a, nil
+		})
+	}
+}
+
+// cacheKey identifies one memoizable Anonymize call: the snapshot (by
+// identity and version — see location.DB.Version), the map region, and
+// the canonical parameter encoding.
+type cacheKey struct {
+	db      *location.DB
+	version uint64
+	bounds  geo.Rect
+	params  string
+}
+
+// cacheLimit bounds the memo table; on overflow the table is dropped
+// wholesale (snapshot churn makes LRU bookkeeping not worth it).
+const cacheLimit = 128
+
+// WithCache memoizes Anonymize by snapshot version: repeated calls with
+// the same *location.DB at the same Version, bounds, and Params return
+// the previously computed *lbs.Assignment without re-running the engine.
+// This is sound because engines are deterministic functions of the
+// snapshot (the Definition 4 policy model) and location.DB bumps its
+// version on every mutation. The cache is per wrapped instance; callers
+// share one wrapped engine to share its memo table.
+func WithCache() Middleware {
+	return func(next Engine) Engine {
+		var (
+			mu   sync.Mutex
+			memo = make(map[cacheKey]*lbs.Assignment)
+		)
+		return New(next.Name(), func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
+			key := cacheKey{db: db, version: db.Version(), bounds: bounds, params: p.Key()}
+			mu.Lock()
+			if a, ok := memo[key]; ok {
+				mu.Unlock()
+				return a, nil
+			}
+			mu.Unlock()
+			a, err := next.Anonymize(ctx, db, bounds, p)
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			if len(memo) >= cacheLimit {
+				memo = make(map[cacheKey]*lbs.Assignment)
+			}
+			memo[key] = a
+			mu.Unlock()
+			return a, nil
+		})
+	}
+}

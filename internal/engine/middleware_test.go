@@ -1,0 +1,204 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"policyanon/internal/engine"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/metrics"
+	"policyanon/internal/obs"
+	"policyanon/internal/workload"
+)
+
+// smallDB is a deterministic ~300-user snapshot for middleware tests.
+func smallDB(t *testing.T) (*location.DB, geo.Rect) {
+	t.Helper()
+	const side = 1 << 10
+	db := workload.Generate(workload.Config{
+		MapSide: side, Intersections: 60, UsersPerIntersection: 5, SpreadSigma: 30,
+	}, 7)
+	return db, geo.NewRect(0, 0, side, side)
+}
+
+func TestWrapOrderAndName(t *testing.T) {
+	var order []string
+	mark := func(label string) engine.Middleware {
+		return func(next engine.Engine) engine.Engine {
+			return engine.New(next.Name(), func(ctx context.Context, db *location.DB, bounds geo.Rect, p engine.Params) (*lbs.Assignment, error) {
+				order = append(order, label)
+				return next.Anonymize(ctx, db, bounds, p)
+			})
+		}
+	}
+	base := engine.New("base", func(ctx context.Context, db *location.DB, bounds geo.Rect, p engine.Params) (*lbs.Assignment, error) {
+		order = append(order, "engine")
+		return nil, errors.New("stop")
+	})
+	wrapped := engine.Wrap(base, mark("outer"), mark("inner"))
+	if wrapped.Name() != "base" {
+		t.Errorf("wrapping changed the name to %q", wrapped.Name())
+	}
+	wrapped.Anonymize(context.Background(), location.New(0), geo.Rect{}, engine.Params{K: 1})
+	want := []string{"outer", "inner", "engine"}
+	if len(order) != len(want) {
+		t.Fatalf("call order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("call order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWithTracingEmitsEngineSpan(t *testing.T) {
+	db, bounds := smallDB(t)
+	e, err := engine.Get("casper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	if _, err := engine.Wrap(e, engine.WithTracing()).Anonymize(ctx, db, bounds, engine.Params{K: 10}); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, sp := range tr.Spans() {
+		if sp.Name != "engine.casper" {
+			continue
+		}
+		found = true
+		attrs := make(map[string]string)
+		for _, a := range sp.Attrs {
+			attrs[a.Key] = a.Value
+		}
+		if attrs["users"] == "" || attrs["k"] == "" || attrs["cost"] == "" {
+			t.Errorf("engine.casper span attrs %v missing users/k/cost", attrs)
+		}
+	}
+	if !found {
+		t.Fatalf("no engine.casper span recorded (spans: %v)", tr.PhaseSummary())
+	}
+}
+
+func TestWithMetricsRecordsCallsAndErrors(t *testing.T) {
+	db, bounds := smallDB(t)
+	reg := metrics.NewRegistry()
+	e, err := engine.Get("puq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := engine.Wrap(e, engine.WithMetrics(reg))
+	if _, err := w.Anonymize(context.Background(), db, bounds, engine.Params{K: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// k > |D| fails inside the engine and must count as an error.
+	if _, err := w.Anonymize(context.Background(), db, bounds, engine.Params{K: db.Len() + 1}); err == nil {
+		t.Fatal("oversized k accepted")
+	}
+	if got := reg.Counter("engine_calls:puq").Value(); got != 2 {
+		t.Errorf("engine_calls:puq = %d, want 2", got)
+	}
+	if got := reg.Counter("engine_errors:puq").Value(); got != 1 {
+		t.Errorf("engine_errors:puq = %d, want 1", got)
+	}
+	if got := reg.ValueHistogram("engine_cost:puq").Summary().Count; got != 1 {
+		t.Errorf("engine_cost:puq observations = %d, want 1", got)
+	}
+	snap := reg.Snapshot()
+	if _, ok := snap.Values["engine_cost:puq"]; !ok {
+		t.Error("snapshot omits the engine_cost value histogram")
+	}
+}
+
+// WithVerify must pass k-inside engines the registry flags PolicyAware=false
+// (they breach policy-aware attackers by construction — Example 1), but hold
+// the same algorithm to the full policy-aware standard when it is not
+// registered.
+func TestWithVerifyHonoursCapabilityFlags(t *testing.T) {
+	db := location.New(0)
+	for _, u := range []struct {
+		id   string
+		x, y int32
+	}{{"Alice", 1, 1}, {"Bob", 1, 2}, {"Carol", 1, 5}, {"Sam", 5, 1}, {"Tom", 6, 2}} {
+		if err := db.Add(u.id, geo.Point{X: u.x, Y: u.y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bounds := geo.NewRect(0, 0, 8, 8)
+	casper, err := engine.Get("casper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registered k-inside engine: verification skips the policy-aware check.
+	if _, err := engine.Wrap(casper, engine.WithVerify(engine.Default)).Anonymize(context.Background(), db, bounds, engine.Params{K: 2}); err != nil {
+		t.Errorf("casper rejected despite PolicyAware=false flag: %v", err)
+	}
+	// The same algorithm under an unregistered name is held to the full
+	// standard and must surface the Example 1 breach as a BreachError.
+	anon := engine.New("anon-kinside", casper.Anonymize)
+	_, err = engine.Wrap(anon, engine.WithVerify(engine.Default)).Anonymize(context.Background(), db, bounds, engine.Params{K: 2})
+	var be *engine.BreachError
+	if !errors.As(err, &be) {
+		t.Fatalf("unregistered k-inside engine passed verification (err = %v)", err)
+	}
+	if be.Engine != "anon-kinside" || be.Report == nil || be.Report.PolicyAware {
+		t.Errorf("breach error %+v does not pin the policy-aware failure", be)
+	}
+	// A policy-aware engine passes the full standard.
+	def, err := engine.Get(engine.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Wrap(def, engine.WithVerify(engine.Default)).Anonymize(context.Background(), db, bounds, engine.Params{K: 2}); err != nil {
+		t.Errorf("%s failed verification: %v", engine.DefaultName, err)
+	}
+}
+
+func TestWithCacheMemoizesBySnapshotVersion(t *testing.T) {
+	db, bounds := smallDB(t)
+	inner, err := engine.Get(engine.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	counted := engine.New(inner.Name(), func(ctx context.Context, d *location.DB, b geo.Rect, p engine.Params) (*lbs.Assignment, error) {
+		calls++
+		return inner.Anonymize(ctx, d, b, p)
+	})
+	cached := engine.Wrap(counted, engine.WithCache())
+	ctx := context.Background()
+	p := engine.Params{K: 10}
+	a1, err := cached.Anonymize(ctx, db, bounds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := cached.Anonymize(ctx, db, bounds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("second identical call ran the engine (calls = %d)", calls)
+	}
+	if a1 != a2 {
+		t.Error("cache hit returned a different assignment")
+	}
+	// Different parameters miss.
+	if _, err := cached.Anonymize(ctx, db, bounds, engine.Params{K: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("k=12 call did not run the engine (calls = %d)", calls)
+	}
+	// A mutation bumps the snapshot version and invalidates the memo.
+	db.MoveAt(0, geo.Point{X: bounds.MaxX - 1, Y: bounds.MaxY - 1})
+	if _, err := cached.Anonymize(ctx, db, bounds, p); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("post-mutation call served stale cache (calls = %d)", calls)
+	}
+}

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultName is the registry name of the repository's flagship engine:
+// the optimal policy-aware Bulk_dp over the binary semi-quadrant tree of
+// Section V.
+const DefaultName = "bulkdp-binary"
+
+// Info describes a registered engine: its capability flags drive the
+// verification middleware and let harnesses assert the paper's
+// Propositions (k-inside engines are expected to breach against
+// policy-aware attackers; policy-aware engines must not).
+type Info struct {
+	// Name is the stable registry key.
+	Name string `json:"name"`
+	// Description is a one-line human summary.
+	Description string `json:"description"`
+	// PolicyAware reports whether the engine guarantees sender
+	// k-anonymity against policy-aware attackers (Definition 6). Engines
+	// with PolicyAware=false are k-inside: safe against policy-unaware
+	// attackers only (Proposition 2), breachable by construction on the
+	// paper's Example 1 layout.
+	PolicyAware bool `json:"policyAware"`
+	// Incremental reports whether serving surfaces can maintain this
+	// engine's policy incrementally across movement (the core matrix
+	// maintenance of Section V). Non-incremental engines are recomputed
+	// from scratch on each snapshot.
+	Incremental bool `json:"incremental"`
+}
+
+// Registry is a name-keyed set of engines. The zero value is not usable;
+// create with NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]regEntry
+}
+
+type regEntry struct {
+	eng  Engine
+	info Info
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]regEntry)}
+}
+
+// Register adds an engine under info.Name. It fails on an empty name, a
+// name/engine mismatch, or a duplicate registration.
+func (r *Registry) Register(info Info, e Engine) error {
+	if info.Name == "" {
+		return fmt.Errorf("engine: registration with empty name")
+	}
+	if e == nil {
+		return fmt.Errorf("engine: nil engine for %q", info.Name)
+	}
+	if e.Name() != info.Name {
+		return fmt.Errorf("engine: info name %q does not match engine name %q", info.Name, e.Name())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[info.Name]; dup {
+		return fmt.Errorf("engine: %q already registered", info.Name)
+	}
+	r.entries[info.Name] = regEntry{eng: e, info: info}
+	return nil
+}
+
+// MustRegister is Register that panics on error, for init-time
+// self-registration.
+func (r *Registry) MustRegister(info Info, e Engine) {
+	if err := r.Register(info, e); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the engine registered under name.
+func (r *Registry) Get(name string) (Engine, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ent, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownEngine, name, r.namesLocked())
+	}
+	return ent.eng, nil
+}
+
+// Info returns the registration metadata for name.
+func (r *Registry) Info(name string) (Info, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ent, ok := r.entries[name]
+	return ent.info, ok
+}
+
+// Names returns the registered engine names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.namesLocked()
+}
+
+func (r *Registry) namesLocked() []string {
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Infos returns the metadata of every registered engine, sorted by name.
+func (r *Registry) Infos() []Info {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	infos := make([]Info, 0, len(r.entries))
+	for _, n := range r.namesLocked() {
+		infos = append(infos, r.entries[n].info)
+	}
+	return infos
+}
+
+// Default is the process-wide registry. The built-in engines register
+// into it at package-init time; other packages (e.g. internal/parallel)
+// self-register when linked in.
+var Default = NewRegistry()
+
+// Register adds an engine to the Default registry.
+func Register(info Info, e Engine) error { return Default.Register(info, e) }
+
+// MustRegister panics if Register fails.
+func MustRegister(info Info, e Engine) { Default.MustRegister(info, e) }
+
+// Get resolves a name against the Default registry.
+func Get(name string) (Engine, error) { return Default.Get(name) }
+
+// InfoOf returns Default-registry metadata for name.
+func InfoOf(name string) (Info, bool) { return Default.Info(name) }
+
+// Names lists the Default registry in sorted order.
+func Names() []string { return Default.Names() }
+
+// Infos lists Default-registry metadata in sorted order.
+func Infos() []Info { return Default.Infos() }

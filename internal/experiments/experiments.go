@@ -16,11 +16,13 @@ import (
 	"policyanon/internal/attacker"
 	"policyanon/internal/baseline"
 	"policyanon/internal/core"
+	"policyanon/internal/engine"
 	"policyanon/internal/geo"
 	"policyanon/internal/lbs"
 	"policyanon/internal/location"
 	"policyanon/internal/parallel"
 	"policyanon/internal/tree"
+	"policyanon/internal/verify"
 	"policyanon/internal/workload"
 )
 
@@ -217,7 +219,19 @@ type Fig5aRow struct {
 	PolicyAwareWin bool    // whether policy-aware beat PUQ outright
 }
 
-// Fig5a computes the cost comparison of Section VI-B.
+// runEngine resolves a registry engine and runs it over db under the
+// dataset's observability context.
+func runEngine(d Dataset, name string, db *location.DB, k int) (*lbs.Assignment, error) {
+	eng, err := engine.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Anonymize(d.ctx(), db, d.Bounds, engine.Params{K: k})
+}
+
+// Fig5a computes the cost comparison of Section VI-B: every policy is
+// resolved from the engine registry, so the four-way comparison is one
+// loop over names.
 func Fig5a(d Dataset, sizes []int, k int) ([]Fig5aRow, error) {
 	var rows []Fig5aRow
 	for _, n := range sizes {
@@ -225,29 +239,17 @@ func Fig5a(d Dataset, sizes []int, k int) ([]Fig5aRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		casper, err := baseline.Casper(db, d.Bounds, k)
-		if err != nil {
-			return nil, err
-		}
-		pub, err := baseline.PUB(db, d.Bounds, k)
-		if err != nil {
-			return nil, err
-		}
-		puq, err := baseline.PUQ(db, d.Bounds, k)
-		if err != nil {
-			return nil, err
-		}
-		anon, err := core.NewAnonymizerContext(d.ctx(), db, d.Bounds, core.AnonymizerOptions{K: k})
-		if err != nil {
-			return nil, err
-		}
-		pa, err := anon.Policy()
-		if err != nil {
-			return nil, err
+		areas := make(map[string]float64, 4)
+		for _, name := range []string{"casper", "pub", "puq", engine.DefaultName} {
+			pol, err := runEngine(d, name, db, k)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", name, err)
+			}
+			areas[name] = pol.AvgArea()
 		}
 		row := Fig5aRow{
-			N: db.Len(), Casper: casper.AvgArea(), PUB: pub.AvgArea(),
-			PUQ: puq.AvgArea(), PolicyAware: pa.AvgArea(),
+			N: db.Len(), Casper: areas["casper"], PUB: areas["pub"],
+			PUQ: areas["puq"], PolicyAware: areas[engine.DefaultName],
 		}
 		row.RatioToCasper = row.PolicyAware / row.Casper
 		row.RatioToPUQ = row.PolicyAware / row.PUQ
@@ -255,6 +257,71 @@ func Fig5a(d Dataset, sizes []int, k int) ([]Fig5aRow, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// EngineRow is one engine's measurement in the cross-engine sweep: the
+// cost/utility metrics of Section VI plus the first-principles anonymity
+// levels from internal/verify.
+type EngineRow struct {
+	Name        string
+	PolicyAware bool // registry capability flag
+	AvgArea     float64
+	Cost        int64
+	Elapsed     time.Duration
+	MinAware    int // weakest policy-aware anonymity across users
+	MinUnaware  int // weakest policy-unaware anonymity across users
+	OK          bool // verification verdict at the engine's claimed level
+}
+
+// EngineSweep runs every named registry engine over one sampled snapshot
+// and verifies each result, generalizing the paper's fixed four-policy
+// comparison to the full registry. Empty names sweeps all registered
+// engines.
+func EngineSweep(d Dataset, n, k int, names []string) ([]EngineRow, error) {
+	db, err := d.Sample(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		names = engine.Names()
+	}
+	var rows []EngineRow
+	for _, name := range names {
+		eng, err := engine.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		info, _ := engine.InfoOf(name)
+		start := time.Now()
+		pol, err := eng.Anonymize(d.ctx(), db, d.Bounds, engine.Params{K: k})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: engine %s: %w", name, err)
+		}
+		elapsed := time.Since(start)
+		rep := verify.Policy(pol, k)
+		ok := rep.Masking && rep.PolicyUnaware
+		if info.PolicyAware {
+			ok = ok && rep.PolicyAware
+		}
+		rows = append(rows, EngineRow{
+			Name: name, PolicyAware: info.PolicyAware,
+			AvgArea: pol.AvgArea(), Cost: pol.Cost(), Elapsed: elapsed,
+			MinAware: rep.MinAware, MinUnaware: rep.MinUnaware, OK: ok,
+		})
+	}
+	return rows, nil
+}
+
+// PrintEngines renders the cross-engine sweep.
+func PrintEngines(w io.Writer, rows []EngineRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\tpolicy-aware\tavg area\tcost\ttime\tmin aware anon\tmin unaware anon\tverified")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%t\t%.0f\t%d\t%v\t%d\t%d\t%t\n",
+			r.Name, r.PolicyAware, r.AvgArea, r.Cost,
+			r.Elapsed.Round(time.Millisecond), r.MinAware, r.MinUnaware, r.OK)
+	}
+	tw.Flush()
 }
 
 // Fig5bRow compares incremental maintenance with bulk recomputation for
@@ -389,33 +456,9 @@ func AnswerSize(d Dataset, n, k, pois int) ([]UtilityRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	type entry struct {
-		name string
-		pol  *lbs.Assignment
-	}
-	casper, err := baseline.Casper(db, d.Bounds, k)
-	if err != nil {
-		return nil, err
-	}
-	pub, err := baseline.PUB(db, d.Bounds, k)
-	if err != nil {
-		return nil, err
-	}
-	puq, err := baseline.PUQ(db, d.Bounds, k)
-	if err != nil {
-		return nil, err
-	}
-	anon, err := core.NewAnonymizerContext(d.ctx(), db, d.Bounds, core.AnonymizerOptions{K: k})
-	if err != nil {
-		return nil, err
-	}
-	pa, err := anon.Policy()
-	if err != nil {
-		return nil, err
-	}
-	entries := []entry{
-		{"Casper", casper}, {"PUB", pub}, {"PUQ", puq}, {"policy-aware", pa},
-	}
+	// Policies come from the engine registry, so rows carry stable
+	// registry names.
+	names := []string{"casper", "pub", "puq", engine.DefaultName}
 	// Sample a fixed set of requesters across all policies.
 	sampleN := 500
 	if sampleN > db.Len() {
@@ -423,14 +466,18 @@ func AnswerSize(d Dataset, n, k, pois int) ([]UtilityRow, error) {
 	}
 	idx := rng.Perm(db.Len())[:sampleN]
 	var rows []UtilityRow
-	for _, e := range entries {
+	for _, name := range names {
+		pol, err := runEngine(d, name, db, k)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
 		total := 0
 		for _, i := range idx {
-			total += len(store.CandidateNearest(e.pol.CloakAt(i), "gas"))
+			total += len(store.CandidateNearest(pol.CloakAt(i), "gas"))
 		}
 		rows = append(rows, UtilityRow{
-			Policy:        e.name,
-			AvgCloakArea:  e.pol.AvgArea(),
+			Policy:        name,
+			AvgCloakArea:  pol.AvgArea(),
 			AvgAnswerSize: float64(total) / float64(sampleN),
 		})
 	}

@@ -110,11 +110,13 @@ func Fig4bTable(rows []Fig4bRow) Table {
 	return t
 }
 
-// Fig5aTable converts cost-overhead rows.
+// Fig5aTable converts cost-overhead rows. Column keys follow the engine
+// registry names (bulkdp-binary is the paper's policy-aware optimum), so
+// BENCH output keys stay stable as engines are added.
 func Fig5aTable(rows []Fig5aRow) Table {
 	t := Table{Name: "fig5a-cost-overhead", Header: []string{
 		"users", "casper_avg_area", "pub_avg_area", "puq_avg_area",
-		"policy_aware_avg_area", "pa_over_casper", "pa_over_puq",
+		"bulkdp-binary_avg_area", "bulkdp-binary_over_casper", "bulkdp-binary_over_puq",
 	}}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
@@ -143,11 +145,27 @@ func ParallelTable(rows []ParallelRow) Table {
 	return t
 }
 
-// UtilityTable converts answer-size rows.
+// UtilityTable converts answer-size rows; the policy column holds engine
+// registry names.
 func UtilityTable(rows []UtilityRow) Table {
-	t := Table{Name: "utility-answer-size", Header: []string{"policy", "avg_cloak_area", "avg_answer_size"}}
+	t := Table{Name: "utility-answer-size", Header: []string{"engine", "avg_cloak_area", "avg_answer_size"}}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{r.Policy, f0(r.AvgCloakArea), f2(r.AvgAnswerSize)})
+	}
+	return t
+}
+
+// EnginesTable converts cross-engine sweep rows, keyed by registry name.
+func EnginesTable(rows []EngineRow) Table {
+	t := Table{Name: "engine-sweep", Header: []string{
+		"engine", "policy_aware", "avg_area", "cost", "time_ms",
+		"min_aware_anon", "min_unaware_anon", "verified",
+	}}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Name, fmt.Sprintf("%t", r.PolicyAware), f0(r.AvgArea), i64(r.Cost),
+			ms(r.Elapsed), itoa(r.MinAware), itoa(r.MinUnaware), fmt.Sprintf("%t", r.OK),
+		})
 	}
 	return t
 }

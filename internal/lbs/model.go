@@ -79,7 +79,8 @@ type Assignment struct {
 var ErrNotMasking = errors.New("lbs: cloak does not contain the user location")
 
 // NewAssignment wraps per-record cloaks over a snapshot, verifying the
-// masking property.
+// masking property. The cloaks slice is copied, so later mutation of the
+// caller's slice cannot corrupt the assignment.
 func NewAssignment(db *location.DB, cloaks []geo.Rect) (*Assignment, error) {
 	if len(cloaks) != db.Len() {
 		return nil, fmt.Errorf("lbs: %d cloaks for %d users", len(cloaks), db.Len())
@@ -90,7 +91,7 @@ func NewAssignment(db *location.DB, cloaks []geo.Rect) (*Assignment, error) {
 				ErrNotMasking, db.At(i).UserID, db.At(i).Loc, c)
 		}
 	}
-	return &Assignment{db: db, cloaks: cloaks}, nil
+	return &Assignment{db: db, cloaks: append([]geo.Rect(nil), cloaks...)}, nil
 }
 
 // DB returns the snapshot the assignment covers.
@@ -101,6 +102,12 @@ func (a *Assignment) Len() int { return a.db.Len() }
 
 // CloakAt returns the cloak of the i-th record.
 func (a *Assignment) CloakAt(i int) geo.Rect { return a.cloaks[i] }
+
+// Cloaks returns a freshly allocated copy of the per-record cloaks in
+// record order; mutating it does not affect the assignment.
+func (a *Assignment) Cloaks() []geo.Rect {
+	return append([]geo.Rect(nil), a.cloaks...)
+}
 
 // CloakOf returns the cloak assigned to a user.
 func (a *Assignment) CloakOf(userID string) (geo.Rect, error) {

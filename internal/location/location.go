@@ -28,6 +28,7 @@ type Record struct {
 type DB struct {
 	records []Record
 	byUser  map[string]int // user id -> index in records
+	version uint64         // bumped on every mutation; see Version
 }
 
 // ErrDuplicateUser is returned when inserting a user id already present in
@@ -63,8 +64,15 @@ func (db *DB) Add(userID string, loc geo.Point) error {
 	}
 	db.byUser[userID] = len(db.records)
 	db.records = append(db.records, Record{UserID: userID, Loc: loc})
+	db.version++
 	return nil
 }
+
+// Version returns a counter incremented on every mutation (Add, Move,
+// MoveAt). Two calls observing the same version are guaranteed to see the
+// same snapshot contents, which lets callers memoize per-snapshot results
+// (e.g. the engine caching middleware). Clone preserves the version.
+func (db *DB) Version() uint64 { return db.version }
 
 // Len returns the number of users in the snapshot (|D| in the paper).
 func (db *DB) Len() int { return len(db.records) }
@@ -112,6 +120,7 @@ func (db *DB) Move(userID string, to geo.Point) (geo.Point, error) {
 	}
 	prev := db.records[i].Loc
 	db.records[i].Loc = to
+	db.version++
 	return prev, nil
 }
 
@@ -119,6 +128,7 @@ func (db *DB) Move(userID string, to geo.Point) (geo.Point, error) {
 func (db *DB) MoveAt(i int, to geo.Point) geo.Point {
 	prev := db.records[i].Loc
 	db.records[i].Loc = to
+	db.version++
 	return prev
 }
 
@@ -127,6 +137,7 @@ func (db *DB) Clone() *DB {
 	out := &DB{
 		records: append([]Record(nil), db.records...),
 		byUser:  make(map[string]int, len(db.byUser)),
+		version: db.version,
 	}
 	for k, v := range db.byUser {
 		out.byUser[k] = v

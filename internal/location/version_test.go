@@ -1,0 +1,45 @@
+package location
+
+import (
+	"testing"
+
+	"policyanon/internal/geo"
+)
+
+// Version must bump on every mutation and survive Clone, because the
+// engine caching middleware keys memo entries on (db, version).
+func TestVersionTracksMutations(t *testing.T) {
+	db := New(0)
+	v0 := db.Version()
+	if err := db.Add("a", geo.Point{X: 1, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add("b", geo.Point{X: 2, Y: 2}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := db.Version()
+	if v2 <= v0 {
+		t.Fatalf("Add did not bump version: %d -> %d", v0, v2)
+	}
+	if _, err := db.Move("a", geo.Point{X: 3, Y: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Version() <= v2 {
+		t.Fatal("Move did not bump version")
+	}
+	v3 := db.Version()
+	db.MoveAt(1, geo.Point{X: 4, Y: 4})
+	if db.Version() <= v3 {
+		t.Fatal("MoveAt did not bump version")
+	}
+	clone := db.Clone()
+	if clone.Version() != db.Version() {
+		t.Fatalf("Clone version %d != original %d", clone.Version(), db.Version())
+	}
+	// Mutating the clone must not advance the original.
+	before := db.Version()
+	clone.MoveAt(0, geo.Point{X: 5, Y: 5})
+	if db.Version() != before {
+		t.Fatal("clone mutation bumped the original's version")
+	}
+}

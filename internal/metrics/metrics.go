@@ -152,12 +152,112 @@ func (h *Histogram) export() (bounds []time.Duration, cum []int64, count int64, 
 	return bounds, cum, h.total, h.sum
 }
 
+// ValueHistogram is a fixed-boundary histogram over unitless int64
+// observations (policy costs, answer sizes), the dimensionless sibling of
+// the latency Histogram. The zero value is ready to use and lazily adopts
+// DefaultValueBounds on the first observation.
+type ValueHistogram struct {
+	mu      sync.Mutex
+	bounds  []int64 // upper bounds, ascending; implicit +inf last
+	counts  []int64 // len(bounds)+1
+	total   int64
+	sum     int64
+	maxSeen int64
+}
+
+// DefaultValueBounds covers decades from 10 to 10^8, wide enough for
+// per-snapshot policy costs at every benchmark scale.
+var DefaultValueBounds = []int64{10, 100, 1000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
+
+// NewValueHistogram returns a value histogram with the given ascending
+// upper bounds (DefaultValueBounds when nil).
+func NewValueHistogram(bounds []int64) (*ValueHistogram, error) {
+	if bounds == nil {
+		bounds = DefaultValueBounds
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("metrics: value histogram bounds not ascending at %d", i)
+		}
+	}
+	return &ValueHistogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}, nil
+}
+
+// lazyInit installs the default bounds on a zero-value histogram. Callers
+// must hold h.mu.
+func (h *ValueHistogram) lazyInit() {
+	if h.counts == nil {
+		h.bounds = append([]int64(nil), DefaultValueBounds...)
+		h.counts = make([]int64, len(h.bounds)+1)
+	}
+}
+
+// Observe records one value.
+func (h *ValueHistogram) Observe(v int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.lazyInit()
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+}
+
+// ValueSummary reports the aggregate view of a value histogram.
+type ValueSummary struct {
+	Count int64            `json:"count"`
+	Mean  float64          `json:"mean"`
+	Max   int64            `json:"max"`
+	Under map[string]int64 `json:"under"`
+}
+
+// Summary returns the aggregate view.
+func (h *ValueHistogram) Summary() ValueSummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.lazyInit()
+	s := ValueSummary{Count: h.total, Max: h.maxSeen, Under: make(map[string]int64, len(h.bounds)+1)}
+	if h.total > 0 {
+		s.Mean = float64(h.sum) / float64(h.total)
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		s.Under[fmt.Sprintf("%d", b)] = cum
+	}
+	s.Under["inf"] = h.total
+	return s
+}
+
+// export returns the internals the Prometheus encoder needs: upper bounds,
+// cumulative per-bucket counts, total count, and the observation sum.
+func (h *ValueHistogram) export() (bounds []int64, cum []int64, count int64, sum int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.lazyInit()
+	bounds = append([]int64(nil), h.bounds...)
+	cum = make([]int64, len(h.counts))
+	running := int64(0)
+	for i, c := range h.counts {
+		running += c
+		cum[i] = running
+	}
+	return bounds, cum, h.total, h.sum
+}
+
 // Registry names and exports a set of metrics.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	values     map[string]*ValueHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -166,6 +266,7 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		values:     make(map[string]*ValueHistogram),
 	}
 }
 
@@ -206,11 +307,28 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// ValueHistogram returns (creating on first use with default bounds) the
+// named value histogram.
+func (r *Registry) ValueHistogram(name string) *ValueHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.values == nil {
+		r.values = make(map[string]*ValueHistogram)
+	}
+	h, ok := r.values[name]
+	if !ok {
+		h, _ = NewValueHistogram(nil)
+		r.values[name] = h
+	}
+	return h
+}
+
 // Snapshot is the JSON-exportable state of a registry.
 type Snapshot struct {
-	Counters   map[string]int64   `json:"counters"`
-	Gauges     map[string]int64   `json:"gauges"`
-	Histograms map[string]Summary `json:"histograms"`
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]Summary      `json:"histograms"`
+	Values     map[string]ValueSummary `json:"values,omitempty"`
 }
 
 // Snapshot captures the current values.
@@ -230,6 +348,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.histograms {
 		s.Histograms[name] = h.Summary()
+	}
+	if len(r.values) > 0 {
+		s.Values = make(map[string]ValueSummary, len(r.values))
+		for name, h := range r.values {
+			s.Values[name] = h.Summary()
+		}
 	}
 	return s
 }

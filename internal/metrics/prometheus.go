@@ -98,6 +98,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for k, v := range r.histograms {
 		histograms[k] = v
 	}
+	values := make(map[string]*ValueHistogram, len(r.values))
+	for k, v := range r.values {
+		values[k] = v
+	}
 	r.mu.Unlock()
 
 	bw := bufio.NewWriter(w)
@@ -131,6 +135,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			fmt.Fprintf(bw, "%s_bucket%s %d\n", metric, histoLabels(label, "+Inf"), count)
 			fmt.Fprintf(bw, "%s_sum%s %s\n", metric, labelSuffix(label), formatSeconds(sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", metric, labelSuffix(label), count)
+		}
+	})
+	writeFamilies(bw, values, func(bw *bufio.Writer, fam string, names []string) {
+		metric := promNamespace + "_" + sanitize(fam)
+		fmt.Fprintf(bw, "# HELP %s Distribution of %s values.\n", metric, fam)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", metric)
+		for _, name := range names {
+			_, label := splitName(name)
+			bounds, cum, count, sum := values[name].export()
+			for i, b := range bounds {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", metric, histoLabels(label, strconv.FormatInt(b, 10)), cum[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", metric, histoLabels(label, "+Inf"), count)
+			fmt.Fprintf(bw, "%s_sum%s %d\n", metric, labelSuffix(label), sum)
 			fmt.Fprintf(bw, "%s_count%s %d\n", metric, labelSuffix(label), count)
 		}
 	})

@@ -1,0 +1,48 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"policyanon/internal/engine"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+)
+
+// DefaultServers is the jurisdiction count the registered "parallel"
+// engine requests when the "servers" option is absent — the smallest pool
+// where the Section V partition is non-trivial.
+const DefaultServers = 4
+
+// init self-registers the parallel deployment into the engine registry,
+// demonstrating that the registry is open: the engine package never
+// imports this one. The registered engine runs the bulkdp-binary optimum
+// independently per jurisdiction; "servers" (int) and "sequential"
+// ("true") options map onto Options.
+func init() {
+	engine.MustRegister(engine.Info{
+		Name:        "parallel",
+		Description: "Section V parallel deployment: per-jurisdiction bulkdp-binary over a greedy map partition",
+		PolicyAware: true,
+	}, engine.New("parallel", func(ctx context.Context, db *location.DB, bounds geo.Rect, p engine.Params) (*lbs.Assignment, error) {
+		servers := DefaultServers
+		if v := p.Opt("servers", ""); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("parallel: option servers=%q: %w", v, err)
+			}
+			servers = n
+		}
+		e, err := NewEngineContext(ctx, db, bounds, Options{
+			K:          p.K,
+			Servers:    servers,
+			Sequential: p.Opt("sequential", "") == "true",
+		})
+		if err != nil {
+			return nil, err
+		}
+		return e.Policy()
+	}))
+}

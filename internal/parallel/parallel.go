@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"policyanon/internal/core"
+	"policyanon/internal/engine"
 	"policyanon/internal/geo"
 	"policyanon/internal/lbs"
 	"policyanon/internal/location"
@@ -107,8 +108,9 @@ type Engine struct {
 type server struct {
 	jurisdiction geo.Rect
 	sub          *location.DB
-	anon         *core.Anonymizer
-	globalIdx    []int // sub record index -> master record index
+	anon         *core.Anonymizer // core path only (Options.Engine == nil)
+	policy       *lbs.Assignment  // engine path only
+	globalIdx    []int            // sub record index -> master record index
 	elapsed      time.Duration
 }
 
@@ -125,8 +127,15 @@ type Options struct {
 	// time-slice a shared core, which inflates each server's wall time
 	// and makes the per-server measurements meaningless.
 	Sequential bool
-	// DP carries the core dynamic-program ablation switches.
+	// DP carries the core dynamic-program ablation switches (core path
+	// only; ignored when Engine is set).
 	DP core.Options
+	// Engine, when non-nil, is the per-jurisdiction anonymizer each
+	// server runs instead of the built-in core dynamic program. Any
+	// engine.Engine works; the core path (nil Engine) additionally keeps
+	// the per-server Anonymizer for incremental maintenance and exact
+	// OptimalCost reporting.
+	Engine engine.Engine
 }
 
 // NewEngine partitions the map, shards the snapshot, and runs the bulk
@@ -186,6 +195,17 @@ func NewEngineContext(ctx context.Context, db *location.DB, bounds geo.Rect, opt
 			wsp.SetInt("users", int64(subs[j].Len()))
 		}
 		start := time.Now()
+		if opt.Engine != nil {
+			pol, err := opt.Engine.Anonymize(wctx, subs[j], squareOver(jur[j]), engine.Params{K: opt.K})
+			e.servers[j].elapsed = time.Since(start)
+			wsp.End()
+			if err != nil {
+				errs[j] = fmt.Errorf("parallel: jurisdiction %d: %w", j, err)
+				return
+			}
+			e.servers[j].policy = pol
+			return
+		}
 		anon, err := core.NewAnonymizerContext(wctx, subs[j], squareOver(jur[j]), core.AnonymizerOptions{
 			K: opt.K, DP: opt.DP,
 		})
@@ -255,8 +275,11 @@ func squareOver(r geo.Rect) geo.Rect {
 // NumServers returns the number of jurisdictions (including empty ones).
 func (e *Engine) NumServers() int { return len(e.servers) }
 
-// Jurisdictions returns the map partition.
-func (e *Engine) Jurisdictions() []geo.Rect { return e.jurisdictions }
+// Jurisdictions returns a copy of the map partition; mutating it does not
+// affect the engine.
+func (e *Engine) Jurisdictions() []geo.Rect {
+	return append([]geo.Rect(nil), e.jurisdictions...)
+}
 
 // TotalCost sums the per-server optimal costs: the cost of the master
 // policy if every user issues one request.
@@ -264,6 +287,9 @@ func (e *Engine) TotalCost() (int64, error) {
 	var total int64
 	for _, s := range e.servers {
 		if s.anon == nil {
+			if s.policy != nil {
+				total += s.policy.Cost()
+			}
 			continue
 		}
 		c, err := s.anon.OptimalCost()
@@ -280,15 +306,19 @@ func (e *Engine) TotalCost() (int64, error) {
 func (e *Engine) Policy() (*lbs.Assignment, error) {
 	cloaks := make([]geo.Rect, e.db.Len())
 	for _, s := range e.servers {
-		if s.anon == nil {
-			continue
-		}
-		sub, err := s.anon.Matrix().Extract()
-		if err != nil {
-			return nil, err
-		}
-		for li, gi := range s.globalIdx {
-			cloaks[gi] = sub[li]
+		switch {
+		case s.anon != nil:
+			sub, err := s.anon.Matrix().Extract()
+			if err != nil {
+				return nil, err
+			}
+			for li, gi := range s.globalIdx {
+				cloaks[gi] = sub[li]
+			}
+		case s.policy != nil:
+			for li, gi := range s.globalIdx {
+				cloaks[gi] = s.policy.CloakAt(li)
+			}
 		}
 	}
 	return lbs.NewAssignment(e.db, cloaks)

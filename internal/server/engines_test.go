@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"policyanon/internal/engine"
+	_ "policyanon/internal/parallel" // register the "parallel" engine
+)
+
+func TestEnginesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := get(t, ts.URL+"/v1/engines")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("engines: %d %v", resp.StatusCode, body)
+	}
+	if body["default"] != engine.DefaultName {
+		t.Errorf("default = %v, want %q", body["default"], engine.DefaultName)
+	}
+	listed := make(map[string]map[string]any)
+	for _, e := range body["engines"].([]any) {
+		info := e.(map[string]any)
+		listed[info["name"].(string)] = info
+	}
+	for _, want := range []string{"bulkdp-binary", "casper", "hilbert", "parallel"} {
+		if _, ok := listed[want]; !ok {
+			t.Errorf("engine %q missing from listing %v", want, listed)
+		}
+	}
+	if listed["casper"]["policyAware"] != false || listed["bulkdp-binary"]["policyAware"] != true {
+		t.Errorf("capability flags wrong in %v", listed)
+	}
+}
+
+// TestServeTwoEnginesPerRequest locks the acceptance criterion: one server
+// process serves cloaks from two different engines in the same session —
+// the snapshot installed under one engine, a second engine computed lazily
+// for ?engine= lookups — and the two disagree on at least one user.
+func TestServeTwoEnginesPerRequest(t *testing.T) {
+	ts := newTestServer(t)
+	// Install the snapshot under casper (per-request body field).
+	users := []UserJSON{}
+	for i := 0; i < 40; i++ {
+		users = append(users, UserJSON{
+			ID: fmt.Sprintf("u%02d", i),
+			X:  int32((i * 13) % 64), Y: int32((i * 29) % 64),
+		})
+	}
+	resp, body := post(t, ts.URL+"/v1/snapshot?engine=casper", SnapshotRequest{K: 5, MapSide: 64, Users: users})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d %v", resp.StatusCode, body)
+	}
+	if body["engine"] != "casper" {
+		t.Fatalf("snapshot engine = %v, want casper", body["engine"])
+	}
+
+	cloakOf := func(t *testing.T, url string) map[string]float64 {
+		t.Helper()
+		resp, body := get(t, url)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cloak %s: %d %v", url, resp.StatusCode, body)
+		}
+		out := make(map[string]float64)
+		for k, v := range body["cloak"].(map[string]any) {
+			out[k] = v.(float64)
+		}
+		return out
+	}
+	// The default lookup serves the installed (casper) policy; the
+	// ?engine= lookup computes and serves bulkdp-binary from the same
+	// snapshot in the same process.
+	differ := false
+	for i := 0; i < 40; i++ {
+		user := fmt.Sprintf("u%02d", i)
+		viaCasper := cloakOf(t, ts.URL+"/v1/cloak?user="+user)
+		viaBulk := cloakOf(t, ts.URL+"/v1/cloak?user="+user+"&engine=bulkdp-binary")
+		if len(viaCasper) == 0 || len(viaBulk) == 0 {
+			t.Fatal("empty cloak")
+		}
+		for k := range viaCasper {
+			if viaCasper[k] != viaBulk[k] {
+				differ = true
+			}
+		}
+	}
+	if !differ {
+		t.Error("casper and bulkdp-binary produced identical cloaks for all 40 users; per-request engine selection is not observable")
+	}
+	// Asking for the installed engine explicitly serves the cached policy.
+	_ = cloakOf(t, ts.URL+"/v1/cloak?user=u00&engine=casper")
+	// Unknown engine on lookup is a 400, not a crash.
+	resp, _ = get(t, ts.URL+"/v1/cloak?user=u00&engine=no-such")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown engine on cloak: %d", resp.StatusCode)
+	}
+	// Unknown engine on snapshot is a 400.
+	resp, body = post(t, ts.URL+"/v1/snapshot?engine=no-such", SnapshotRequest{K: 5, MapSide: 64, Users: users})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown engine on snapshot: %d %v", resp.StatusCode, body)
+	}
+	// Stats reports the engine that produced the installed policy.
+	resp, body = get(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK || body["engine"] != "casper" {
+		t.Errorf("stats engine = %v (%d)", body["engine"], resp.StatusCode)
+	}
+}
+
+// TestMovesUnderNonIncrementalEngine verifies that movement against a
+// non-incremental engine recomputes the policy from scratch and drops any
+// per-engine cached policies.
+func TestMovesUnderNonIncrementalEngine(t *testing.T) {
+	ts := newTestServer(t)
+	users := []UserJSON{}
+	for i := 0; i < 40; i++ {
+		users = append(users, UserJSON{
+			ID: fmt.Sprintf("u%02d", i),
+			X:  int32((i * 13) % 64), Y: int32((i * 29) % 64),
+		})
+	}
+	resp, body := post(t, ts.URL+"/v1/snapshot?engine=hilbert", SnapshotRequest{K: 5, MapSide: 64, Users: users})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d %v", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts.URL+"/v1/moves", map[string]any{
+		"moves": []map[string]any{{"id": "u03", "x": 60, "y": 60}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("moves: %d %v", resp.StatusCode, body)
+	}
+	// The recomputed policy must mask the new location.
+	resp, body = get(t, ts.URL+"/v1/cloak?user=u03")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cloak after move: %d %v", resp.StatusCode, body)
+	}
+	cloak := body["cloak"].(map[string]any)
+	if cloak["maxX"].(float64) < 60 || cloak["maxY"].(float64) < 60 {
+		t.Fatalf("cloak %v does not mask the moved location (60,60)", cloak)
+	}
+}

@@ -6,12 +6,17 @@
 // Endpoints:
 //
 //	GET  /healthz              liveness probe
-//	POST /v1/snapshot          install a location snapshot and compute the
-//	                           optimal policy-aware k-anonymous policy
+//	GET  /v1/engines           list registered anonymization engines
+//	POST /v1/snapshot          install a location snapshot and compute a
+//	                           cloaking policy (engine selectable per
+//	                           request via ?engine= or the body field)
 //	POST /v1/moves             apply user movement for the next snapshot
-//	                           and incrementally maintain the policy
+//	                           and maintain the policy (incrementally for
+//	                           engines that support it)
 //	POST /v1/pois              install the point-of-interest catalogue
 //	GET  /v1/cloak?user=ID     look up a user's cloak under the policy
+//	                           (&engine=NAME serves an alternative engine's
+//	                           policy over the same snapshot)
 //	POST /v1/request           anonymize a service request and answer it
 //	GET  /v1/stats             snapshot, policy and cache statistics
 package server
@@ -28,6 +33,7 @@ import (
 
 	"policyanon/internal/checkpoint"
 	"policyanon/internal/core"
+	"policyanon/internal/engine"
 	"policyanon/internal/geo"
 	"policyanon/internal/lbs"
 	"policyanon/internal/location"
@@ -38,23 +44,31 @@ import (
 // Server is the HTTP anonymization service. Create with New and mount via
 // Handler.
 type Server struct {
-	mu       sync.RWMutex
-	k        int
-	bounds   geo.Rect
-	db       *location.DB
-	anon     *core.Anonymizer
-	policy   *lbs.Assignment
-	csp      *lbs.CSP
-	provider *lbs.POIProvider
-	stats    Stats
-	reg      *metrics.Registry
-	tracer   *obs.Tracer
+	mu         sync.RWMutex
+	k          int
+	bounds     geo.Rect
+	db         *location.DB
+	anon       *core.Anonymizer // non-nil only for incremental engines
+	policy     *lbs.Assignment
+	csp        *lbs.CSP
+	provider   *lbs.POIProvider
+	stats      Stats
+	reg        *metrics.Registry
+	tracer     *obs.Tracer
+	engineName string // default engine; "" means engine.DefaultName
+	snapEngine string // engine that produced the installed policy
+	// enginePolicies caches alternative engines' policies over the
+	// current snapshot, so /v1/cloak?engine=NAME can serve several
+	// engines per-request in one process. Invalidated whenever the
+	// snapshot changes.
+	enginePolicies map[string]*lbs.Assignment
 }
 
 // Stats reports the server's state.
 type Stats struct {
 	Users          int     `json:"users"`
 	K              int     `json:"k"`
+	Engine         string  `json:"engine,omitempty"`
 	PolicyCost     int64   `json:"policyCost"`
 	AvgCloakArea   float64 `json:"avgCloakArea"`
 	AnonymizeMs    float64 `json:"anonymizeMs"`
@@ -79,6 +93,28 @@ func New() *Server {
 	return &Server{reg: reg, tracer: tracer}
 }
 
+// SetDefaultEngine selects the engine used when a snapshot request names
+// none. The name must be registered.
+func (s *Server) SetDefaultEngine(name string) error {
+	if _, err := engine.Get(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.engineName = name
+	s.mu.Unlock()
+	return nil
+}
+
+// DefaultEngine returns the server's default engine name.
+func (s *Server) DefaultEngine() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.engineName == "" {
+		return engine.DefaultName
+	}
+	return s.engineName
+}
+
 // Metrics exposes the server's registry (shared with the phase tracer).
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
@@ -101,6 +137,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/moves", s.handleMoves)
 	mux.HandleFunc("POST /v1/pois", s.handlePOIs)
@@ -142,6 +179,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleEngines lists every registered engine with its capability flags,
+// plus this server's default.
+func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default": s.DefaultEngine(),
+		"engines": engine.Infos(),
+	})
+}
+
 // UserJSON is one location-database row on the wire.
 type UserJSON struct {
 	ID string `json:"id"`
@@ -149,10 +195,13 @@ type UserJSON struct {
 	Y  int32  `json:"y"`
 }
 
-// SnapshotRequest installs a new location snapshot.
+// SnapshotRequest installs a new location snapshot. Engine selects the
+// anonymization engine by registry name (the ?engine= query parameter
+// takes precedence; the server default applies when both are empty).
 type SnapshotRequest struct {
 	K       int        `json:"k"`
 	MapSide int32      `json:"mapSide"`
+	Engine  string     `json:"engine,omitempty"`
 	Users   []UserJSON `json:"users"`
 }
 
@@ -182,6 +231,19 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("mapSide must be >= 1, got %d", req.MapSide))
 		return
 	}
+	name := r.URL.Query().Get("engine")
+	if name == "" {
+		name = req.Engine
+	}
+	if name == "" {
+		name = s.DefaultEngine()
+	}
+	eng, err := engine.Get(name)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, _ := engine.InfoOf(name)
 	db := location.New(len(req.Users))
 	for _, u := range req.Users {
 		if err := db.Add(u.ID, geo.Point{X: u.X, Y: u.Y}); err != nil {
@@ -190,15 +252,26 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	bounds := geo.NewRect(0, 0, req.MapSide, req.MapSide)
-	start := time.Now()
-	anon, err := core.NewAnonymizerContext(s.obsCtx(r), db, bounds, core.AnonymizerOptions{K: req.K})
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+	// Incremental engines run through the core anonymizer directly so the
+	// configuration matrix survives for /v1/moves maintenance; wrapping
+	// the construction as an inline engine keeps spans and metrics
+	// identical to the generic path.
+	var anon *core.Anonymizer
+	run := eng
+	if info.Incremental {
+		run = engine.New(name, func(ctx context.Context, db *location.DB, bounds geo.Rect, p engine.Params) (*lbs.Assignment, error) {
+			a, err := core.NewAnonymizerContext(ctx, db, bounds, core.AnonymizerOptions{K: p.K})
+			if err != nil {
+				return nil, err
+			}
+			anon = a
+			return a.Policy()
+		})
 	}
-	policy, err := anon.Policy()
+	start := time.Now()
+	policy, err := s.runEngine(s.obsCtx(r), run, db, bounds, engine.Params{K: req.K})
 	if err != nil {
-		status := http.StatusInternalServerError
+		status := http.StatusBadRequest
 		if errors.Is(err, core.ErrInsufficientUsers) {
 			status = http.StatusUnprocessableEntity
 		}
@@ -213,6 +286,8 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.db = db
 	s.anon = anon
 	s.policy = policy
+	s.snapEngine = name
+	s.enginePolicies = map[string]*lbs.Assignment{name: policy}
 	if s.provider != nil {
 		if s.csp == nil {
 			s.csp = lbs.NewCSP(policy, s.provider)
@@ -222,6 +297,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.Users = db.Len()
 	s.stats.K = req.K
+	s.stats.Engine = name
 	s.stats.PolicyCost = policy.Cost()
 	s.stats.AvgCloakArea = policy.AvgArea()
 	s.stats.AnonymizeMs = float64(elapsed.Microseconds()) / 1000
@@ -229,10 +305,17 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 	writeJSON(w, http.StatusOK, map[string]any{
 		"users":        db.Len(),
+		"engine":       name,
 		"policyCost":   policy.Cost(),
 		"avgCloakArea": policy.AvgArea(),
 		"anonymizeMs":  float64(elapsed.Microseconds()) / 1000,
 	})
+}
+
+// runEngine executes an engine under the server's tracing and metrics
+// middleware.
+func (s *Server) runEngine(ctx context.Context, e engine.Engine, db *location.DB, bounds geo.Rect, p engine.Params) (*lbs.Assignment, error) {
+	return engine.Wrap(e, engine.WithTracing(), engine.WithMetrics(s.reg)).Anonymize(ctx, db, bounds, p)
 }
 
 // MovesRequest applies one snapshot interval's worth of user movement.
@@ -248,7 +331,16 @@ func (s *Server) handleMoves(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.anon == nil && s.db != nil {
+	if s.db == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("no snapshot installed"))
+		return
+	}
+	name := s.snapEngine
+	if name == "" {
+		name = engine.DefaultName
+	}
+	info, _ := engine.InfoOf(name)
+	if s.anon == nil && info.Incremental {
 		// State restored from a checkpoint carries no configuration
 		// matrix; rebuild it once, after which maintenance is incremental.
 		anon, err := core.NewAnonymizerContext(s.obsCtx(r), s.db, s.bounds, core.AnonymizerOptions{K: s.k})
@@ -258,30 +350,54 @@ func (s *Server) handleMoves(w http.ResponseWriter, r *http.Request) {
 		}
 		s.anon = anon
 	}
-	if s.anon == nil {
-		httpError(w, http.StatusConflict, fmt.Errorf("no snapshot installed"))
-		return
-	}
 	start := time.Now()
-	for _, m := range req.Moves {
-		idx := s.db.Index(m.ID)
-		if idx < 0 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown user %q", m.ID))
+	var rows int
+	var policy *lbs.Assignment
+	if s.anon != nil {
+		for _, m := range req.Moves {
+			idx := s.db.Index(m.ID)
+			if idx < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("unknown user %q", m.ID))
+				return
+			}
+			if err := s.anon.Move(idx, geo.Point{X: m.X, Y: m.Y}); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("move %q: %w", m.ID, err))
+				return
+			}
+		}
+		rows = s.anon.Refresh()
+		var err error
+		policy, err = s.anon.Policy()
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		if err := s.anon.Move(idx, geo.Point{X: m.X, Y: m.Y}); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("move %q: %w", m.ID, err))
+	} else {
+		// Non-incremental engine: apply the moves to the snapshot and
+		// recompute the whole policy from scratch.
+		for _, m := range req.Moves {
+			idx := s.db.Index(m.ID)
+			if idx < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("unknown user %q", m.ID))
+				return
+			}
+			s.db.MoveAt(idx, geo.Point{X: m.X, Y: m.Y})
+		}
+		eng, err := engine.Get(name)
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
 			return
 		}
-	}
-	rows := s.anon.Refresh()
-	policy, err := s.anon.Policy()
-	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
-		return
+		policy, err = s.runEngine(s.obsCtx(r), eng, s.db, s.bounds, engine.Params{K: s.k})
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		rows = s.db.Len()
 	}
 	elapsed := time.Since(start)
 	s.policy = policy
+	s.enginePolicies = map[string]*lbs.Assignment{name: policy}
 	if s.csp != nil {
 		s.csp.SetPolicy(policy)
 	}
@@ -346,9 +462,26 @@ func (s *Server) handleCloak(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("missing user parameter"))
 		return
 	}
-	s.mu.RLock()
-	policy := s.policy
-	s.mu.RUnlock()
+	var policy *lbs.Assignment
+	if name := r.URL.Query().Get("engine"); name != "" {
+		s.mu.Lock()
+		if s.db == nil {
+			s.mu.Unlock()
+			httpError(w, http.StatusConflict, fmt.Errorf("no snapshot installed"))
+			return
+		}
+		var err error
+		policy, err = s.enginePolicyLocked(s.obsCtx(r), name)
+		s.mu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		s.mu.RLock()
+		policy = s.policy
+		s.mu.RUnlock()
+	}
 	if policy == nil {
 		httpError(w, http.StatusConflict, fmt.Errorf("no snapshot installed"))
 		return
@@ -359,6 +492,28 @@ func (s *Server) handleCloak(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"user": user, "cloak": rectJSON(cloak)})
+}
+
+// enginePolicyLocked returns (computing and caching on first use) the
+// named engine's policy over the current snapshot. Callers must hold the
+// write lock.
+func (s *Server) enginePolicyLocked(ctx context.Context, name string) (*lbs.Assignment, error) {
+	if p, ok := s.enginePolicies[name]; ok {
+		return p, nil
+	}
+	eng, err := engine.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.runEngine(ctx, eng, s.db, s.bounds, engine.Params{K: s.k})
+	if err != nil {
+		return nil, err
+	}
+	if s.enginePolicies == nil {
+		s.enginePolicies = make(map[string]*lbs.Assignment)
+	}
+	s.enginePolicies[name] = p
+	return p, nil
 }
 
 // ServiceRequestJSON is a user request on the wire.
@@ -428,6 +583,10 @@ func (s *Server) RestoreFrom(r io.Reader) error {
 	s.db = st.DB
 	s.anon = nil // lazily rebuilt by the next /v1/moves
 	s.policy = st.Policy
+	// Checkpoints predate engine selection and always carry the default
+	// engine's policy.
+	s.snapEngine = engine.DefaultName
+	s.enginePolicies = map[string]*lbs.Assignment{engine.DefaultName: st.Policy}
 	if s.provider != nil {
 		if s.csp == nil {
 			s.csp = lbs.NewCSP(st.Policy, s.provider)

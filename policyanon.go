@@ -44,6 +44,7 @@ import (
 	"policyanon/internal/checkpoint"
 	"policyanon/internal/cluster"
 	"policyanon/internal/core"
+	"policyanon/internal/engine"
 	"policyanon/internal/geo"
 	"policyanon/internal/history"
 	"policyanon/internal/lbs"
@@ -483,3 +484,71 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Unified engine layer: every anonymization algorithm in the module — the
+// optimal policy-aware anonymizer, its ablations and extensions, the
+// k-inside baselines, and the parallel deployment — is registered behind
+// one name-keyed interface. Consumers select algorithms by name
+// (GetEngine, EngineNames) instead of linking concrete constructors; the
+// middleware in internal/engine adds tracing, metrics, post-hoc
+// verification and per-snapshot caching uniformly. See docs/ENGINES.md.
+//
+// Note: Engine (above) remains the Section V parallel deployment for
+// compatibility; the algorithm interface is PolicyEngine.
+type (
+	// PolicyEngine is the uniform anonymization-algorithm interface.
+	PolicyEngine = engine.Engine
+	// EngineParams carries per-call parameters (k, per-user ks, options).
+	EngineParams = engine.Params
+	// EngineInfo describes a registered engine's capabilities.
+	EngineInfo = engine.Info
+	// EngineRegistry is a name-keyed engine collection; most callers use
+	// the package-level default registry via GetEngine / RegisterEngine.
+	EngineRegistry = engine.Registry
+	// EngineMiddleware decorates a PolicyEngine (tracing, metrics,
+	// verification, caching).
+	EngineMiddleware = engine.Middleware
+)
+
+// DefaultEngineName names the engine used when no selection is made: the
+// paper's optimal policy-aware anonymizer over binary semi-quadrant
+// cloaks.
+const DefaultEngineName = engine.DefaultName
+
+// ErrUnknownEngine is wrapped by GetEngine for unregistered names.
+var ErrUnknownEngine = engine.ErrUnknownEngine
+
+// GetEngine resolves a registered engine by name ("bulkdp-binary",
+// "casper", "hilbert", ...; see EngineNames).
+func GetEngine(name string) (PolicyEngine, error) { return engine.Get(name) }
+
+// EngineNames lists the registered engine names, sorted.
+func EngineNames() []string { return engine.Names() }
+
+// EngineInfos lists the registered engines with capability flags, sorted
+// by name.
+func EngineInfos() []EngineInfo { return engine.Infos() }
+
+// RegisterEngine adds an engine to the default registry, e.g. a caller's
+// own algorithm so that benches and servers can sweep it by name.
+func RegisterEngine(info EngineInfo, e PolicyEngine) error {
+	return engine.Register(info, e)
+}
+
+// NewEngineFunc wraps a plain function as a named PolicyEngine.
+func NewEngineFunc(name string, fn func(ctx context.Context, db *LocationDB, bounds Rect, p EngineParams) (*Assignment, error)) PolicyEngine {
+	return engine.New(name, fn)
+}
+
+// AnonymizeWith resolves name in the default registry and runs it with
+// tracing enabled (spans appear when ctx carries a Tracer). It is the
+// one-call path for engine-agnostic callers:
+//
+//	policy, err := policyanon.AnonymizeWith(ctx, "casper", db, bounds, 50)
+func AnonymizeWith(ctx context.Context, name string, db *LocationDB, bounds Rect, k int) (*Assignment, error) {
+	e, err := engine.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Wrap(e, engine.WithTracing()).Anonymize(ctx, db, bounds, EngineParams{K: k})
+}
