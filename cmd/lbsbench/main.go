@@ -14,7 +14,9 @@
 // (Section VI-D utility loss), hilbert (policy-aware-safe schemes),
 // adaptive (semi-quadrant orientation), trajectory (anonymity erosion),
 // utility (answer sizes), engines (cross-engine registry sweep; select
-// engines with -engines), all.
+// engines with -engines), workers (intra-tree DP worker sweep; writes the
+// tracked BENCH_bulkdp.json baseline — see -bench-out, -workers,
+// -bench-time, and the validate-only -check-bench mode), all.
 //
 // All comparative experiments resolve their policies from the engine
 // registry (internal/engine), so output keys are stable registry names.
@@ -29,9 +31,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,20 +48,65 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|engines|all")
-		scale    = flag.String("scale", "small", "dataset scale: small (~50k users) or paper (1.75M users)")
-		k        = flag.Int("k", 50, "anonymity parameter k")
-		seed     = flag.Int64("seed", 42, "dataset seed")
-		format   = flag.String("format", "table", "output format: table|csv|markdown")
-		engines  = flag.String("engines", "", "comma-separated registry names for -exp engines (default: all but bulkdp-naive)")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
-		phases   = flag.Bool("phase-summary", false, "print per-phase timing table to stderr")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|engines|workers|all")
+		scale      = flag.String("scale", "small", "dataset scale: small (~50k users) or paper (1.75M users)")
+		k          = flag.Int("k", 50, "anonymity parameter k")
+		seed       = flag.Int64("seed", 42, "dataset seed")
+		format     = flag.String("format", "table", "output format: table|csv|markdown")
+		engines    = flag.String("engines", "", "comma-separated registry names for -exp engines (default: all but bulkdp-naive)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
+		phases     = flag.Bool("phase-summary", false, "print per-phase timing table to stderr")
+		benchOut   = flag.String("bench-out", "BENCH_bulkdp.json", "output file for the -exp workers sweep")
+		workerList = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -exp workers")
+		benchTime  = flag.Duration("bench-time", time.Second, "measurement budget per worker count for -exp workers")
+		checkBench = flag.String("check-bench", "", "validate an existing BENCH_bulkdp.json and exit (CI gate)")
 	)
 	flag.Parse()
-	if err := run(*exp, *scale, *k, *seed, *format, *engines, *traceOut, *phases); err != nil {
+	if *checkBench != "" {
+		if err := checkBenchFile(*checkBench); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid\n", *checkBench)
+		return
+	}
+	if err := run(*exp, *scale, *k, *seed, *format, *engines, *traceOut, *phases,
+		*benchOut, *workerList, *benchTime); err != nil {
 		fmt.Fprintln(os.Stderr, "lbsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// checkBenchFile is the -check-bench mode: decode and validate a sweep
+// document, failing the process on malformed output.
+func checkBenchFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = experiments.LoadBulkDPBench(f)
+	return err
+}
+
+// parseWorkerList parses the -workers flag ("1,2,4,8").
+func parseWorkerList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers lists no counts")
+	}
+	return out, nil
 }
 
 // sweepEngines resolves the -engines flag: an explicit comma list, or
@@ -82,7 +131,8 @@ func sweepEngines(flagVal string) []string {
 	return names
 }
 
-func run(exp, scale string, k int, seed int64, format, engineList, traceOut string, phases bool) error {
+func run(exp, scale string, k int, seed int64, format, engineList, traceOut string, phases bool,
+	benchOut, workerList string, benchTime time.Duration) error {
 	switch format {
 	case "table", "csv", "markdown":
 	default:
@@ -262,6 +312,29 @@ func run(exp, scale string, k int, seed int64, format, engineList, traceOut stri
 			return err
 		}
 	}
+	if want("workers") {
+		ran = true
+		counts, err := parseWorkerList(workerList)
+		if err != nil {
+			return err
+		}
+		banner(fmt.Sprintf("== Bulk_dp intra-tree worker sweep, |D|=%d, k=%d ==", sizes[0], k))
+		bench, err := experiments.WorkersSweep(d, sizes[0], k, counts, benchTime)
+		if err != nil {
+			return err
+		}
+		bench.Dataset = scale
+		if err := writeBench(benchOut, bench); err != nil {
+			return err
+		}
+		if err := emit(experiments.BulkDPBenchTable(bench), func() { experiments.PrintBulkDPBench(os.Stdout, bench) }); err != nil {
+			return err
+		}
+		// The one-line summary goes to stderr in every format, so CSV and
+		// markdown pipelines still show the speedup at a glance.
+		fmt.Fprintln(os.Stderr, "lbsbench:", experiments.SpeedupSummary(bench))
+		fmt.Fprintf(os.Stderr, "lbsbench: sweep written to %s\n", benchOut)
+	}
 	if want("parallel") {
 		ran = true
 		banner(fmt.Sprintf("== Sec VI-D: parallel utility loss, |D|=%d, k=%d ==", parN, k))
@@ -296,6 +369,21 @@ func run(exp, scale string, k int, seed int64, format, engineList, traceOut stri
 		fmt.Fprintf(os.Stderr, "lbsbench: trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", traceOut)
 	}
 	return nil
+}
+
+// writeBench writes the sweep document as indented JSON.
+func writeBench(path string, bench *experiments.BulkDPBench) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bench); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func min(a, b int) int {

@@ -3,22 +3,23 @@ package main
 import (
 	"os"
 	"testing"
+	"time"
 )
 
 // The small-scale experiments are exercised through run() to keep the CLI
 // wiring covered; heavy paths run at paper scale only when invoked
 // explicitly.
 func TestRunUnknownInputs(t *testing.T) {
-	if err := run("fig3", "nope", 10, 1, "table", "", "", false); err == nil {
+	if err := run("fig3", "nope", 10, 1, "table", "", "", false, "", "1", time.Millisecond); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run("figZZ", "small", 10, 1, "table", "", "", false); err == nil {
+	if err := run("figZZ", "small", 10, 1, "table", "", "", false, "", "1", time.Millisecond); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("fig2", "small", 10, 1, "xml", "", "", false); err == nil {
+	if err := run("fig2", "small", 10, 1, "xml", "", "", false, "", "1", time.Millisecond); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if err := run("engines", "small", 10, 1, "table", "no-such-engine", "", false); err == nil {
+	if err := run("engines", "small", 10, 1, "table", "no-such-engine", "", false, "", "1", time.Millisecond); err == nil {
 		t.Error("unknown engine name accepted")
 	}
 }
@@ -51,15 +52,15 @@ func TestRunSingleExperimentSmall(t *testing.T) {
 	}
 	os.Stdout = devnull
 	defer func() { os.Stdout = old; devnull.Close() }()
-	if err := run("fig3", "small", 50, 1, "table", "", "", false); err != nil {
+	if err := run("fig3", "small", 50, 1, "table", "", "", false, "", "1", time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("fig2", "small", 50, 1, "csv", "", "", false); err != nil {
+	if err := run("fig2", "small", 50, 1, "csv", "", "", false, "", "1", time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	// Tracing path: fig3 builds anonymizers, so the trace must be non-empty.
 	trace := t.TempDir() + "/trace.json"
-	if err := run("fig3", "small", 50, 1, "csv", "", trace, false); err != nil {
+	if err := run("fig3", "small", 50, 1, "csv", "", trace, false, "", "1", time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	if st, err := os.Stat(trace); err != nil || st.Size() == 0 {
@@ -67,7 +68,31 @@ func TestRunSingleExperimentSmall(t *testing.T) {
 	}
 	// The registry sweep over the two k-inside baselines stays cheap and
 	// exercises the engines experiment end to end.
-	if err := run("engines", "small", 50, 1, "csv", "casper,puq", "", false); err != nil {
+	if err := run("engines", "small", 50, 1, "csv", "casper,puq", "", false, "", "1", time.Millisecond); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunWorkersSweep runs the workers experiment end to end on a tiny
+// budget and validates the emitted BENCH_bulkdp.json through the same
+// gate CI uses.
+func TestRunWorkersSweep(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+	out := t.TempDir() + "/BENCH_bulkdp.json"
+	if err := run("workers", "small", 50, 1, "csv", "", "", false, out, "1,2", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkBenchFile(out); err != nil {
+		t.Fatalf("emitted sweep fails validation: %v", err)
+	}
+	// Malformed worker lists are rejected before any measurement.
+	if err := run("workers", "small", 50, 1, "csv", "", "", false, out, "1,zero", time.Millisecond); err == nil {
+		t.Error("malformed -workers accepted")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -39,10 +40,11 @@ const shardAttempts = 2
 
 // Coordinator drives a pool of anonymization servers.
 type Coordinator struct {
-	workers []string // base URLs, e.g. "http://10.0.0.7:8080"
-	client  *http.Client
-	reg     *metrics.Registry
-	engine  string // engine name shipped with shard snapshots; "" = worker default
+	workers   []string // base URLs, e.g. "http://10.0.0.7:8080"
+	client    *http.Client
+	reg       *metrics.Registry
+	engine    string // engine name shipped with shard snapshots; "" = worker default
+	dpWorkers int    // intra-tree DP worker budget per shard; 0 = worker default
 }
 
 // New returns a coordinator over the given worker base URLs. client may be
@@ -70,6 +72,16 @@ func (c *Coordinator) UseEngine(name string) { c.engine = name }
 // Engine returns the engine name shipped with shard snapshots ("" when
 // workers use their own default).
 func (c *Coordinator) Engine() string { return c.engine }
+
+// UseWorkers sets the intra-tree DP worker budget shipped with every
+// shard snapshot (the "workers" engine option, core.Options.Workers on
+// the worker's machine). Each shard is a whole jurisdiction on its own
+// server, so the budget is per shard, not divided; 0 restores the
+// workers' own default (their automatic GOMAXPROCS policy).
+func (c *Coordinator) UseWorkers(n int) { c.dpWorkers = n }
+
+// Workers returns the per-shard DP worker budget (0 = worker default).
+func (c *Coordinator) Workers() int { return c.dpWorkers }
 
 // Metrics exposes the coordinator's registry: per-worker shard wall-time
 // histograms ("cluster_shard:<worker>"), retry counters
@@ -265,6 +277,9 @@ func (c *Coordinator) anonymizeShard(ctx context.Context, worker string, jur geo
 	snap := map[string]any{"k": k, "mapSide": side, "users": local}
 	if c.engine != "" {
 		snap["engine"] = c.engine
+	}
+	if c.dpWorkers != 0 {
+		snap["opts"] = map[string]string{"workers": strconv.Itoa(c.dpWorkers)}
 	}
 	body, err := json.Marshal(snap)
 	if err != nil {

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+)
+
+// TestClusterUseWorkers checks that a per-shard DP worker budget shipped
+// with the snapshots does not change the distributed policy: each worker
+// computes the same per-jurisdiction optimum on its pool as sequentially.
+func TestClusterUseWorkers(t *testing.T) {
+	db, bounds := testSnapshot(t, 2000)
+	const k = 20
+	urls := pool(t, 3)
+
+	seq, err := New(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqPol, err := seq.Anonymize(context.Background(), db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par, err := New(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.UseWorkers(2)
+	if par.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", par.Workers())
+	}
+	parPol, err := par.Anonymize(context.Background(), db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if seqPol.Cost() != parPol.Cost() {
+		t.Fatalf("costs differ: %d sequential, %d with workers=2", seqPol.Cost(), parPol.Cost())
+	}
+	for i := 0; i < seqPol.Len(); i++ {
+		if seqPol.CloakAt(i) != parPol.CloakAt(i) {
+			t.Fatalf("cloak %d differs: %v sequential, %v with workers=2", i, seqPol.CloakAt(i), parPol.CloakAt(i))
+		}
+	}
+}

@@ -26,11 +26,11 @@ import (
 // AdaptiveMatrix is the optimum configuration matrix of the adaptive-
 // orientation policy family.
 type AdaptiveMatrix struct {
-	t       *tree.Tree // quad tree
-	k       int
-	opt     Options
-	rows    []row // square rows after the orientation minimum
-	scratch []int64
+	t    *tree.Tree // quad tree
+	k    int
+	opt  Options
+	rows []row // square rows after the orientation minimum
+	cs   *combineScratch
 }
 
 // NewAdaptiveMatrix runs the adaptive DP over a quad tree (tree.Quad with
@@ -42,10 +42,7 @@ func NewAdaptiveMatrix(t *tree.Tree, k int, opt Options) (*AdaptiveMatrix, error
 	if t.Kind() != tree.Quad {
 		return nil, fmt.Errorf("core: adaptive matrix requires a quad tree, got %v", t.Kind())
 	}
-	m := &AdaptiveMatrix{t: t, k: k, opt: opt, scratch: make([]int64, t.Len()+1)}
-	for i := range m.scratch {
-		m.scratch[i] = inf
-	}
+	m := &AdaptiveMatrix{t: t, k: k, opt: opt, cs: getScratch(t.Len() + 1)}
 	t.PostOrder(func(id tree.NodeID) { m.computeRow(id) })
 	return m, nil
 }
@@ -76,8 +73,8 @@ func (m *AdaptiveMatrix) combineRows(children []*row, d int, bound int32, area i
 		return r
 	}
 	r.costs = make([]int64, bound+1)
-	p := foldRows(m.scratch, children, nil)
-	rowFromProfile(&r, p.js, p.costs, area, m.k)
+	p := foldRows(m.cs, children, nil)
+	rowFromProfile(m.cs, &r, p.js, p.costs, area, m.k)
 	return r
 }
 
@@ -230,7 +227,7 @@ func (m *AdaptiveMatrix) assign(id tree.NodeID, u int32, cloaks []geo.Rect) ([]i
 	}
 	_ = square
 	// Square level: split u across the two semis.
-	jSq, semiPicks, err := resolveCombine(m.scratch, []*row{&semis[0], &semis[1]}, u, want, m.t.Area(id), m.k, r.d)
+	jSq, semiPicks, err := resolveCombine(m.cs, []*row{&semis[0], &semis[1]}, u, want, m.t.Area(id), m.k, r.d)
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +236,7 @@ func (m *AdaptiveMatrix) assign(id tree.NodeID, u int32, cloaks []geo.Rect) ([]i
 		// Semi level: split the semi's target across its two quadrants.
 		a, b := children[chosen.kids[s][0]], children[chosen.kids[s][1]]
 		semiWant := semis[s].at(semiPicks[s])
-		jSemi, kidPicks, err := resolveCombine(m.scratch,
+		jSemi, kidPicks, err := resolveCombine(m.cs,
 			[]*row{&m.rows[a], &m.rows[b]},
 			semiPicks[s], semiWant, chosen.rects[s].Area(), m.k, semis[s].d)
 		if err != nil {
@@ -327,7 +324,7 @@ func AdaptivePolicy(db *location.DB, bounds geo.Rect, k int, opt Options) (*lbs.
 // resolveCombine re-derives, for a node with the given child rows, a child
 // pass-up vector and total j achieving value want at target u. Shared by
 // the static and adaptive extractions.
-func resolveCombine(scratch []int64, rows []*row, u int32, want int64, area int64, k int, dTotal int32) (int32, []int32, error) {
+func resolveCombine(cs *combineScratch, rows []*row, u int32, want int64, area int64, k int, dTotal int32) (int32, []int32, error) {
 	if u == dTotal && want == 0 {
 		picks := make([]int32, len(rows))
 		for i, rc := range rows {
@@ -336,7 +333,7 @@ func resolveCombine(scratch []int64, rows []*row, u int32, want int64, area int6
 		return u, picks, nil
 	}
 	var prefixes []profile
-	final := foldRows(scratch, rows, &prefixes)
+	final := foldRows(cs, rows, &prefixes)
 	targetJ, targetCost := int32(-1), inf
 	for i, j := range final.js {
 		var total int64

@@ -1,0 +1,23 @@
+package core
+
+import "runtime"
+
+// RowAllocsPerRun measures the steady-state allocation count of a single
+// interior-node combine (one computeRow call on the warm root row), the
+// quantity the BENCH_bulkdp.json baseline tracks and the zero-alloc
+// regression gate asserts is 0. It mirrors testing.AllocsPerRun — pin to
+// one P, warm once, average mallocs over repeated runs — without pulling
+// the testing package into non-test binaries.
+func (m *Matrix) RowAllocsPerRun() float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	id := m.t.Root()
+	m.computeRow(m.cs, id) // warm scratch and row storage
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const runs = 100
+	for i := 0; i < runs; i++ {
+		m.computeRow(m.cs, id)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs
+}

@@ -88,11 +88,12 @@ func (m *Matrix) assign(id tree.NodeID, u int32, cloaks []geo.Rect) ([]int32, er
 // the total work matches one forward pass.
 func (m *Matrix) chooseCombine(id tree.NodeID, u int32, want int64) (int32, []int32, error) {
 	children := m.t.Children(id)
-	rows := make([]*row, len(children))
-	for i, ch := range children {
-		rows[i] = &m.rows[ch]
+	rows := m.cs.rows[:0]
+	for _, ch := range children {
+		rows = append(rows, &m.rows[ch])
 	}
-	j, picks, err := resolveCombine(m.scratch, rows, u, want, m.t.Area(id), m.k, m.rows[id].d)
+	m.cs.rows = rows
+	j, picks, err := resolveCombine(m.cs, rows, u, want, m.t.Area(id), m.k, m.rows[id].d)
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: node %d: %w", id, err)
 	}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"slices"
 	"sort"
 
 	"policyanon/internal/obs"
@@ -27,6 +29,44 @@ type Options struct {
 	// first-cut Algorithm 1 does (O(|D|^2) per binary node, O(|D|^4) per
 	// quad node instead of O((kh)^2)).
 	NaiveCombine bool
+	// Workers selects intra-tree parallelism for the bottom-up pass: the
+	// configuration matrix of independent sibling subtrees is computed on
+	// a bounded work-stealing pool, leaf to root. The parallel schedule
+	// computes exactly the same rows as the sequential one (each row
+	// depends only on its children's finished rows), so results are
+	// bit-identical regardless of the value.
+	//
+	// 0 selects automatic mode: GOMAXPROCS workers when the tree is large
+	// enough to amortize pool startup, sequential otherwise. 1 forces the
+	// sequential path. Values above 1 request exactly that many workers
+	// even on small trees (capped at the node count).
+	Workers int
+}
+
+// parallelMinNodes is the tree size below which automatic worker selection
+// stays sequential: spawning and draining the pool costs on the order of
+// tens of microseconds, which the whole DP of a small tree undercuts.
+const parallelMinNodes = 4096
+
+// workerCount resolves Options.Workers against the tree size.
+func (o Options) workerCount(nodes int) int {
+	w := o.Workers
+	switch {
+	case w < 0 || w == 1:
+		return 1
+	case w == 0:
+		if nodes < parallelMinNodes {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > nodes {
+		w = nodes
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // row is one row of the optimum configuration matrix M: the minimum
@@ -63,8 +103,11 @@ func (r *row) at(u int32) int64 {
 }
 
 // Matrix is the optimum configuration matrix of Algorithm 1, maintained
-// bottom-up over a cloaking tree. It supports full (bulk) computation and
+// bottom-up over a cloaking tree. It supports full (bulk) computation —
+// sequentially or on a work-stealing worker pool (Options.Workers) — and
 // incremental recomputation of rows whose subtree occupancy changed.
+// Methods are not safe for concurrent use; the worker pool is internal to
+// one Recompute pass.
 type Matrix struct {
 	t    *tree.Tree
 	k    int
@@ -77,9 +120,10 @@ type Matrix struct {
 	// through every method. Nil means tracing disabled.
 	obsCtx context.Context
 
-	// scratch buffers for the profile fold, sized to |D|+1.
-	scratch        []int64
-	scratchTouched []int32
+	// cs is the matrix's own combine scratch, used by the sequential
+	// bottom-up pass, incremental updates, and extraction backtracking.
+	// Parallel passes draw additional per-worker scratch from the pool.
+	cs *combineScratch
 }
 
 // NewMatrix runs the bottom-up dynamic program over the whole tree.
@@ -89,24 +133,51 @@ func NewMatrix(t *tree.Tree, k int, opt Options) (*Matrix, error) {
 
 // NewMatrixContext is NewMatrix with tracing: the dynamic-program main
 // loop (combine + pass-up over every node) is recorded as a
-// "bulkdp.combine" span, and the context is retained so Extract and
-// Update report under the same trace.
+// "bulkdp.combine" span carrying worker/steal counters, and the context is
+// retained so Extract and Update report under the same trace.
 func NewMatrixContext(ctx context.Context, t *tree.Tree, k int, opt Options) (*Matrix, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
-	m := &Matrix{t: t, k: k, opt: opt, obsCtx: ctx, scratch: make([]int64, t.Len()+1)}
-	for i := range m.scratch {
-		m.scratch[i] = inf
+	m := &Matrix{t: t, k: k, opt: opt, obsCtx: ctx, cs: getScratch(t.Len() + 1)}
+	m.Recompute()
+	return m, nil
+}
+
+// Recompute re-runs the full bottom-up dynamic program over the current
+// tree, reusing all row and scratch storage. Steady-state recomputation
+// performs no allocations on the sequential path; with Options.Workers > 1
+// the pass runs on the work-stealing pool and produces bit-identical rows.
+func (m *Matrix) Recompute() {
+	_, sp := obs.Start(m.octx(), "bulkdp.combine")
+	var stats []workerStats
+	if nw := m.opt.workerCount(m.t.NumNodes()); nw > 1 {
+		stats = m.computeAllParallel(nw)
+	} else {
+		m.t.PostOrder(func(id tree.NodeID) { m.computeRow(m.cs, id) })
 	}
-	_, sp := obs.Start(ctx, "bulkdp.combine")
-	t.PostOrder(func(id tree.NodeID) { m.computeRow(id) })
 	if sp != nil {
-		sp.SetInt("nodes", int64(t.NumNodes()))
-		sp.SetInt("k", int64(k))
+		sp.SetInt("nodes", int64(m.t.NumNodes()))
+		sp.SetInt("k", int64(m.k))
+		annotateWorkers(sp, stats)
 		sp.End()
 	}
-	return m, nil
+}
+
+// annotateWorkers records per-worker node and steal counters on a
+// bulkdp.combine span (no-op for sequential passes).
+func annotateWorkers(sp *obs.Span, stats []workerStats) {
+	if len(stats) == 0 {
+		return
+	}
+	sp.SetInt("workers", int64(len(stats)))
+	var steals int64
+	for i, ws := range stats {
+		sp.SetInt(fmt.Sprintf("w%d.nodes", i), ws.nodes)
+		sp.SetInt(fmt.Sprintf("w%d.steals", i), ws.steals)
+		steals += ws.steals
+	}
+	sp.SetInt("steals", steals)
 }
 
 // octx returns the construction-time observability context (Background
@@ -172,17 +243,21 @@ func (m *Matrix) bound(id tree.NodeID) int32 {
 	return int32(b)
 }
 
-func (m *Matrix) ensureRow(id tree.NodeID) *row {
-	for int(id) >= len(m.rows) {
+// ensureRows grows the row table to cover NodeIDs below n. It must not run
+// concurrently with row computation; parallel passes pre-size before
+// spawning workers.
+func (m *Matrix) ensureRows(n int) {
+	for len(m.rows) < n {
 		m.rows = append(m.rows, row{})
 	}
-	return &m.rows[id]
 }
 
 // computeRow fills node id's row from its children's rows (which must be
-// current). This is the body of Algorithm 1's main loop.
-func (m *Matrix) computeRow(id tree.NodeID) {
-	r := m.ensureRow(id)
+// current) using the given scratch. This is the body of Algorithm 1's
+// main loop; with warm scratch and row storage it allocates nothing.
+func (m *Matrix) computeRow(cs *combineScratch, id tree.NodeID) {
+	m.ensureRows(int(id) + 1)
+	r := &m.rows[id]
 	r.d = int32(m.t.Count(id))
 	r.bound = m.bound(id)
 	if r.bound < 0 {
@@ -206,8 +281,8 @@ func (m *Matrix) computeRow(id tree.NodeID) {
 		m.combineNaive(id, r, area)
 		return
 	}
-	p := m.fold(m.t.Children(id), nil)
-	rowFromProfile(r, p.js, p.costs, area, m.k)
+	p := m.fold(cs, m.t.Children(id), nil)
+	rowFromProfile(cs, r, p.js, p.costs, area, m.k)
 }
 
 // profile is the temp structure of Section V: achievable total pass-up
@@ -230,62 +305,91 @@ func (p *profile) at(j int32) int64 {
 // achievable j = sum of the children's pass-up counts, the minimum summed
 // cost of the children's rows. When prefixes is non-nil it receives the
 // intermediate profile after each child (used by extraction backtracking).
-func (m *Matrix) fold(children []tree.NodeID, prefixes *[]profile) profile {
-	rows := make([]*row, len(children))
-	for i, ch := range children {
-		rows[i] = &m.rows[ch]
+func (m *Matrix) fold(cs *combineScratch, children []tree.NodeID, prefixes *[]profile) profile {
+	rows := cs.rows[:0]
+	for _, ch := range children {
+		rows = append(rows, &m.rows[ch])
 	}
-	return foldRows(m.scratch, rows, prefixes)
+	cs.rows = rows
+	return foldRows(cs, rows, prefixes)
 }
 
 // foldRows is the combine over explicit rows, shared by the static and
-// adaptive dynamic programs. scratch must be an inf-filled buffer of at
-// least max achievable j + 1 entries; it is restored to inf before return.
-func foldRows(scratch []int64, rows []*row, prefixes *[]profile) profile {
-	var cur profile
+// adaptive dynamic programs. cs.fold must cover the maximum achievable
+// j + 1 entries; it is restored to inf before return.
+//
+// With prefixes == nil the returned profile lives in cs's double-buffered
+// arenas and is valid only until the next combine on the same scratch —
+// the steady-state path allocates nothing. With prefixes != nil every
+// intermediate (and the final) profile is freshly allocated, because
+// extraction retains them across the backtrack.
+func foldRows(cs *combineScratch, rows []*row, prefixes *[]profile) profile {
+	fresh := prefixes != nil
+	js, costs := cs.jsA[:0], cs.costsA[:0]
+	if fresh {
+		js, costs = nil, nil
+	}
 	rows[0].each(func(u int32, c int64) {
-		cur.js = append(cur.js, u)
-		cur.costs = append(cur.costs, c)
+		js = append(js, u)
+		costs = append(costs, c)
 	})
-	if prefixes != nil {
-		*prefixes = append(*prefixes, cur)
+	if fresh {
+		*prefixes = append(*prefixes, profile{js: js, costs: costs})
+	} else {
+		cs.jsA, cs.costsA = js, costs // persist arena growth
 	}
 	for _, rc := range rows[1:] {
-		var touched []int32
-		for i, j := range cur.js {
-			base := cur.costs[i]
+		touched := cs.touched[:0]
+		for i, j := range js {
+			base := costs[i]
 			rc.each(func(u int32, c int64) {
 				nj := j + u
-				if nc := base + c; nc < scratch[nj] {
-					if scratch[nj] == inf {
+				if nc := base + c; nc < cs.fold[nj] {
+					if cs.fold[nj] == inf {
 						touched = append(touched, nj)
 					}
-					scratch[nj] = nc
+					cs.fold[nj] = nc
 				}
 			})
 		}
-		sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
-		next := profile{js: make([]int32, 0, len(touched)), costs: make([]int64, 0, len(touched))}
+		cs.touched = touched
+		slices.Sort(touched)
+		var njs []int32
+		var ncosts []int64
+		if fresh {
+			njs = make([]int32, 0, len(touched))
+			ncosts = make([]int64, 0, len(touched))
+		} else {
+			njs, ncosts = cs.jsB[:0], cs.costsB[:0]
+		}
 		for _, j := range touched {
-			next.js = append(next.js, j)
-			next.costs = append(next.costs, scratch[j])
-			scratch[j] = inf
+			njs = append(njs, j)
+			ncosts = append(ncosts, cs.fold[j])
+			cs.fold[j] = inf
 		}
-		cur = next
-		if prefixes != nil {
-			*prefixes = append(*prefixes, cur)
+		if fresh {
+			*prefixes = append(*prefixes, profile{js: njs, costs: ncosts})
+		} else {
+			// Swap arenas: the pair js/costs occupied is free for the
+			// next child's merge.
+			cs.jsB, cs.costsB = cs.jsA, cs.costsA
+			cs.jsA, cs.costsA = njs, ncosts
 		}
+		js, costs = njs, ncosts
 	}
-	return cur
+	return profile{js: js, costs: costs}
 }
 
 // rowFromProfile is the second stage of the Section V combine: from the
 // temp profile it derives M[m][u] = min( temp[u],
 // min_{j >= u+k} temp[j] + (j-u)*area ) for each u in the dense range,
 // using suffix minima of temp[j] + j*area for O(1) work per u.
-func rowFromProfile(r *row, js []int32, costs []int64, area int64, k int) {
+func rowFromProfile(cs *combineScratch, r *row, js []int32, costs []int64, area int64, k int) {
 	n := len(js)
-	sfx := make([]int64, n+1)
+	if cap(cs.sfx) < n+1 {
+		cs.sfx = make([]int64, n+1)
+	}
+	sfx := cs.sfx[:n+1]
 	sfx[n] = inf
 	for i := n - 1; i >= 0; i-- {
 		v := costs[i] + int64(js[i])*area
@@ -359,13 +463,7 @@ func (m *Matrix) Update() int {
 		return 0
 	}
 	_, sp := obs.Start(m.octx(), "bulkdp.update")
-	if need := m.t.Len() + 1; len(m.scratch) < need {
-		old := len(m.scratch)
-		m.scratch = append(m.scratch, make([]int64, need-old)...)
-		for i := old; i < need; i++ {
-			m.scratch[i] = inf
-		}
-	}
+	m.cs.ensureFold(m.t.Len() + 1)
 	affected := make(map[tree.NodeID]struct{})
 	for _, id := range dirty {
 		for n := id; n != tree.None; n = m.t.Parent(n) {
@@ -383,7 +481,7 @@ func (m *Matrix) Update() int {
 		return m.t.Height(order[a]) > m.t.Height(order[b])
 	})
 	for _, id := range order {
-		m.computeRow(id)
+		m.computeRow(m.cs, id)
 	}
 	if sp != nil {
 		sp.SetInt("dirty", int64(len(dirty)))

@@ -1,0 +1,62 @@
+package core
+
+import "sync"
+
+// combineScratch bundles every reusable buffer one combine pass needs, so
+// that steady-state computeRow performs no allocations: the inf-filled
+// fold accumulator, the touched-index list, the child-row pointer list,
+// a double-buffered pair of profile arenas, and the suffix-minimum buffer
+// of rowFromProfile. Each DP worker owns one scratch for the duration of
+// a bottom-up pass; the sequential and incremental paths use the one the
+// Matrix retains. Instances recycle through scratchPool.
+type combineScratch struct {
+	// fold is the indexed-by-j accumulator of the Section V two-stage
+	// combine. Invariant: every entry is inf between combines (foldRows
+	// restores the entries it wrote before returning).
+	fold []int64
+	// touched records which fold indices the current child wrote.
+	touched []int32
+	// rows is Matrix.fold's child-row pointer list.
+	rows []*row
+	// jsA/costsA and jsB/costsB are the profile arenas: the running
+	// profile lives in one pair while the next child's merge builds into
+	// the other, then the pairs swap. The arenas are only safe for
+	// profiles that die with the combine; retained profiles (extraction
+	// prefixes) are allocated fresh.
+	jsA, jsB       []int32
+	costsA, costsB []int64
+	// sfx is the suffix-minimum buffer of rowFromProfile.
+	sfx []int64
+}
+
+// ensureFold grows the fold accumulator to at least n inf-filled entries.
+func (cs *combineScratch) ensureFold(n int) {
+	if len(cs.fold) >= n {
+		return
+	}
+	old := len(cs.fold)
+	if cap(cs.fold) >= n {
+		cs.fold = cs.fold[:n]
+	} else {
+		grown := make([]int64, n)
+		copy(grown, cs.fold)
+		cs.fold = grown
+	}
+	for i := old; i < n; i++ {
+		cs.fold[i] = inf
+	}
+}
+
+// scratchPool recycles combine scratch across matrices and DP workers.
+var scratchPool = sync.Pool{New: func() any { return new(combineScratch) }}
+
+// getScratch returns a pooled scratch whose fold buffer covers indices
+// [0, foldLen).
+func getScratch(foldLen int) *combineScratch {
+	cs := scratchPool.Get().(*combineScratch)
+	cs.ensureFold(foldLen)
+	return cs
+}
+
+// putScratch returns a scratch to the pool. The caller must not retain it.
+func putScratch(cs *combineScratch) { scratchPool.Put(cs) }

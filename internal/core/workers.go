@@ -1,0 +1,150 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"policyanon/internal/tree"
+)
+
+// This file implements the parallel bottom-up pass of the dynamic program
+// (Options.Workers): independent sibling subtrees are computed
+// concurrently on a bounded work-stealing pool. Scheduling is by
+// dependency countdown — every node starts with its child count pending,
+// leaves are immediately ready, and the worker that finishes a node's last
+// child enqueues the parent onto its own deque. Idle workers steal from
+// the head of a victim's deque (FIFO), keeping stolen work coarse: the
+// oldest entries are the roots of the largest untouched subtrees.
+//
+// Correctness does not depend on the schedule. computeRow(id) reads only
+// the finished rows of id's children; the atomic pending countdown gives
+// the release/acquire edge (Go memory model, sync/atomic) between the
+// child's row being written and the parent observing the count hit zero.
+// Every schedule therefore computes exactly the rows the sequential
+// PostOrder does, in some children-first order — the golden parity tests
+// assert bit-identical output.
+
+// workerStats counts one DP worker's contribution, reported on the
+// bulkdp.combine span.
+type workerStats struct {
+	nodes  int64 // rows this worker computed
+	steals int64 // tasks taken from another worker's deque
+}
+
+// dpWorker is one worker's deque. Push and pop operate on the tail
+// (LIFO, cache-warm, parent-after-children); steal takes from the head.
+// A mutex keeps the implementation obviously correct; the DP's unit of
+// work (a full combine) is large enough that lock traffic is noise.
+type dpWorker struct {
+	mu sync.Mutex
+	q  []tree.NodeID
+}
+
+func (w *dpWorker) push(id tree.NodeID) {
+	w.mu.Lock()
+	w.q = append(w.q, id)
+	w.mu.Unlock()
+}
+
+func (w *dpWorker) pop() (tree.NodeID, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n := len(w.q); n > 0 {
+		id := w.q[n-1]
+		w.q = w.q[:n-1]
+		return id, true
+	}
+	return tree.None, false
+}
+
+func (w *dpWorker) steal() (tree.NodeID, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.q) > 0 {
+		id := w.q[0]
+		w.q = w.q[1:]
+		return id, true
+	}
+	return tree.None, false
+}
+
+// computeAllParallel runs the bottom-up pass on nw workers and returns
+// their per-worker statistics. The caller has already decided nw > 1.
+func (m *Matrix) computeAllParallel(nw int) []workerStats {
+	// Pre-size shared storage: workers index m.rows and pending by NodeID
+	// and must never grow a shared slice concurrently.
+	cap := m.t.NodeCap()
+	m.ensureRows(cap)
+	pending := make([]int32, cap)
+
+	// Seed: one PostOrder pass records each live node's child count and
+	// deals the ready nodes (leaves) round-robin across the deques.
+	workers := make([]*dpWorker, nw)
+	for i := range workers {
+		workers[i] = new(dpWorker)
+	}
+	total := int64(0)
+	next := 0
+	m.t.PostOrder(func(id tree.NodeID) {
+		total++
+		if n := int32(len(m.t.Children(id))); n > 0 {
+			pending[id] = n
+		} else {
+			workers[next%nw].push(id)
+			next++
+		}
+	})
+	if total == 0 {
+		return nil
+	}
+
+	stats := make([]workerStats, nw)
+	var remaining atomic.Int64
+	remaining.Store(total)
+	done := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for i := 0; i < nw; i++ {
+		go func(self int) {
+			defer wg.Done()
+			cs := getScratch(m.t.Len() + 1)
+			defer putScratch(cs)
+			st := &stats[self]
+			for {
+				id, ok := workers[self].pop()
+				if !ok {
+					// Deque empty: scan the other workers for work.
+					for off := 1; off < nw && !ok; off++ {
+						if id, ok = workers[(self+off)%nw].steal(); ok {
+							st.steals++
+						}
+					}
+				}
+				if !ok {
+					select {
+					case <-done:
+						return
+					default:
+						runtime.Gosched()
+						continue
+					}
+				}
+				m.computeRow(cs, id)
+				st.nodes++
+				if p := m.t.Parent(id); p != tree.None {
+					if atomic.AddInt32(&pending[p], -1) == 0 {
+						workers[self].push(p)
+					}
+				}
+				if remaining.Add(-1) == 0 {
+					close(done)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return stats
+}

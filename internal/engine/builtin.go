@@ -17,15 +17,25 @@ import (
 // This file adapts every algorithm the repository implements behind the
 // Engine interface and registers them into the Default registry. The
 // bulkdp family honours the ablation options of core.Options via
-// Params.Opts ("noprune", "naive", "maxdepth"); bulkdp-naive pins the
-// first-cut Algorithm 1 regardless of Opts, as the named ablation.
+// Params.Opts ("noprune", "naive", "workers", "maxdepth"); bulkdp-naive
+// pins the first-cut Algorithm 1 regardless of Opts, as the named
+// ablation (worker count is still honoured).
 
-// dpOptions derives the dynamic-program ablation switches from Opts.
-func dpOptions(p Params) core.Options {
+// DPOptions derives the core dynamic-program switches from engine
+// options: the "noprune"/"naive" ablations and the "workers" parallelism
+// budget (see core.Options.Workers; engines with Info.Parallel honour
+// it). Serving surfaces use it to translate transport-level option maps
+// into core options without duplicating the parsing.
+func DPOptions(p Params) (core.Options, error) {
+	workers, err := intOpt(p, "workers", 0)
+	if err != nil {
+		return core.Options{}, err
+	}
 	return core.Options{
 		NoPrune:      p.Opt("noprune", "") == "true",
 		NaiveCombine: p.Opt("naive", "") == "true",
-	}
+		Workers:      workers,
+	}, nil
 }
 
 // intOpt parses an integer engine option, with a default for absent keys.
@@ -48,9 +58,15 @@ func bulkDP(name string, kind tree.Kind, forceNaive bool) Func {
 		if err != nil {
 			return nil, err
 		}
-		opt := core.AnonymizerOptions{K: p.K, Kind: kind, MaxDepth: depth, DP: dpOptions(p)}
+		dp, err := DPOptions(p)
+		if err != nil {
+			return nil, err
+		}
+		opt := core.AnonymizerOptions{K: p.K, Kind: kind, MaxDepth: depth, DP: dp}
 		if forceNaive {
-			opt.DP = core.Options{NaiveCombine: true, NoPrune: true}
+			// Pin the ablation combine but keep the worker budget: the
+			// schedule is orthogonal to the combine body.
+			opt.DP.NaiveCombine, opt.DP.NoPrune = true, true
 		}
 		anon, err := core.NewAnonymizerContext(ctx, db, bounds, opt)
 		if err != nil {
@@ -77,18 +93,21 @@ func init() {
 		Description: "optimal policy-aware Bulk_dp over the binary semi-quadrant tree (Section V)",
 		PolicyAware: true,
 		Incremental: true,
+		Parallel:    true,
 	}, New(DefaultName, bulkDP(DefaultName, tree.Binary, false)))
 
 	MustRegister(Info{
 		Name:        "bulkdp-quad",
 		Description: "optimal policy-aware Bulk_dp over the quad tree (Algorithm 1)",
 		PolicyAware: true,
+		Parallel:    true,
 	}, New("bulkdp-quad", bulkDP("bulkdp-quad", tree.Quad, false)))
 
 	MustRegister(Info{
 		Name:        "bulkdp-naive",
 		Description: "first-cut Algorithm 1 ablation: naive child enumeration, no Lemma 5 pruning",
 		PolicyAware: true,
+		Parallel:    true,
 	}, New("bulkdp-naive", bulkDP("bulkdp-naive", tree.Binary, true)))
 
 	MustRegister(Info{
@@ -96,13 +115,19 @@ func init() {
 		Description: "adaptive semi-quadrant orientation DP (Section V sketch); never worse than bulkdp-binary",
 		PolicyAware: true,
 	}, New("adaptive", func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
-		return core.AdaptivePolicy(db, bounds, p.K, dpOptions(p))
+		dp, err := DPOptions(p)
+		if err != nil {
+			return nil, err
+		}
+		dp.Workers = 0 // the adaptive DAG traversal is sequential
+		return core.AdaptivePolicy(db, bounds, p.K, dp)
 	}))
 
 	MustRegister(Info{
 		Name:        "multik",
 		Description: "user-specified per-user anonymity levels via k-bucketed Bulk_dp (future-work extension)",
 		PolicyAware: true,
+		Parallel:    true,
 	}, New("multik", func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
 		ks := p.Ks
 		if len(ks) == 0 {
@@ -111,7 +136,11 @@ func init() {
 				ks[i] = p.K
 			}
 		}
-		return core.MultiKPolicy(db, bounds, ks, core.AnonymizerOptions{K: p.EffectiveK(), DP: dpOptions(p)})
+		dp, err := DPOptions(p)
+		if err != nil {
+			return nil, err
+		}
+		return core.MultiKPolicy(db, bounds, ks, core.AnonymizerOptions{K: p.EffectiveK(), DP: dp})
 	}))
 
 	MustRegister(Info{

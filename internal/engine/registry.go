@@ -31,6 +31,11 @@ type Info struct {
 	// maintenance of Section V). Non-incremental engines are recomputed
 	// from scratch on each snapshot.
 	Incremental bool `json:"incremental"`
+	// Parallel reports whether the engine honours the "workers" option:
+	// intra-tree parallel computation of the configuration matrix on a
+	// work-stealing pool (core.Options.Workers). Serving surfaces use the
+	// flag to decide whether a worker budget is worth forwarding.
+	Parallel bool `json:"parallel"`
 }
 
 // Registry is a name-keyed set of engines. The zero value is not usable;

@@ -1,0 +1,126 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"policyanon/internal/engine"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	_ "policyanon/internal/parallel" // register the "parallel" engine
+	"policyanon/internal/workload"
+)
+
+// TestWorkersParity is the registry-level golden parity gate for the
+// intra-tree worker pool: every engine advertising Info.Parallel must
+// return byte-identical policies whether the DP runs sequentially
+// (workers=1) or on the pool (workers=4). Run under -race in CI.
+func TestWorkersParity(t *testing.T) {
+	const side = 1 << 11
+	const k = 12
+	db := workload.Generate(workload.Config{
+		MapSide: side, Intersections: 80, UsersPerIntersection: 5, SpreadSigma: 40,
+	}, 19)
+	bounds := geo.NewRect(0, 0, side, side)
+	ctx := context.Background()
+
+	for _, info := range engine.Infos() {
+		if !info.Parallel {
+			continue
+		}
+		if info.Name == "bulkdp-naive" {
+			continue // quadratic combine; covered at small scale below
+		}
+		t.Run(info.Name, func(t *testing.T) {
+			e, err := engine.Get(info.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(workers string) *lbs.Assignment {
+				a, err := e.Anonymize(ctx, db, bounds, engine.Params{
+					K: k, Opts: map[string]string{"workers": workers},
+				})
+				if err != nil {
+					t.Fatalf("workers=%s: %v", workers, err)
+				}
+				return a
+			}
+			seq, par := run("1"), run("4")
+			if seq.Len() != par.Len() || seq.Cost() != par.Cost() {
+				t.Fatalf("sequential (n=%d cost=%d) and parallel (n=%d cost=%d) disagree",
+					seq.Len(), seq.Cost(), par.Len(), par.Cost())
+			}
+			for i := 0; i < seq.Len(); i++ {
+				if seq.CloakAt(i) != par.CloakAt(i) {
+					t.Fatalf("cloak %d differs: %v sequential, %v parallel", i, seq.CloakAt(i), par.CloakAt(i))
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersParityNaive covers the ablation engine at a size its
+// quadratic combine can afford.
+func TestWorkersParityNaive(t *testing.T) {
+	const side = 1 << 8
+	db := workload.Generate(workload.Config{
+		MapSide: side, Intersections: 15, UsersPerIntersection: 4, SpreadSigma: 10,
+	}, 23)
+	bounds := geo.NewRect(0, 0, side, side)
+	e, err := engine.Get("bulkdp-naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	seq, err := e.Anonymize(ctx, db, bounds, engine.Params{K: 3, Opts: map[string]string{"workers": "1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := e.Anonymize(ctx, db, bounds, engine.Params{K: 3, Opts: map[string]string{"workers": "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Cost() != par.Cost() {
+		t.Fatalf("costs differ: %d sequential, %d parallel", seq.Cost(), par.Cost())
+	}
+	for i := 0; i < seq.Len(); i++ {
+		if seq.CloakAt(i) != par.CloakAt(i) {
+			t.Fatalf("cloak %d differs: %v sequential, %v parallel", i, seq.CloakAt(i), par.CloakAt(i))
+		}
+	}
+}
+
+// TestWorkersOptRejected pins the parse error for malformed budgets.
+func TestWorkersOptRejected(t *testing.T) {
+	db := workload.Generate(workload.Config{
+		MapSide: 1 << 8, Intersections: 10, UsersPerIntersection: 4, SpreadSigma: 10,
+	}, 3)
+	e, err := engine.Get(engine.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Anonymize(context.Background(), db, geo.NewRect(0, 0, 1<<8, 1<<8),
+		engine.Params{K: 3, Opts: map[string]string{"workers": "plenty"}})
+	if err == nil {
+		t.Fatal("expected error for workers=plenty")
+	}
+}
+
+// TestParallelFlags pins which registrations honour the workers option.
+func TestParallelFlags(t *testing.T) {
+	want := map[string]bool{
+		"bulkdp-binary": true, "bulkdp-quad": true, "bulkdp-naive": true,
+		"multik": true, "parallel": true,
+		"adaptive": false, "casper": false, "pub": false, "puq": false,
+		"hilbert": false, "mbc": false,
+	}
+	for name, flag := range want {
+		info, ok := engine.InfoOf(name)
+		if !ok {
+			t.Fatalf("engine %q not registered", name)
+		}
+		if info.Parallel != flag {
+			t.Errorf("%s: Parallel=%v, want %v", name, info.Parallel, flag)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"policyanon/internal/workload"
+)
+
+func TestWorkersSweepProducesValidDoc(t *testing.T) {
+	d := NewDataset(workload.Config{
+		MapSide: 1 << 12, Intersections: 400, UsersPerIntersection: 5, SpreadSigma: 60,
+	}, 5)
+	bench, err := WorkersSweep(d, 2000, 20, []int{1, 2}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Sweep) != 2 {
+		t.Fatalf("sweep has %d rows, want 2", len(bench.Sweep))
+	}
+	if bench.Sweep[0].Speedup != 1 {
+		t.Errorf("workers=1 speedup = %v, want 1", bench.Sweep[0].Speedup)
+	}
+	if bench.GOMAXPROCS < 1 || bench.GoVersion == "" || bench.CPUModel == "" {
+		t.Errorf("machine metadata incomplete: %+v", bench)
+	}
+	if bench.ComputeRowAllocs != 0 {
+		t.Errorf("steady-state computeRow allocates %.1f/op, want 0", bench.ComputeRowAllocs)
+	}
+	if s := SpeedupSummary(bench); !strings.Contains(s, "GOMAXPROCS=") {
+		t.Errorf("summary lacks machine context: %q", s)
+	}
+}
+
+func TestLoadBulkDPBenchRejectsMalformed(t *testing.T) {
+	valid := `{"dataset":"small","users":100,"k":5,"treeKind":"binary","nodes":50,
+		"gomaxprocs":1,"numCPU":1,"cpuModel":"x","goVersion":"go1.23",
+		"computeRowAllocsPerOp":0,
+		"sweep":[{"workers":1,"nsPerOp":10,"nodesPerSec":5,"allocsPerOp":0,"speedup":1}]}`
+	if _, err := LoadBulkDPBench(strings.NewReader(valid)); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	for name, doc := range map[string]string{
+		"not-json":         `{`,
+		"empty-sweep":      `{"users":100,"k":5,"nodes":50,"gomaxprocs":1,"goVersion":"go1.23","sweep":[]}`,
+		"no-baseline":      `{"users":100,"k":5,"nodes":50,"gomaxprocs":1,"goVersion":"go1.23","sweep":[{"workers":2,"nsPerOp":10,"nodesPerSec":5}]}`,
+		"zero-ns":          `{"users":100,"k":5,"nodes":50,"gomaxprocs":1,"goVersion":"go1.23","sweep":[{"workers":1,"nsPerOp":0,"nodesPerSec":5}]}`,
+		"missing-machine":  `{"users":100,"k":5,"nodes":50,"sweep":[{"workers":1,"nsPerOp":10,"nodesPerSec":5}]}`,
+		"unknown-field":    `{"users":100,"bogus":1,"k":5,"nodes":50,"gomaxprocs":1,"goVersion":"go1.23","sweep":[{"workers":1,"nsPerOp":10,"nodesPerSec":5}]}`,
+		"invalid-metadata": `{"users":0,"k":5,"nodes":50,"gomaxprocs":1,"goVersion":"go1.23","sweep":[{"workers":1,"nsPerOp":10,"nodesPerSec":5}]}`,
+	} {
+		if _, err := LoadBulkDPBench(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

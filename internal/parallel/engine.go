@@ -19,13 +19,15 @@ const DefaultServers = 4
 // init self-registers the parallel deployment into the engine registry,
 // demonstrating that the registry is open: the engine package never
 // imports this one. The registered engine runs the bulkdp-binary optimum
-// independently per jurisdiction; "servers" (int) and "sequential"
-// ("true") options map onto Options.
+// independently per jurisdiction; "servers" (int), "sequential" ("true"),
+// and "workers" (int, per-jurisdiction intra-tree DP pool) options map
+// onto Options.
 func init() {
 	engine.MustRegister(engine.Info{
 		Name:        "parallel",
 		Description: "Section V parallel deployment: per-jurisdiction bulkdp-binary over a greedy map partition",
 		PolicyAware: true,
+		Parallel:    true,
 	}, engine.New("parallel", func(ctx context.Context, db *location.DB, bounds geo.Rect, p engine.Params) (*lbs.Assignment, error) {
 		servers := DefaultServers
 		if v := p.Opt("servers", ""); v != "" {
@@ -35,10 +37,19 @@ func init() {
 			}
 			servers = n
 		}
+		workers := 0
+		if v := p.Opt("workers", ""); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("parallel: option workers=%q: %w", v, err)
+			}
+			workers = n
+		}
 		e, err := NewEngineContext(ctx, db, bounds, Options{
 			K:          p.K,
 			Servers:    servers,
 			Sequential: p.Opt("sequential", "") == "true",
+			Workers:    workers,
 		})
 		if err != nil {
 			return nil, err

@@ -15,7 +15,9 @@ package parallel
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -127,6 +129,15 @@ type Options struct {
 	// time-slice a shared core, which inflates each server's wall time
 	// and makes the per-server measurements meaningless.
 	Sequential bool
+	// Workers is the intra-tree DP worker budget handed to each
+	// jurisdiction server (core.Options.Workers): the two parallelism
+	// levels compose, jurisdictions across servers and subtrees within
+	// each server's tree. 0 divides GOMAXPROCS evenly across the
+	// concurrently running non-empty jurisdictions (so the composition
+	// never oversubscribes the machine), or leaves the core automatic
+	// policy in charge when servers run sequentially. A negative value
+	// forces the sequential DP in every jurisdiction.
+	Workers int
 	// DP carries the core dynamic-program ablation switches (core path
 	// only; ignored when Engine is set).
 	DP core.Options
@@ -186,6 +197,20 @@ func NewEngineContext(ctx context.Context, db *location.DB, bounds geo.Rect, opt
 		globalIdx[j] = append(globalIdx[j], i)
 	}
 	e.servers = make([]*server, len(jur))
+	nonEmpty := 0
+	for j := range jur {
+		if subs[j].Len() > 0 {
+			nonEmpty++
+		}
+	}
+	dpWorkers := opt.Workers
+	if dpWorkers == 0 && !opt.Sequential && nonEmpty > 0 {
+		// Concurrent jurisdictions already occupy one core each; split
+		// the machine so intra-tree pools never oversubscribe it.
+		if dpWorkers = runtime.GOMAXPROCS(0) / nonEmpty; dpWorkers < 1 {
+			dpWorkers = 1
+		}
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(jur))
 	runServer := func(j int) {
@@ -196,7 +221,12 @@ func NewEngineContext(ctx context.Context, db *location.DB, bounds geo.Rect, opt
 		}
 		start := time.Now()
 		if opt.Engine != nil {
-			pol, err := opt.Engine.Anonymize(wctx, subs[j], squareOver(jur[j]), engine.Params{K: opt.K})
+			params := engine.Params{K: opt.K}
+			if dpWorkers != 0 {
+				// Engines without Info.Parallel ignore the option.
+				params.Opts = map[string]string{"workers": strconv.Itoa(dpWorkers)}
+			}
+			pol, err := opt.Engine.Anonymize(wctx, subs[j], squareOver(jur[j]), params)
 			e.servers[j].elapsed = time.Since(start)
 			wsp.End()
 			if err != nil {
@@ -206,8 +236,12 @@ func NewEngineContext(ctx context.Context, db *location.DB, bounds geo.Rect, opt
 			e.servers[j].policy = pol
 			return
 		}
+		dp := opt.DP
+		if dp.Workers == 0 {
+			dp.Workers = dpWorkers
+		}
 		anon, err := core.NewAnonymizerContext(wctx, subs[j], squareOver(jur[j]), core.AnonymizerOptions{
-			K: opt.K, DP: opt.DP,
+			K: opt.K, DP: dp,
 		})
 		e.servers[j].elapsed = time.Since(start)
 		wsp.End()

@@ -1,0 +1,70 @@
+package parallel
+
+import (
+	"testing"
+
+	"policyanon/internal/engine"
+)
+
+// TestEngineWorkersBudgetParity checks that the intra-tree DP worker
+// budget composes with jurisdiction parallelism without changing the
+// master policy: per-jurisdiction matrices are bit-identical regardless
+// of the pool size, so the assembled cloaks must be too.
+func TestEngineWorkersBudgetParity(t *testing.T) {
+	db, bounds := synthDB(t, 2000, 8)
+	const k = 20
+	seq, err := NewEngine(db, bounds, Options{K: k, Servers: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewEngine(db, bounds, Options{K: k, Servers: 4, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := seq.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost() != b.Cost() {
+		t.Fatalf("costs differ: %d with workers=1, %d with workers=3", a.Cost(), b.Cost())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.CloakAt(i) != b.CloakAt(i) {
+			t.Fatalf("cloak %d differs: %v sequential, %v parallel", i, a.CloakAt(i), b.CloakAt(i))
+		}
+	}
+}
+
+// TestEngineWorkersBudgetEnginePath checks the budget reaches engines run
+// through Options.Engine as the "workers" option.
+func TestEngineWorkersBudgetEnginePath(t *testing.T) {
+	db, bounds := synthDB(t, 1500, 9)
+	const k = 15
+	eng, err := engine.Get(engine.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewEngine(db, bounds, Options{K: k, Servers: 2, Engine: eng, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewEngine(db, bounds, Options{K: k, Servers: 2, Engine: eng, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := seq.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost() != b.Cost() {
+		t.Fatalf("costs differ: %d with workers=1, %d with workers=4", a.Cost(), b.Cost())
+	}
+}

@@ -57,6 +57,11 @@ type Server struct {
 	tracer     *obs.Tracer
 	engineName string // default engine; "" means engine.DefaultName
 	snapEngine string // engine that produced the installed policy
+	// snapOpts carries the engine options the installed snapshot was
+	// anonymized with (e.g. the "workers" DP parallelism budget), so
+	// post-snapshot recomputations — checkpoint-restore rebuilds, move
+	// replays, per-request engine switches — run under the same options.
+	snapOpts map[string]string
 	// enginePolicies caches alternative engines' policies over the
 	// current snapshot, so /v1/cloak?engine=NAME can serve several
 	// engines per-request in one process. Invalidated whenever the
@@ -198,11 +203,14 @@ type UserJSON struct {
 // SnapshotRequest installs a new location snapshot. Engine selects the
 // anonymization engine by registry name (the ?engine= query parameter
 // takes precedence; the server default applies when both are empty).
+// Opts carries engine options by name — notably "workers", the intra-tree
+// DP parallelism budget of engines with Info.Parallel.
 type SnapshotRequest struct {
-	K       int        `json:"k"`
-	MapSide int32      `json:"mapSide"`
-	Engine  string     `json:"engine,omitempty"`
-	Users   []UserJSON `json:"users"`
+	K       int               `json:"k"`
+	MapSide int32             `json:"mapSide"`
+	Engine  string            `json:"engine,omitempty"`
+	Opts    map[string]string `json:"opts,omitempty"`
+	Users   []UserJSON        `json:"users"`
 }
 
 // RectJSON is a cloak on the wire.
@@ -260,7 +268,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	run := eng
 	if info.Incremental {
 		run = engine.New(name, func(ctx context.Context, db *location.DB, bounds geo.Rect, p engine.Params) (*lbs.Assignment, error) {
-			a, err := core.NewAnonymizerContext(ctx, db, bounds, core.AnonymizerOptions{K: p.K})
+			dp, err := engine.DPOptions(p)
+			if err != nil {
+				return nil, err
+			}
+			a, err := core.NewAnonymizerContext(ctx, db, bounds, core.AnonymizerOptions{K: p.K, DP: dp})
 			if err != nil {
 				return nil, err
 			}
@@ -269,7 +281,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	start := time.Now()
-	policy, err := s.runEngine(s.obsCtx(r), run, db, bounds, engine.Params{K: req.K})
+	policy, err := s.runEngine(s.obsCtx(r), run, db, bounds, engine.Params{K: req.K, Opts: req.Opts})
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, core.ErrInsufficientUsers) {
@@ -287,6 +299,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.anon = anon
 	s.policy = policy
 	s.snapEngine = name
+	s.snapOpts = req.Opts
 	s.enginePolicies = map[string]*lbs.Assignment{name: policy}
 	if s.provider != nil {
 		if s.csp == nil {
@@ -343,7 +356,12 @@ func (s *Server) handleMoves(w http.ResponseWriter, r *http.Request) {
 	if s.anon == nil && info.Incremental {
 		// State restored from a checkpoint carries no configuration
 		// matrix; rebuild it once, after which maintenance is incremental.
-		anon, err := core.NewAnonymizerContext(s.obsCtx(r), s.db, s.bounds, core.AnonymizerOptions{K: s.k})
+		dp, err := engine.DPOptions(engine.Params{K: s.k, Opts: s.snapOpts})
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		anon, err := core.NewAnonymizerContext(s.obsCtx(r), s.db, s.bounds, core.AnonymizerOptions{K: s.k, DP: dp})
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, err)
 			return
@@ -388,7 +406,7 @@ func (s *Server) handleMoves(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusConflict, err)
 			return
 		}
-		policy, err = s.runEngine(s.obsCtx(r), eng, s.db, s.bounds, engine.Params{K: s.k})
+		policy, err = s.runEngine(s.obsCtx(r), eng, s.db, s.bounds, engine.Params{K: s.k, Opts: s.snapOpts})
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, err)
 			return
@@ -505,7 +523,7 @@ func (s *Server) enginePolicyLocked(ctx context.Context, name string) (*lbs.Assi
 	if err != nil {
 		return nil, err
 	}
-	p, err := s.runEngine(ctx, eng, s.db, s.bounds, engine.Params{K: s.k})
+	p, err := s.runEngine(ctx, eng, s.db, s.bounds, engine.Params{K: s.k, Opts: s.snapOpts})
 	if err != nil {
 		return nil, err
 	}
@@ -584,8 +602,9 @@ func (s *Server) RestoreFrom(r io.Reader) error {
 	s.anon = nil // lazily rebuilt by the next /v1/moves
 	s.policy = st.Policy
 	// Checkpoints predate engine selection and always carry the default
-	// engine's policy.
+	// engine's policy, with default options.
 	s.snapEngine = engine.DefaultName
+	s.snapOpts = nil
 	s.enginePolicies = map[string]*lbs.Assignment{engine.DefaultName: st.Policy}
 	if s.provider != nil {
 		if s.csp == nil {

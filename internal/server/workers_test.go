@@ -1,0 +1,63 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// snapshotUsers builds the fixed 40-user snapshot installSnapshot posts.
+func snapshotUsers() []UserJSON {
+	users := make([]UserJSON, 0, 40)
+	for i := 0; i < 40; i++ {
+		users = append(users, UserJSON{
+			ID: fmt.Sprintf("u%02d", i),
+			X:  int32((i * 13) % 64), Y: int32((i * 29) % 64),
+		})
+	}
+	return users
+}
+
+// TestSnapshotWorkersOpt checks the transport-level option map: a
+// snapshot anonymized with a DP worker budget must cost exactly what the
+// sequential default does, and subsequent movement maintenance must keep
+// working (the rebuilt matrix inherits the snapshot's options).
+func TestSnapshotWorkersOpt(t *testing.T) {
+	ts := newTestServer(t)
+	resp, seq := post(t, ts.URL+"/v1/snapshot", SnapshotRequest{K: 5, MapSide: 64, Users: snapshotUsers()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sequential snapshot: %d %v", resp.StatusCode, seq)
+	}
+
+	ts2 := newTestServer(t)
+	resp, par := post(t, ts2.URL+"/v1/snapshot", SnapshotRequest{
+		K: 5, MapSide: 64, Users: snapshotUsers(),
+		Opts: map[string]string{"workers": "4"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("parallel snapshot: %d %v", resp.StatusCode, par)
+	}
+	if seq["policyCost"] != par["policyCost"] {
+		t.Fatalf("policy cost differs: %v sequential, %v with workers=4", seq["policyCost"], par["policyCost"])
+	}
+
+	// Movement maintenance on the parallel-built snapshot.
+	resp, body := post(t, ts2.URL+"/v1/moves", MovesRequest{
+		Moves: []UserJSON{{ID: "u03", X: 1, Y: 2}, {ID: "u17", X: 60, Y: 61}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("moves: %d %v", resp.StatusCode, body)
+	}
+}
+
+// TestSnapshotWorkersOptMalformed pins the 400 for unparsable budgets.
+func TestSnapshotWorkersOptMalformed(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := post(t, ts.URL+"/v1/snapshot", SnapshotRequest{
+		K: 5, MapSide: 64, Users: snapshotUsers(),
+		Opts: map[string]string{"workers": "many"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("expected 400 for workers=many, got %d", resp.StatusCode)
+	}
+}

@@ -254,6 +254,11 @@ func (t *Tree) Len() int { return len(t.loc) }
 // NumNodes returns the number of live nodes (|B| resp. |T| in the paper).
 func (t *Tree) NumNodes() int { return len(t.nodes) - len(t.free) }
 
+// NodeCap returns an exclusive upper bound on live NodeIDs: every live id
+// is in [0, NodeCap). Freed slots count toward the bound, so dense arrays
+// indexed by NodeID must be sized with NodeCap, not NumNodes.
+func (t *Tree) NodeCap() int { return len(t.nodes) }
+
 // Rect returns the (semi-)quadrant of node id.
 func (t *Tree) Rect(id NodeID) geo.Rect { return t.nodes[id].rect }
 
