@@ -18,8 +18,14 @@
 // as Prometheus text exposition with ?format=prometheus (per-route
 // request counters and latency histograms plus per-phase anonymization
 // timings — bulkdp.build, bulkdp.combine, bulkdp.extract, bulkdp.update,
-// csp.serve). Unless -pprof=false, the Go profiling endpoints are mounted
-// under /debug/pprof/ (CPU: /debug/pprof/profile, heap: /debug/pprof/heap).
+// csp.serve). GET /v1/audit serves the privacy observatory's rolling
+// achieved-anonymity report; -audit-rate tunes its per-request sampling.
+// All diagnostics are structured JSON log lines on stderr (-log-level
+// selects the floor; breach records log at warn, per-request access
+// records at debug), each carrying the request ID from the X-Request-ID
+// header so log lines, trace spans, and metrics correlate. Unless
+// -pprof=false, the Go profiling endpoints are mounted under
+// /debug/pprof/ (CPU: /debug/pprof/profile, heap: /debug/pprof/heap).
 // See docs/OBSERVABILITY.md.
 //
 // Quick exercise:
@@ -30,13 +36,14 @@
 //	           {"id":"Carol","x":1,"y":4},{"id":"Sam","x":3,"y":1},
 //	           {"id":"Tom","x":4,"y":4}]}'
 //	curl -s 'localhost:8080/v1/cloak?user=Carol'
+//	curl -s localhost:8080/v1/audit
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -44,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"policyanon/internal/audit"
 	"policyanon/internal/engine"
 	_ "policyanon/internal/parallel" // register the "parallel" engine
 	"policyanon/internal/server"
@@ -55,23 +63,38 @@ func main() {
 		state     = flag.String("state", "", "checkpoint file: restored at startup, written on shutdown")
 		engName   = flag.String("engine", engine.DefaultName, "default anonymization engine (see GET /v1/engines)")
 		withPprof = flag.Bool("pprof", true, "mount Go profiling endpoints under /debug/pprof/")
+		logLevel  = flag.String("log-level", "info", "log floor: debug, info, warn, or error")
+		auditRate = flag.Float64("audit-rate", audit.DefaultRate, "fraction of /v1/request calls audited for achieved anonymity (0 disables)")
 	)
 	flag.Parse()
 
+	level, err := audit.ParseLevel(*logLevel)
+	if err != nil {
+		slog.New(slog.NewJSONHandler(os.Stderr, nil)).Error("bad -log-level", "err", err)
+		os.Exit(1)
+	}
+	logger := audit.NewJSONLogger(os.Stderr, level)
+	fatal := func(msg string, attrs ...any) {
+		logger.Error(msg, attrs...)
+		os.Exit(1)
+	}
+
 	srv := server.New()
+	srv.SetLogger(logger)
+	srv.SetAuditRate(*auditRate)
 	if err := srv.SetDefaultEngine(*engName); err != nil {
-		log.Fatalf("anonserver: %v", err)
+		fatal("engine selection failed", "err", err)
 	}
 	if *state != "" {
 		if f, err := os.Open(*state); err == nil {
 			err := srv.RestoreFrom(f)
 			f.Close()
 			if err != nil {
-				log.Fatalf("anonserver: restore %s: %v", *state, err)
+				fatal("state restore failed", "path", *state, "err", err)
 			}
-			log.Printf("anonserver: restored state from %s", *state)
+			logger.Info("state restored", "path", *state)
 		} else if !errors.Is(err, os.ErrNotExist) {
-			log.Fatalf("anonserver: open %s: %v", *state, err)
+			fatal("state open failed", "path", *state, "err", err)
 		}
 	}
 
@@ -84,28 +107,47 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("anonserver: listening on %s", *addr)
+		logger.Info("listening", "addr", *addr, "engine", srv.DefaultEngine(),
+			"auditRate", srv.Auditor().Rate())
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("anonserver: %v", err)
+		fatal("serve failed", "err", err)
 	case <-ctx.Done():
 	}
-	log.Print("anonserver: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("anonserver: shutdown: %v", err)
+		logger.Warn("shutdown incomplete", "err", err)
 	}
 	if *state != "" {
 		if err := writeCheckpoint(srv, *state); err != nil {
-			log.Printf("anonserver: checkpoint: %v", err)
+			logger.Warn("checkpoint failed", "path", *state, "err", err)
 		} else {
-			log.Printf("anonserver: state checkpointed to %s", *state)
+			logger.Info("state checkpointed", "path", *state)
 		}
 	}
+	logAuditSummary(logger, srv)
+}
+
+// logAuditSummary emits the final privacy report on shutdown, so even a
+// scrape-less deployment leaves an achieved-anonymity record in the log.
+func logAuditSummary(logger *slog.Logger, srv *server.Server) {
+	rep := srv.Auditor().Report()
+	if rep.PolicyAudits == 0 && rep.RequestAudits == 0 {
+		return
+	}
+	logger.Info("final privacy report",
+		"policyAudits", rep.PolicyAudits,
+		"requestAudits", rep.RequestAudits,
+		"minKAware", rep.Aware.Min,
+		"minKUnaware", rep.Unaware.Min,
+		"breachesAware", rep.Aware.Breaches,
+		"breachesUnaware", rep.Unaware.Breaches,
+	)
 }
 
 // handler mounts the service tree, plus the Go profiling endpoints under

@@ -16,7 +16,14 @@
 // utility (answer sizes), engines (cross-engine registry sweep; select
 // engines with -engines), workers (intra-tree DP worker sweep; writes the
 // tracked BENCH_bulkdp.json baseline — see -bench-out, -workers,
-// -bench-time, and the validate-only -check-bench mode), all.
+// -bench-time, and the validate-only -check-bench mode), audit (privacy
+// observatory serving overhead: /v1/request throughput with audit
+// sampling off vs at -audit-rate; writes the tracked BENCH_audit.json —
+// see -audit-out), all.
+//
+// -check-bench validates either tracked benchmark document: it sniffs the
+// "bench" discriminator field and dispatches to the matching loader, so
+// CI can gate BENCH_bulkdp.json and BENCH_audit.json with one mode.
 //
 // All comparative experiments resolve their policies from the engine
 // registry (internal/engine), so output keys are stable registry names.
@@ -30,6 +37,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -39,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"policyanon/internal/audit"
 	"policyanon/internal/engine"
 	"policyanon/internal/experiments"
 	"policyanon/internal/obs"
@@ -48,7 +57,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|engines|workers|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|engines|workers|audit|all")
 		scale      = flag.String("scale", "small", "dataset scale: small (~50k users) or paper (1.75M users)")
 		k          = flag.Int("k", 50, "anonymity parameter k")
 		seed       = flag.Int64("seed", 42, "dataset seed")
@@ -58,8 +67,10 @@ func main() {
 		phases     = flag.Bool("phase-summary", false, "print per-phase timing table to stderr")
 		benchOut   = flag.String("bench-out", "BENCH_bulkdp.json", "output file for the -exp workers sweep")
 		workerList = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -exp workers")
-		benchTime  = flag.Duration("bench-time", time.Second, "measurement budget per worker count for -exp workers")
-		checkBench = flag.String("check-bench", "", "validate an existing BENCH_bulkdp.json and exit (CI gate)")
+		benchTime  = flag.Duration("bench-time", time.Second, "measurement budget per worker count for -exp workers and per mode for -exp audit")
+		auditOut   = flag.String("audit-out", "BENCH_audit.json", "output file for the -exp audit overhead benchmark")
+		auditRate  = flag.Float64("audit-rate", audit.DefaultRate, "request sampling rate for -exp audit's sampled mode")
+		checkBench = flag.String("check-bench", "", "validate an existing BENCH file (bulkdp or audit) and exit (CI gate)")
 	)
 	flag.Parse()
 	if *checkBench != "" {
@@ -71,22 +82,39 @@ func main() {
 		return
 	}
 	if err := run(*exp, *scale, *k, *seed, *format, *engines, *traceOut, *phases,
-		*benchOut, *workerList, *benchTime); err != nil {
+		*benchOut, *workerList, *benchTime, *auditOut, *auditRate); err != nil {
 		fmt.Fprintln(os.Stderr, "lbsbench:", err)
 		os.Exit(1)
 	}
 }
 
-// checkBenchFile is the -check-bench mode: decode and validate a sweep
-// document, failing the process on malformed output.
+// checkBenchFile is the -check-bench mode: decode and validate a tracked
+// benchmark document, failing the process on malformed or out-of-budget
+// output. The document kind is sniffed from the "bench" discriminator
+// field; documents without one are the original bulkdp sweeps.
 func checkBenchFile(path string) error {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	_, err = experiments.LoadBulkDPBench(f)
-	return err
+	var probe struct {
+		Bench string `json:"bench"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	switch probe.Bench {
+	case "audit":
+		_, err = experiments.LoadAuditBench(bytes.NewReader(data))
+	case "":
+		_, err = experiments.LoadBulkDPBench(bytes.NewReader(data))
+	default:
+		err = fmt.Errorf("unknown bench kind %q", probe.Bench)
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
 }
 
 // parseWorkerList parses the -workers flag ("1,2,4,8").
@@ -132,7 +160,7 @@ func sweepEngines(flagVal string) []string {
 }
 
 func run(exp, scale string, k int, seed int64, format, engineList, traceOut string, phases bool,
-	benchOut, workerList string, benchTime time.Duration) error {
+	benchOut, workerList string, benchTime time.Duration, auditOut string, auditRate float64) error {
 	switch format {
 	case "table", "csv", "markdown":
 	default:
@@ -335,6 +363,24 @@ func run(exp, scale string, k int, seed int64, format, engineList, traceOut stri
 		fmt.Fprintln(os.Stderr, "lbsbench:", experiments.SpeedupSummary(bench))
 		fmt.Fprintf(os.Stderr, "lbsbench: sweep written to %s\n", benchOut)
 	}
+	if want("audit") {
+		ran = true
+		banner(fmt.Sprintf("== Privacy observatory: /v1/request audit overhead, |D|=%d, k=%d, rate=%.4f ==",
+			sizes[0], k, auditRate))
+		bench, err := experiments.AuditSweep(d, sizes[0], k, auditRate, benchTime)
+		if err != nil {
+			return err
+		}
+		bench.Dataset = scale
+		if err := writeBench(auditOut, bench); err != nil {
+			return err
+		}
+		if err := emit(experiments.AuditBenchTable(bench), func() { experiments.PrintAuditBench(os.Stdout, bench) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "lbsbench:", experiments.AuditOverheadSummary(bench))
+		fmt.Fprintf(os.Stderr, "lbsbench: audit benchmark written to %s\n", auditOut)
+	}
 	if want("parallel") {
 		ran = true
 		banner(fmt.Sprintf("== Sec VI-D: parallel utility loss, |D|=%d, k=%d ==", parN, k))
@@ -371,8 +417,8 @@ func run(exp, scale string, k int, seed int64, format, engineList, traceOut stri
 	return nil
 }
 
-// writeBench writes the sweep document as indented JSON.
-func writeBench(path string, bench *experiments.BulkDPBench) error {
+// writeBench writes a benchmark document as indented JSON.
+func writeBench(path string, bench any) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -129,6 +129,33 @@ func Audit(a *lbs.Assignment, k int, aw Awareness) (breaches []Breach, minAnonym
 	return breaches, minAnonymity
 }
 
+// GroupSizes returns the candidate-set size of every issued cloak (one
+// entry per cloaking group, in Groups order) under the given attacker
+// class — the full achieved-anonymity distribution the audit layer
+// summarizes as min/p50/p95. Like Audit it only reads the assignment, so
+// concurrent calls over one assignment are safe.
+func GroupSizes(a *lbs.Assignment, aw Awareness) []int {
+	groups := a.Groups()
+	sizes := make([]int, len(groups))
+	var grid *location.Grid
+	if aw == PolicyUnaware {
+		if g, err := location.NewGrid(a.DB(), a.DB().Bounds(), 0); err == nil {
+			grid = g
+		}
+	}
+	for i, g := range groups {
+		switch {
+		case aw == PolicyAware:
+			sizes[i] = len(g.Members)
+		case grid != nil:
+			sizes[i] = grid.CountInClosed(g.Cloak)
+		default:
+			sizes[i] = len(Candidates(a, g.Cloak, aw))
+		}
+	}
+	return sizes
+}
+
 // IsKAnonymous reports whether the policy provides sender k-anonymity on
 // its snapshot against the given attacker class.
 func IsKAnonymous(a *lbs.Assignment, k int, aw Awareness) bool {

@@ -1,6 +1,7 @@
 package attacker
 
 import (
+	"sync"
 	"testing"
 
 	"policyanon/internal/geo"
@@ -187,4 +188,60 @@ func TestDefinitionSixWitness(t *testing.T) {
 			}
 		}
 	}
+}
+
+// GroupSizes must agree with Candidates on every issued cloak, under both
+// attacker classes.
+func TestGroupSizesMatchCandidates(t *testing.T) {
+	db := exampleDB(t)
+	pol := kInsidePolicy(t, db)
+	for _, aw := range []Awareness{PolicyAware, PolicyUnaware} {
+		sizes := GroupSizes(pol, aw)
+		groups := pol.Groups()
+		if len(sizes) != len(groups) {
+			t.Fatalf("%v: %d sizes for %d groups", aw, len(sizes), len(groups))
+		}
+		minSize := pol.Len() + 1
+		for i, g := range groups {
+			want := len(Candidates(pol, g.Cloak, aw))
+			if sizes[i] != want {
+				t.Errorf("%v group %d size %d, want %d", aw, i, sizes[i], want)
+			}
+			if sizes[i] < minSize {
+				minSize = sizes[i]
+			}
+		}
+		if _, minAudit := Audit(pol, 2, aw); minAudit != minSize {
+			t.Errorf("%v: Audit min %d != GroupSizes min %d", aw, minAudit, minSize)
+		}
+	}
+}
+
+// The audit layer runs attacker functions from concurrent request
+// goroutines over one shared assignment; under -race this test proves
+// read-only concurrent use is safe.
+func TestConcurrentAuditAndCandidates(t *testing.T) {
+	db := exampleDB(t)
+	pol := kInsidePolicy(t, db)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			aw := Awareness(g % 2)
+			for i := 0; i < 100; i++ {
+				if _, min := Audit(pol, 2, aw); min < 1 {
+					t.Errorf("concurrent Audit min = %d", min)
+					return
+				}
+				cloak := pol.CloakAt(i % pol.Len())
+				if len(Candidates(pol, cloak, aw)) < 1 {
+					t.Error("concurrent Candidates empty")
+					return
+				}
+				GroupSizes(pol, aw)
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -1,0 +1,32 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewJSONLogger returns a slog logger emitting one JSON object per line
+// to w — the structured-logging configuration of cmd/anonserver. Records
+// at or above level are emitted.
+func NewJSONLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// ParseLevel maps the -log-level flag values (debug, info, warn, error;
+// case-insensitive) to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("audit: unknown log level %q (want debug, info, warn, or error)", s)
+	}
+}

@@ -1,0 +1,204 @@
+package audit
+
+import (
+	"sort"
+)
+
+// KStats summarizes the achieved anonymity-set sizes in the rolling
+// window under one attacker class. Percentiles use the nearest-rank
+// method over the window samples; Breaches is cumulative since the
+// auditor was created (a breach must never age out of the report).
+type KStats struct {
+	Count    int   `json:"count"`
+	Min      int   `json:"min"`
+	P50      int   `json:"p50"`
+	P95      int   `json:"p95"`
+	Max      int   `json:"max"`
+	Breaches int64 `json:"breachTotal"`
+}
+
+// Report is the rolling privacy report served at GET /v1/audit: the
+// achieved-anonymity distribution under both attacker classes over the
+// most recent window of audited events, plus cumulative audit counters.
+type Report struct {
+	// SampleRate is the request-path sampling rate in effect.
+	SampleRate float64 `json:"sampleRate"`
+	// WindowCap and WindowSamples size the rolling window.
+	WindowCap     int `json:"windowCap"`
+	WindowSamples int `json:"windowSamples"`
+	// PolicyAudits / RequestAudits / Skipped count audit decisions since
+	// the auditor was created.
+	PolicyAudits  int64 `json:"policyAudits"`
+	RequestAudits int64 `json:"requestAudits"`
+	Skipped       int64 `json:"skipped"`
+	// Aware / Unaware summarize achieved anonymity per attacker class.
+	Aware   KStats `json:"policyAware"`
+	Unaware KStats `json:"policyUnaware"`
+	// AvgCloakArea is the mean utility measure over the window (m²).
+	AvgCloakArea float64 `json:"avgCloakArea"`
+	// Engines lists every engine observed since creation, sorted.
+	Engines []string `json:"engines"`
+	// Shards is the number of per-shard reports merged into this one
+	// (0 for a single-server report). On merged reports the percentiles
+	// are count-weighted means of the shard percentiles — an
+	// approximation; Min/Max/counts/breaches are exact.
+	Shards int `json:"shards,omitempty"`
+}
+
+// push appends an entry to the rolling window. Callers must hold a.mu.
+func (a *Auditor) push(e windowEntry) {
+	if cap(a.ring) == 0 {
+		return
+	}
+	if len(a.ring) < cap(a.ring) {
+		a.ring = append(a.ring, e)
+		return
+	}
+	a.ring[a.next] = e
+	a.next = (a.next + 1) % len(a.ring)
+	a.filled = true
+}
+
+// Report assembles the current rolling report.
+func (a *Auditor) Report() Report {
+	a.mu.Lock()
+	entries := append([]windowEntry(nil), a.ring...)
+	r := Report{
+		SampleRate:    a.rate,
+		WindowCap:     cap(a.ring),
+		WindowSamples: len(entries),
+		PolicyAudits:  a.policyAudits,
+		RequestAudits: a.requestAudits,
+		Skipped:       a.skipped.Load(),
+		Engines:       make([]string, 0, len(a.engines)),
+	}
+	for e := range a.engines {
+		r.Engines = append(r.Engines, e)
+	}
+	breachAware, breachUnaware := a.breachAware, a.breachUnaware
+	a.mu.Unlock()
+	sort.Strings(r.Engines)
+
+	aware := make([]int, len(entries))
+	unaware := make([]int, len(entries))
+	var areaSum float64
+	for i, e := range entries {
+		aware[i] = e.aware
+		unaware[i] = e.unaware
+		areaSum += e.area
+	}
+	r.Aware = kStats(aware)
+	r.Aware.Breaches = breachAware
+	r.Unaware = kStats(unaware)
+	r.Unaware.Breaches = breachUnaware
+	if len(entries) > 0 {
+		r.AvgCloakArea = areaSum / float64(len(entries))
+	}
+	return r
+}
+
+// kStats computes nearest-rank order statistics over ks.
+func kStats(ks []int) KStats {
+	if len(ks) == 0 {
+		return KStats{}
+	}
+	sorted := append([]int(nil), ks...)
+	sort.Ints(sorted)
+	return KStats{
+		Count: len(sorted),
+		Min:   sorted[0],
+		P50:   nearestRank(sorted, 0.50),
+		P95:   nearestRank(sorted, 0.95),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// nearestRank returns the q-quantile of a sorted slice by nearest rank.
+func nearestRank(sorted []int, q float64) int {
+	i := int(float64(len(sorted))*q+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Merge folds per-shard reports into one cluster-wide report: counts,
+// breach totals, and extrema are exact sums/min/max; percentiles are
+// count-weighted means of the shard percentiles (exact merging would need
+// the raw windows); the sample rate is taken from the first shard that
+// reports one. Shard reports with empty windows contribute only their
+// counters.
+func Merge(reports ...Report) Report {
+	var out Report
+	out.Shards = len(reports)
+	engines := make(map[string]bool)
+	var awareW, unawareW, areaW float64 // count-weighted percentile sums
+	var p50A, p95A, p50U, p95U float64
+	firstAware, firstUnaware := true, true
+	for _, r := range reports {
+		if out.SampleRate == 0 {
+			out.SampleRate = r.SampleRate
+		}
+		out.WindowCap += r.WindowCap
+		out.WindowSamples += r.WindowSamples
+		out.PolicyAudits += r.PolicyAudits
+		out.RequestAudits += r.RequestAudits
+		out.Skipped += r.Skipped
+		out.Aware.Breaches += r.Aware.Breaches
+		out.Unaware.Breaches += r.Unaware.Breaches
+		for _, e := range r.Engines {
+			engines[e] = true
+		}
+		if r.Aware.Count > 0 {
+			w := float64(r.Aware.Count)
+			out.Aware.Count += r.Aware.Count
+			p50A += w * float64(r.Aware.P50)
+			p95A += w * float64(r.Aware.P95)
+			awareW += w
+			if firstAware || r.Aware.Min < out.Aware.Min {
+				out.Aware.Min = r.Aware.Min
+			}
+			if r.Aware.Max > out.Aware.Max {
+				out.Aware.Max = r.Aware.Max
+			}
+			firstAware = false
+		}
+		if r.Unaware.Count > 0 {
+			w := float64(r.Unaware.Count)
+			out.Unaware.Count += r.Unaware.Count
+			p50U += w * float64(r.Unaware.P50)
+			p95U += w * float64(r.Unaware.P95)
+			unawareW += w
+			if firstUnaware || r.Unaware.Min < out.Unaware.Min {
+				out.Unaware.Min = r.Unaware.Min
+			}
+			if r.Unaware.Max > out.Unaware.Max {
+				out.Unaware.Max = r.Unaware.Max
+			}
+			firstUnaware = false
+		}
+		if r.WindowSamples > 0 {
+			areaW += float64(r.WindowSamples) * r.AvgCloakArea
+		}
+	}
+	if awareW > 0 {
+		out.Aware.P50 = int(p50A/awareW + 0.5)
+		out.Aware.P95 = int(p95A/awareW + 0.5)
+	}
+	if unawareW > 0 {
+		out.Unaware.P50 = int(p50U/unawareW + 0.5)
+		out.Unaware.P95 = int(p95U/unawareW + 0.5)
+	}
+	if out.WindowSamples > 0 {
+		out.AvgCloakArea = areaW / float64(out.WindowSamples)
+	}
+	out.Engines = make([]string, 0, len(engines))
+	for e := range engines {
+		out.Engines = append(out.Engines, e)
+	}
+	sort.Strings(out.Engines)
+	return out
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"policyanon/internal/audit"
 	"policyanon/internal/checkpoint"
 	"policyanon/internal/engine"
 	"policyanon/internal/geo"
@@ -91,10 +92,13 @@ func (c *Coordinator) Metrics() *metrics.Registry { return c.reg }
 // NumWorkers returns the pool size.
 func (c *Coordinator) NumWorkers() int { return len(c.workers) }
 
-// Healthy probes every worker's /healthz and returns the unreachable ones.
+// Healthy probes every worker's liveness (/healthz?probe=live) and
+// returns the unreachable ones. Liveness, not readiness, is the right
+// probe here: a fresh worker is "starting" (503 on bare /healthz) until
+// the coordinator itself sends it a shard.
 func (c *Coordinator) Healthy(ctx context.Context) (down []string) {
 	for _, w := range c.workers {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w+"/healthz", nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w+"/healthz?probe=live", nil)
 		if err != nil {
 			down = append(down, w)
 			continue
@@ -108,6 +112,46 @@ func (c *Coordinator) Healthy(ctx context.Context) (down []string) {
 		}
 	}
 	return down
+}
+
+// AuditReport fetches every worker's /v1/audit privacy report and merges
+// them into one fleet-wide view (audit.Merge semantics: exact counts,
+// breaches, and min/max; count-weighted percentile approximation).
+// Unreachable workers fail the call — a fleet privacy report with silent
+// holes would overstate the guarantee.
+func (c *Coordinator) AuditReport(ctx context.Context) (audit.Report, error) {
+	reports := make([]audit.Report, 0, len(c.workers))
+	for _, w := range c.workers {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w+"/v1/audit", nil)
+		if err != nil {
+			return audit.Report{}, err
+		}
+		forwardRequestID(ctx, req)
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return audit.Report{}, fmt.Errorf("cluster: audit fetch %s: %w", w, err)
+		}
+		var rep audit.Report
+		err = json.NewDecoder(resp.Body).Decode(&rep)
+		resp.Body.Close()
+		if err != nil {
+			return audit.Report{}, fmt.Errorf("cluster: audit decode %s: %w", w, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return audit.Report{}, fmt.Errorf("cluster: audit fetch %s: %s", w, resp.Status)
+		}
+		reports = append(reports, rep)
+	}
+	return audit.Merge(reports...), nil
+}
+
+// forwardRequestID propagates the coordinator's request ID to a worker
+// RPC, so one ID correlates a request's log lines and spans across every
+// server that touched it.
+func forwardRequestID(ctx context.Context, req *http.Request) {
+	if rid := audit.RequestID(ctx); rid != "" {
+		req.Header.Set("X-Request-ID", rid)
+	}
 }
 
 // userJSON mirrors the server's wire format.
@@ -290,6 +334,7 @@ func (c *Coordinator) anonymizeShard(ctx context.Context, worker string, jur geo
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	forwardRequestID(ctx, req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, transient(err)
@@ -305,6 +350,7 @@ func (c *Coordinator) anonymizeShard(ctx context.Context, worker string, jur geo
 	if err != nil {
 		return nil, err
 	}
+	forwardRequestID(ctx, ckReq)
 	ckResp, err := c.client.Do(ckReq)
 	if err != nil {
 		return nil, transient(err)

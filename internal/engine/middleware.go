@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"policyanon/internal/audit"
 	"policyanon/internal/geo"
 	"policyanon/internal/lbs"
 	"policyanon/internal/location"
@@ -109,13 +110,34 @@ func (e *BreachError) Error() string {
 // construction — Example 1 — and registering that capability honestly is
 // the point of the flag). Engines unknown to reg are held to the full
 // policy-aware standard.
+//
+// WithVerify is enforcement: a failing policy is withheld from the
+// caller, at the cost of a full Definition-6 verification (witness
+// construction included) on every call. For observation without
+// enforcement — rolling achieved-k metrics on a serving hot path — use
+// WithAudit; to keep enforcement but pay for it on a fraction of calls,
+// use WithVerifySampled.
 func WithVerify(reg *Registry) Middleware {
+	return WithVerifySampled(reg, 1)
+}
+
+// WithVerifySampled is WithVerify at a sampling rate: only ~rate of the
+// calls are verified (deterministic 1-in-N selection, first call always
+// verified), the rest pass through unexamined. Engines are deterministic
+// in the snapshot, so sampled verification of a stream of snapshots
+// trades detection latency for throughput; rate <= 0 disables
+// verification entirely and rate >= 1 restores WithVerify semantics.
+func WithVerifySampled(reg *Registry, rate float64) Middleware {
 	return func(next Engine) Engine {
 		name := next.Name()
+		sampler := audit.NewSampler(rate)
 		return New(name, func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
 			a, err := next.Anonymize(ctx, db, bounds, p)
 			if err != nil {
 				return nil, err
+			}
+			if !sampler.Sample() {
+				return a, nil
 			}
 			_, sp := obs.Start(ctx, "engine.verify")
 			rep := verify.Policy(a, p.EffectiveK())
@@ -129,6 +151,37 @@ func WithVerify(reg *Registry) Middleware {
 			if !rep.Masking || !rep.PolicyUnaware || (wantAware && !rep.PolicyAware) {
 				return nil, &BreachError{Engine: name, Report: rep}
 			}
+			return a, nil
+		})
+	}
+}
+
+// WithAudit samples successful Anonymize results into the privacy
+// observatory: ~rate of the calls (deterministic 1-in-N, first call
+// always sampled) are audited in full via audit.Auditor.ObservePolicy —
+// achieved anonymity under both attacker classes, breach counters, and
+// utility measures, recorded as an "engine.audit" span with breach
+// attributes attached to the enclosing "engine.<name>" span.
+//
+// Unlike WithVerify it never withholds a policy: breaches are observed,
+// counted, and logged, not enforced. It is the serving-stack replacement
+// for WithVerify's every-call cost — attacker.Audit is near-linear in |D|
+// where full verification also constructs the Definition-6 witness.
+func WithAudit(aud *audit.Auditor, rate float64) Middleware {
+	return func(next Engine) Engine {
+		name := next.Name()
+		sampler := audit.NewSampler(rate)
+		return New(name, func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
+			a, err := next.Anonymize(ctx, db, bounds, p)
+			if err != nil || !sampler.Sample() {
+				return a, err
+			}
+			_, sp := obs.Start(ctx, "engine.audit")
+			// The audit observes on the pre-span context so breach
+			// attributes land on the enclosing engine span, not on the
+			// audit timing span.
+			aud.ObservePolicy(ctx, name, a, p.EffectiveK())
+			sp.End()
 			return a, nil
 		})
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"policyanon/internal/audit"
 	"policyanon/internal/engine"
 	"policyanon/internal/geo"
 	"policyanon/internal/lbs"
@@ -155,6 +156,104 @@ func TestWithVerifyHonoursCapabilityFlags(t *testing.T) {
 	}
 	if _, err := engine.Wrap(def, engine.WithVerify(engine.Default)).Anonymize(context.Background(), db, bounds, engine.Params{K: 2}); err != nil {
 		t.Errorf("%s failed verification: %v", engine.DefaultName, err)
+	}
+}
+
+// example1Fixture is the Example 1 snapshot: a k-inside policy over it
+// breaches policy-aware k=2 anonymity by construction.
+func example1Fixture(t *testing.T) (*location.DB, geo.Rect) {
+	t.Helper()
+	db := location.New(0)
+	for _, u := range []struct {
+		id   string
+		x, y int32
+	}{{"Alice", 1, 1}, {"Bob", 1, 2}, {"Carol", 1, 5}, {"Sam", 5, 1}, {"Tom", 6, 2}} {
+		if err := db.Add(u.id, geo.Point{X: u.x, Y: u.y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, geo.NewRect(0, 0, 8, 8)
+}
+
+// WithVerifySampled must verify exactly the sampled calls: at rate 1/2
+// over a breaching engine, every other call fails.
+func TestWithVerifySampledSkipsUnsampledCalls(t *testing.T) {
+	db, bounds := example1Fixture(t)
+	casper, err := engine.Get("casper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unregistered name: held to the full policy-aware standard, so every
+	// VERIFIED call must fail on this snapshot.
+	anon := engine.New("anon-kinside", casper.Anonymize)
+	w := engine.Wrap(anon, engine.WithVerifySampled(engine.Default, 0.5))
+	var failures int
+	for i := 0; i < 6; i++ {
+		if _, err := w.Anonymize(context.Background(), db, bounds, engine.Params{K: 2}); err != nil {
+			var be *engine.BreachError
+			if !errors.As(err, &be) {
+				t.Fatalf("call %d: unexpected error %v", i, err)
+			}
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("rate-0.5 verification failed %d/6 calls, want 3", failures)
+	}
+	// Rate 0 disables verification entirely.
+	w = engine.Wrap(anon, engine.WithVerifySampled(engine.Default, 0))
+	if _, err := w.Anonymize(context.Background(), db, bounds, engine.Params{K: 2}); err != nil {
+		t.Fatalf("rate-0 verification still ran: %v", err)
+	}
+}
+
+// WithAudit must observe the Example 1 breach — counter, rolling report,
+// span attribute — without withholding the policy.
+func TestWithAuditObservesWithoutEnforcing(t *testing.T) {
+	db, bounds := example1Fixture(t)
+	casper, err := engine.Get("casper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	aud := audit.New(reg, audit.Options{})
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	w := engine.Wrap(casper, engine.WithTracing(), engine.WithAudit(aud, 1))
+	pol, err := w.Anonymize(ctx, db, bounds, engine.Params{K: 2})
+	if err != nil {
+		t.Fatalf("WithAudit withheld the policy: %v", err)
+	}
+	if pol == nil || pol.Len() != db.Len() {
+		t.Fatal("policy lost in the audit middleware")
+	}
+	if got := reg.Counter("anon_breach:casper/policy-aware").Value(); got < 1 {
+		t.Fatalf("policy-aware breach not counted (counter = %d)", got)
+	}
+	rep := aud.Report()
+	if rep.PolicyAudits != 1 || rep.Aware.Min >= 2 {
+		t.Fatalf("audit report %+v does not show the Example 1 breach", rep)
+	}
+	// The breach attributes land on the enclosing engine span; the audit
+	// cost is timed as its own engine.audit span.
+	var engineAttrs map[string]string
+	var auditSpan bool
+	for _, sp := range tr.Spans() {
+		if sp.Name == "engine.audit" {
+			auditSpan = true
+		}
+		if sp.Name == "engine.casper" {
+			engineAttrs = make(map[string]string)
+			for _, a := range sp.Attrs {
+				engineAttrs[a.Key] = a.Value
+			}
+		}
+	}
+	if !auditSpan {
+		t.Error("no engine.audit span recorded")
+	}
+	if engineAttrs["audit.breach"] != "policy-aware" || engineAttrs["audit.achievedK"] != "1" {
+		t.Errorf("engine span attrs %v missing breach annotation", engineAttrs)
 	}
 }
 

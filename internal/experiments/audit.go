@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/server"
+)
+
+// This file implements the tracked privacy-observatory benchmark: the
+// serving-path overhead of audit sampling on /v1/request, written as
+// BENCH_audit.json. The acceptance gate is that sampled auditing at the
+// default rate costs the request path less than MaxAuditOverheadPct of
+// throughput; -check-bench re-validates the tracked document in CI.
+
+// MaxAuditOverheadPct is the throughput-loss budget of the sampled audit
+// path; LoadAuditBench fails documents that exceed it.
+const MaxAuditOverheadPct = 5.0
+
+// AuditBenchRow is one sampling mode's measurement over the request path.
+type AuditBenchRow struct {
+	Mode      string  `json:"mode"` // "off" or "sampled"
+	Rate      float64 `json:"rate"`
+	Requests  int64   `json:"requests"`
+	ReqPerSec float64 `json:"reqPerSec"`
+	NsPerReq  float64 `json:"nsPerReq"`
+	Audited   int64   `json:"audited"` // requests the auditor selected
+}
+
+// AuditBench is the BENCH_audit.json document.
+type AuditBench struct {
+	// Bench discriminates benchmark documents for -check-bench; always
+	// "audit" here.
+	Bench   string `json:"bench"`
+	Dataset string `json:"dataset"` // lbsbench scale name
+	Users   int    `json:"users"`
+	K       int    `json:"k"`
+	Engine  string `json:"engine"`
+	// Machine metadata, as in BENCH_bulkdp.json.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numCPU"`
+	CPUModel   string `json:"cpuModel"`
+	GoVersion  string `json:"goVersion"`
+	// Off and Sampled measure the same request mix with auditing disabled
+	// and at Sampled.Rate; OverheadPct is the relative throughput loss.
+	Off         AuditBenchRow `json:"off"`
+	Sampled     AuditBenchRow `json:"sampled"`
+	OverheadPct float64       `json:"overheadPct"`
+	// Achieved-anonymity facts from the sampled run's rolling report,
+	// recording what the observatory actually measured while benchmarked.
+	MinKAware   int   `json:"minKAware"`
+	MinKUnaware int   `json:"minKUnaware"`
+	Breaches    int64 `json:"breaches"`
+}
+
+// AuditSweep benchmarks the /v1/request serving path of a real HTTP
+// server with audit sampling off and at rate, and returns the tracked
+// document. minTime is the measurement budget per mode.
+func AuditSweep(d Dataset, users, k int, rate float64, minTime time.Duration) (*AuditBench, error) {
+	if rate <= 0 || rate > 1 {
+		return nil, fmt.Errorf("experiments: audit rate %v outside (0,1]", rate)
+	}
+	db, err := d.Sample(users)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	side := d.Bounds.MaxX
+	snap := server.SnapshotRequest{K: k, MapSide: side, Users: make([]server.UserJSON, db.Len())}
+	for i := 0; i < db.Len(); i++ {
+		rec := db.At(i)
+		snap.Users[i] = server.UserJSON{ID: rec.UserID, X: rec.Loc.X, Y: rec.Loc.Y}
+	}
+	if err := postJSON(client, ts.URL+"/v1/snapshot", snap); err != nil {
+		return nil, fmt.Errorf("experiments: audit bench snapshot: %w", err)
+	}
+	pois := struct {
+		MapSide int32            `json:"mapSide"`
+		POIs    []server.POIJSON `json:"pois"`
+	}{MapSide: side}
+	for i := 0; i < 16; i++ {
+		p := geo.Point{X: int32(i) * side / 16, Y: int32(i) * side / 16}
+		pois.POIs = append(pois.POIs, server.POIJSON{ID: fmt.Sprintf("poi%d", i), X: p.X, Y: p.Y, Category: "gas"})
+	}
+	if err := postJSON(client, ts.URL+"/v1/pois", pois); err != nil {
+		return nil, fmt.Errorf("experiments: audit bench pois: %w", err)
+	}
+
+	// Pre-marshal a cycle of request bodies so the driver measures the
+	// server, not the encoder.
+	nBodies := db.Len()
+	if nBodies > 256 {
+		nBodies = 256
+	}
+	bodies := make([][]byte, nBodies)
+	for i := range bodies {
+		rec := db.At(i)
+		bodies[i], err = json.Marshal(server.ServiceRequestJSON{User: rec.UserID, X: rec.Loc.X, Y: rec.Loc.Y})
+		if err != nil {
+			return nil, err
+		}
+	}
+	next := 0
+	doRequest := func() error {
+		body := bodies[next%len(bodies)]
+		next++
+		resp, err := client.Post(ts.URL+"/v1/request", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("request status %s", resp.Status)
+		}
+		return nil
+	}
+
+	measure := func(mode string, r float64) (AuditBenchRow, error) {
+		srv.SetAuditRate(r)
+		for i := 0; i < 32; i++ { // warm connections and caches
+			if err := doRequest(); err != nil {
+				return AuditBenchRow{}, err
+			}
+		}
+		warm := srv.Auditor().Report().RequestAudits
+		start := time.Now()
+		var n int64
+		var elapsed time.Duration
+		for elapsed < minTime {
+			if err := doRequest(); err != nil {
+				return AuditBenchRow{}, err
+			}
+			n++
+			elapsed = time.Since(start)
+		}
+		return AuditBenchRow{
+			Mode:      mode,
+			Rate:      r,
+			Requests:  n,
+			ReqPerSec: float64(n) / elapsed.Seconds(),
+			NsPerReq:  float64(elapsed.Nanoseconds()) / float64(n),
+			Audited:   srv.Auditor().Report().RequestAudits - warm,
+		}, nil
+	}
+
+	off, err := measure("off", 0)
+	if err != nil {
+		return nil, err
+	}
+	sampled, err := measure("sampled", rate)
+	if err != nil {
+		return nil, err
+	}
+	rep := srv.Auditor().Report()
+	bench := &AuditBench{
+		Bench:      "audit",
+		Users:      db.Len(),
+		K:          k,
+		Engine:     srv.DefaultEngine(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+		GoVersion:  runtime.Version(),
+		Off:        off,
+		Sampled:    sampled,
+		OverheadPct: (off.ReqPerSec - sampled.ReqPerSec) /
+			off.ReqPerSec * 100,
+		MinKAware:   rep.Aware.Min,
+		MinKUnaware: rep.Unaware.Min,
+		Breaches:    rep.Aware.Breaches + rep.Unaware.Breaches,
+	}
+	return bench, nil
+}
+
+// postJSON posts v and fails on a non-200 answer.
+func postJSON(client *http.Client, url string, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s", resp.Status, msg)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// LoadAuditBench decodes and validates a BENCH_audit.json document,
+// enforcing the MaxAuditOverheadPct serving-overhead gate; CI uses it to
+// fail on malformed or out-of-budget benchmark output.
+func LoadAuditBench(r io.Reader) (*AuditBench, error) {
+	var b AuditBench
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("experiments: decode BENCH_audit.json: %w", err)
+	}
+	if b.Bench != "audit" {
+		return nil, fmt.Errorf("experiments: BENCH_audit.json bench = %q, want \"audit\"", b.Bench)
+	}
+	if b.Users < 1 || b.K < 1 {
+		return nil, fmt.Errorf("experiments: BENCH_audit.json metadata invalid: users=%d k=%d", b.Users, b.K)
+	}
+	if b.GOMAXPROCS < 1 || b.GoVersion == "" {
+		return nil, fmt.Errorf("experiments: BENCH_audit.json machine metadata missing")
+	}
+	for _, row := range []AuditBenchRow{b.Off, b.Sampled} {
+		if row.Requests < 1 || row.ReqPerSec <= 0 || row.NsPerReq <= 0 {
+			return nil, fmt.Errorf("experiments: BENCH_audit.json row invalid: %+v", row)
+		}
+	}
+	if b.Sampled.Rate <= 0 {
+		return nil, fmt.Errorf("experiments: BENCH_audit.json sampled row has no rate")
+	}
+	if b.OverheadPct >= MaxAuditOverheadPct {
+		return nil, fmt.Errorf("experiments: audit overhead %.2f%% exceeds the %.1f%% budget",
+			b.OverheadPct, MaxAuditOverheadPct)
+	}
+	return &b, nil
+}
+
+// AuditBenchTable renders the measurement for the lbsbench table formats.
+func AuditBenchTable(b *AuditBench) Table {
+	tbl := Table{
+		Name:   "audit_overhead",
+		Header: []string{"mode", "rate", "req_per_sec", "ns_per_req", "audited"},
+	}
+	for _, r := range []AuditBenchRow{b.Off, b.Sampled} {
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Mode,
+			fmt.Sprintf("%.4f", r.Rate),
+			fmt.Sprintf("%.0f", r.ReqPerSec),
+			fmt.Sprintf("%.0f", r.NsPerReq),
+			fmt.Sprintf("%d", r.Audited),
+		})
+	}
+	return tbl
+}
+
+// PrintAuditBench writes the human table plus the overhead summary line.
+func PrintAuditBench(w io.Writer, b *AuditBench) {
+	fmt.Fprintf(w, "%-8s %10s %14s %14s %10s\n", "mode", "rate", "req/sec", "ns/req", "audited")
+	for _, r := range []AuditBenchRow{b.Off, b.Sampled} {
+		fmt.Fprintf(w, "%-8s %10.4f %14.0f %14.0f %10d\n", r.Mode, r.Rate, r.ReqPerSec, r.NsPerReq, r.Audited)
+	}
+	fmt.Fprintln(w, AuditOverheadSummary(b))
+}
+
+// AuditOverheadSummary renders the one-line gate summary, e.g.
+// "audit overhead: 1.23% at rate 1/64 (budget 5.0%); window min k 50/52".
+func AuditOverheadSummary(b *AuditBench) string {
+	return fmt.Sprintf("audit overhead: %.2f%% at rate %.4f (budget %.1f%%); min achieved-k %d aware / %d unaware, %d breaches",
+		b.OverheadPct, b.Sampled.Rate, MaxAuditOverheadPct, b.MinKAware, b.MinKUnaware, b.Breaches)
+}

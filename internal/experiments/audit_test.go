@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"policyanon/internal/workload"
+)
+
+func TestAuditSweepProducesValidDoc(t *testing.T) {
+	d := NewDataset(workload.Config{
+		MapSide: 1 << 12, Intersections: 400, UsersPerIntersection: 5, SpreadSigma: 60,
+	}, 5)
+	bench, err := AuditSweep(d, 500, 10, 0.5, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Bench != "audit" {
+		t.Errorf("bench discriminator = %q", bench.Bench)
+	}
+	if bench.Off.Requests < 1 || bench.Sampled.Requests < 1 {
+		t.Fatalf("no requests measured: %+v", bench)
+	}
+	if bench.Off.Audited != 0 {
+		t.Errorf("off mode audited %d requests", bench.Off.Audited)
+	}
+	if bench.Sampled.Audited < 1 {
+		t.Errorf("sampled mode at rate 0.5 audited nothing over %d requests", bench.Sampled.Requests)
+	}
+	if bench.MinKAware < 1 || bench.MinKUnaware < bench.MinKAware {
+		t.Errorf("achieved-k summary inconsistent: aware=%d unaware=%d", bench.MinKAware, bench.MinKUnaware)
+	}
+	if bench.GOMAXPROCS < 1 || bench.GoVersion == "" || bench.CPUModel == "" {
+		t.Errorf("machine metadata incomplete: %+v", bench)
+	}
+	tbl := AuditBenchTable(bench)
+	if len(tbl.Rows) != 2 || len(tbl.Rows[0]) != len(tbl.Header) {
+		t.Errorf("table shape wrong: %+v", tbl)
+	}
+	var buf bytes.Buffer
+	PrintAuditBench(&buf, bench)
+	if !strings.Contains(buf.String(), "audit overhead:") {
+		t.Errorf("print output missing summary: %q", buf.String())
+	}
+}
+
+func TestLoadAuditBenchGatesOverhead(t *testing.T) {
+	valid := `{"bench":"audit","dataset":"small","users":500,"k":10,"engine":"bulkdp-binary",
+		"gomaxprocs":4,"numCPU":4,"cpuModel":"x","goVersion":"go1.24",
+		"off":{"mode":"off","rate":0,"requests":1000,"reqPerSec":5000,"nsPerReq":200000,"audited":0},
+		"sampled":{"mode":"sampled","rate":0.015625,"requests":990,"reqPerSec":4950,"nsPerReq":202000,"audited":15},
+		"overheadPct":1.0,"minKAware":10,"minKUnaware":12,"breaches":0}`
+	if _, err := LoadAuditBench(strings.NewReader(valid)); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	over := strings.Replace(valid, `"overheadPct":1.0`, `"overheadPct":7.5`, 1)
+	if _, err := LoadAuditBench(strings.NewReader(over)); err == nil {
+		t.Error("overheadPct 7.5 accepted against the 5% budget")
+	} else if !strings.Contains(err.Error(), "budget") {
+		t.Errorf("overhead failure has wrong message: %v", err)
+	}
+	for name, doc := range map[string]string{
+		"not-json":      `{`,
+		"wrong-kind":    strings.Replace(valid, `"bench":"audit"`, `"bench":"bulkdp"`, 1),
+		"unknown-field": strings.Replace(valid, `"users":500`, `"users":500,"bogus":1`, 1),
+		"zero-users":    strings.Replace(valid, `"users":500`, `"users":0`, 1),
+		"no-machine":    strings.Replace(valid, `"gomaxprocs":4`, `"gomaxprocs":0`, 1),
+		"empty-row":     strings.Replace(valid, `"requests":1000`, `"requests":0`, 1),
+		"no-rate":       strings.Replace(valid, `"rate":0.015625`, `"rate":0`, 1),
+	} {
+		if _, err := LoadAuditBench(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -268,8 +268,8 @@ type EngineRow struct {
 	AvgArea     float64
 	Cost        int64
 	Elapsed     time.Duration
-	MinAware    int // weakest policy-aware anonymity across users
-	MinUnaware  int // weakest policy-unaware anonymity across users
+	MinAware    int  // weakest policy-aware anonymity across users
+	MinUnaware  int  // weakest policy-unaware anonymity across users
 	OK          bool // verification verdict at the engine's claimed level
 }
 

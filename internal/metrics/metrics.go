@@ -323,6 +323,28 @@ func (r *Registry) ValueHistogram(name string) *ValueHistogram {
 	return h
 }
 
+// ValueHistogramBounds returns (creating on first use with the given
+// ascending upper bounds) the named value histogram. An existing
+// histogram is returned as-is — the bounds of the first creation win, so
+// every caller of one family should pass the same bounds. Invalid bounds
+// fall back to the defaults.
+func (r *Registry) ValueHistogramBounds(name string, bounds []int64) *ValueHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.values == nil {
+		r.values = make(map[string]*ValueHistogram)
+	}
+	h, ok := r.values[name]
+	if !ok {
+		var err error
+		if h, err = NewValueHistogram(bounds); err != nil {
+			h, _ = NewValueHistogram(nil)
+		}
+		r.values[name] = h
+	}
+	return h
+}
+
 // Snapshot is the JSON-exportable state of a registry.
 type Snapshot struct {
 	Counters   map[string]int64        `json:"counters"`

@@ -86,6 +86,76 @@ func TestWritePrometheusGrammarAndContent(t *testing.T) {
 	}
 }
 
+// TestValueHistogramExposition pins the exposition shape of the audit
+// metric families: custom achieved-k style bounds, cumulative le buckets,
+// the +Inf terminal, and sum/count lines.
+func TestValueHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	bounds := []int64{1, 2, 5, 10}
+	h := r.ValueHistogramBounds("anon_achieved_k:bulkdp/policy-aware", bounds)
+	for _, v := range []int64{1, 2, 2, 7, 40} {
+		h.Observe(v)
+	}
+	// Repeat lookups must return the same histogram, not re-create it.
+	if r.ValueHistogramBounds("anon_achieved_k:bulkdp/policy-aware", bounds) != h {
+		t.Fatal("ValueHistogramBounds re-created an existing histogram")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`# TYPE policyanon_anon_achieved_k histogram`,
+		`policyanon_anon_achieved_k_bucket{name="bulkdp/policy-aware",le="1"} 1`,
+		`policyanon_anon_achieved_k_bucket{name="bulkdp/policy-aware",le="2"} 3`,
+		`policyanon_anon_achieved_k_bucket{name="bulkdp/policy-aware",le="5"} 3`,
+		`policyanon_anon_achieved_k_bucket{name="bulkdp/policy-aware",le="10"} 4`,
+		`policyanon_anon_achieved_k_bucket{name="bulkdp/policy-aware",le="+Inf"} 5`,
+		`policyanon_anon_achieved_k_sum{name="bulkdp/policy-aware"} 52`,
+		`policyanon_anon_achieved_k_count{name="bulkdp/policy-aware"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+	}
+}
+
+// TestValueHistogramBoundsSafety covers the degenerate creations: invalid
+// bounds fall back to the defaults, and a created-but-never-observed
+// histogram still exports a well-formed all-zero series.
+func TestValueHistogramBoundsSafety(t *testing.T) {
+	r := NewRegistry()
+	h := r.ValueHistogramBounds("bad", []int64{5, 5, 1})
+	if got := len(h.Summary().Under); got != len(DefaultValueBounds)+1 {
+		t.Errorf("invalid bounds not replaced by defaults: %d buckets", got)
+	}
+	r.ValueHistogramBounds("empty", []int64{1, 2})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`policyanon_empty_bucket{le="+Inf"} 0`,
+		`policyanon_empty_count 0`,
+		`policyanon_empty_sum 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("zero-value exposition missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
 func TestPrometheusLabelEscaping(t *testing.T) {
 	r := NewRegistry()
 	r.Counter(`weird:va"lue\with` + "\n" + `newline`).Inc()

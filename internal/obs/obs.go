@@ -139,6 +139,20 @@ func TracerFrom(ctx context.Context) *Tracer {
 	return nil
 }
 
+// Current returns the span ctx is inside of, or nil when tracing is
+// disabled or no span has been started yet (the placeholder installed by
+// WithTracer is not a real span). It lets cross-cutting layers — e.g. the
+// audit sampler attaching breach attributes — annotate the enclosing span
+// without threading it explicitly. The returned span must only be
+// annotated from the goroutine that started it, and only before End.
+func Current(ctx context.Context) *Span {
+	sp, ok := ctx.Value(ctxKey{}).(*Span)
+	if !ok || sp.tracer == nil || sp.id == 0 {
+		return nil
+	}
+	return sp
+}
+
 // Start begins a span named name under the span current in ctx and
 // returns a derived context carrying the new span. When ctx carries no
 // tracer it returns ctx unchanged and a nil span, without allocating.

@@ -46,6 +46,43 @@ func TestNilTracerAndSpanSafe(t *testing.T) {
 	sp.End()
 }
 
+func TestCurrentSpan(t *testing.T) {
+	if Current(context.Background()) != nil {
+		t.Fatal("Current on a bare context must be nil")
+	}
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	// The WithTracer placeholder is not a real span.
+	if Current(ctx) != nil {
+		t.Fatal("Current before any Start must be nil")
+	}
+	sctx, sp := Start(ctx, "outer")
+	if Current(sctx) != sp {
+		t.Fatal("Current did not return the started span")
+	}
+	ictx, inner := Start(sctx, "inner")
+	if Current(ictx) != inner || Current(sctx) != sp {
+		t.Fatal("Current does not track nesting")
+	}
+	Current(ictx).SetAttr("via", "current")
+	inner.End()
+	sp.End()
+	var found bool
+	for _, rec := range tr.Spans() {
+		if rec.Name != "inner" {
+			continue
+		}
+		for _, a := range rec.Attrs {
+			if a.Key == "via" && a.Value == "current" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("attribute set through Current lost")
+	}
+}
+
 func TestSpanNestingAndAttrs(t *testing.T) {
 	tr := NewTracer()
 	ctx := WithTracer(context.Background(), tr)

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"policyanon/internal/audit"
 	"policyanon/internal/core"
 	"policyanon/internal/engine"
 	"policyanon/internal/geo"
@@ -218,6 +219,11 @@ func NewEngineContext(ctx context.Context, db *location.DB, bounds geo.Rect, opt
 		if wsp != nil {
 			wsp.SetInt("jurisdiction", int64(j))
 			wsp.SetInt("users", int64(subs[j].Len()))
+			if rid := audit.RequestID(ctx); rid != "" {
+				// Workers run on their own display lanes; the request ID
+				// ties their spans back to the originating request.
+				wsp.SetAttr("rid", rid)
+			}
 		}
 		start := time.Now()
 		if opt.Engine != nil {

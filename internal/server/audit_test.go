@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"policyanon/internal/attacker"
+	"policyanon/internal/audit"
+	"policyanon/internal/engine"
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+)
+
+// lockedBuffer is an io.Writer safe for the server's concurrent handlers.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// example1Users is the paper's Example 1 snapshot; a k-inside engine
+// (casper) breaches policy-aware 2-anonymity on it by construction.
+var example1Users = []UserJSON{
+	{ID: "Alice", X: 1, Y: 1}, {ID: "Bob", X: 1, Y: 2}, {ID: "Carol", X: 1, Y: 5},
+	{ID: "Sam", X: 5, Y: 1}, {ID: "Tom", X: 6, Y: 2},
+}
+
+// TestAuditEndToEnd drives the acceptance path of the privacy
+// observatory: install the Example 1 snapshot under the casper engine and
+// verify (1) /v1/audit reports the min achieved-k that attacker.Audit
+// computes from first principles, (2) the policy-aware breach shows up as
+// a Prometheus counter increment, and (3) a structured breach log line
+// carries the originating request's ID.
+func TestAuditEndToEnd(t *testing.T) {
+	log := &lockedBuffer{}
+	srv := New()
+	srv.SetLogger(audit.NewJSONLogger(log, slog.LevelWarn))
+	srv.SetAuditRate(1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Install the snapshot with a caller-chosen request ID.
+	body, _ := json.Marshal(SnapshotRequest{K: 2, MapSide: 8, Engine: "casper", Users: example1Users})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/snapshot", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "e2e-rid-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "e2e-rid-7" {
+		t.Fatalf("request ID not echoed: %q", got)
+	}
+
+	// Ground truth: the same engine run on the same snapshot is
+	// deterministic, so attacker.Audit over it is what /v1/audit must say.
+	db := location.New(0)
+	for _, u := range example1Users {
+		if err := db.Add(u.ID, geo.Point{X: u.X, Y: u.Y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	casper, err := engine.Get("casper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := casper.Anonymize(context.Background(), db, geo.NewRect(0, 0, 8, 8), engine.Params{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awBreaches, minAware := attacker.Audit(pol, 2, attacker.PolicyAware)
+	_, minUnaware := attacker.Audit(pol, 2, attacker.PolicyUnaware)
+	if len(awBreaches) == 0 {
+		t.Fatal("fixture lost its Example 1 shape: casper produced no policy-aware breach")
+	}
+
+	var rep audit.Report
+	aresp, err := http.Get(ts.URL + "/v1/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(aresp.Body).Decode(&rep)
+	aresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PolicyAudits != 1 {
+		t.Fatalf("policy audits = %d, want 1", rep.PolicyAudits)
+	}
+	if rep.Aware.Min != minAware || rep.Unaware.Min != minUnaware {
+		t.Fatalf("/v1/audit min achieved-k (%d, %d) != attacker.Audit ground truth (%d, %d)",
+			rep.Aware.Min, rep.Unaware.Min, minAware, minUnaware)
+	}
+	if rep.Aware.Breaches < 1 {
+		t.Fatalf("report breach total = %d, want >= 1", rep.Aware.Breaches)
+	}
+	if len(rep.Engines) != 1 || rep.Engines[0] != "casper" {
+		t.Fatalf("report engines %v", rep.Engines)
+	}
+
+	// The breach is a Prometheus counter increment.
+	mresp, err := http.Get(ts.URL + "/v1/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prom bytes.Buffer
+	prom.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`policyanon_anon_breach_total{name="casper/policy-aware"} ` + itoa(len(awBreaches)),
+		`policyanon_audit_sampled_total{name="casper/policy"} 1`,
+		`policyanon_anon_achieved_k_bucket{name="casper/policy-aware",le="1"}`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+
+	// The breach is a structured log line carrying the request ID.
+	var breach map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(log.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if rec["msg"] == "anonymity breach" && rec["awareness"] == "policy-aware" {
+			breach = rec
+			break
+		}
+	}
+	if breach == nil {
+		t.Fatalf("no policy-aware breach log line (log: %s)", log.String())
+	}
+	if breach["rid"] != "e2e-rid-7" {
+		t.Errorf("breach log rid %q, want e2e-rid-7", breach["rid"])
+	}
+	if breach["engine"] != "casper" || breach["expected"] != true {
+		t.Errorf("breach log %v: want engine=casper expected=true (casper registers PolicyAware=false)", breach)
+	}
+}
+
+// TestAuditSamplesRequestPath verifies the served-request sampling half
+// of the observatory: with rate 1 every /v1/request lands in the report.
+func TestAuditSamplesRequestPath(t *testing.T) {
+	srv := New()
+	srv.SetAuditRate(1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post(t, ts.URL+"/v1/snapshot", SnapshotRequest{K: 2, MapSide: 8, Users: example1Users})
+	post(t, ts.URL+"/v1/pois", map[string]any{
+		"mapSide": 8,
+		"pois":    []POIJSON{{ID: "gas1", X: 2, Y: 2, Category: "gas"}},
+	})
+	resp, body := post(t, ts.URL+"/v1/request", ServiceRequestJSON{User: "Carol", X: 1, Y: 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request: %d %v", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("no request ID minted for /v1/request")
+	}
+
+	_, rep := get(t, ts.URL+"/v1/audit")
+	if rep["requestAudits"].(float64) != 1 {
+		t.Fatalf("request audits = %v, want 1", rep["requestAudits"])
+	}
+	if rep["sampleRate"].(float64) != 1 {
+		t.Fatalf("sample rate = %v, want 1", rep["sampleRate"])
+	}
+
+	// Dropping the rate to 0 stops sampling but keeps serving.
+	srv.SetAuditRate(0)
+	post(t, ts.URL+"/v1/request", ServiceRequestJSON{User: "Alice", X: 1, Y: 1})
+	_, rep = get(t, ts.URL+"/v1/audit")
+	if rep["requestAudits"].(float64) != 1 {
+		t.Fatalf("rate-0 audited a request: %v", rep["requestAudits"])
+	}
+	if rep["skipped"].(float64) != 1 {
+		t.Fatalf("skipped = %v, want 1", rep["skipped"])
+	}
+}
+
+// itoa avoids importing strconv for one call site.
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}

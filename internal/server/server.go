@@ -5,7 +5,7 @@
 //
 // Endpoints:
 //
-//	GET  /healthz              liveness probe
+//	GET  /healthz              readiness probe (?probe=live for liveness)
 //	GET  /v1/engines           list registered anonymization engines
 //	POST /v1/snapshot          install a location snapshot and compute a
 //	                           cloaking policy (engine selectable per
@@ -18,7 +18,20 @@
 //	                           (&engine=NAME serves an alternative engine's
 //	                           policy over the same snapshot)
 //	POST /v1/request           anonymize a service request and answer it
+//	GET  /v1/audit             rolling privacy report: achieved anonymity
+//	                           under both attacker classes, breach totals
 //	GET  /v1/stats             snapshot, policy and cache statistics
+//
+// /healthz is a readiness probe: it answers 503 until the first snapshot
+// is installed, 200 with snapshot facts afterwards. /healthz?probe=live
+// is pure liveness and always answers 200.
+//
+// Every request is tagged with a request ID (the incoming X-Request-ID
+// header, or a freshly minted one), echoed in the response X-Request-ID
+// header, carried down the context, stamped on audit breach log lines and
+// trace spans, and forwarded by the cluster coordinator to its shard
+// RPCs — one ID correlates a request across log, trace, and metric on
+// every server that touched it.
 package server
 
 import (
@@ -27,10 +40,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
+	"policyanon/internal/audit"
 	"policyanon/internal/checkpoint"
 	"policyanon/internal/core"
 	"policyanon/internal/engine"
@@ -55,6 +70,8 @@ type Server struct {
 	stats      Stats
 	reg        *metrics.Registry
 	tracer     *obs.Tracer
+	aud        *audit.Auditor
+	logger     *slog.Logger
 	engineName string // default engine; "" means engine.DefaultName
 	snapEngine string // engine that produced the installed policy
 	// snapOpts carries the engine options the installed snapshot was
@@ -95,7 +112,17 @@ func New() *Server {
 	tracer := obs.NewTracer()
 	tracer.KeepSpans(false)
 	tracer.SetRegistry(reg)
-	return &Server{reg: reg, tracer: tracer}
+	aud := audit.New(reg, audit.Options{
+		Rate: audit.DefaultRate,
+		// Breaches of engines that honestly register PolicyAware=false
+		// are expected (Proposition 3); unknown engines are held to the
+		// full policy-aware standard, mirroring WithVerify.
+		ExpectPolicyAware: func(name string) bool {
+			info, ok := engine.InfoOf(name)
+			return !ok || info.PolicyAware
+		},
+	})
+	return &Server{reg: reg, tracer: tracer, aud: aud}
 }
 
 // SetDefaultEngine selects the engine used when a snapshot request names
@@ -123,6 +150,30 @@ func (s *Server) DefaultEngine() string {
 // Metrics exposes the server's registry (shared with the phase tracer).
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
+// Auditor exposes the server's privacy observatory.
+func (s *Server) Auditor() *audit.Auditor { return s.aud }
+
+// SetAuditRate sets the fraction of served /v1/request calls audited for
+// achieved anonymity (0 disables request sampling; policy installs are
+// always audited).
+func (s *Server) SetAuditRate(rate float64) { s.aud.SetRate(rate) }
+
+// SetLogger installs a structured logger: per-request access records at
+// Debug, audit breach records at Warn, each carrying the request ID.
+func (s *Server) SetLogger(l *slog.Logger) {
+	s.mu.Lock()
+	s.logger = l
+	s.mu.Unlock()
+	s.aud.SetLogger(l)
+}
+
+// Logger returns the installed structured logger, or nil.
+func (s *Server) Logger() *slog.Logger {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.logger
+}
+
 // Tracer exposes the server's phase tracer, e.g. to print a phase table
 // on shutdown.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
@@ -138,10 +189,9 @@ func (s *Server) obsCtx(r *http.Request) context.Context {
 // ?format=prometheus).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/audit", s.handleAudit)
 	mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/moves", s.handleMoves)
@@ -154,14 +204,70 @@ func (s *Server) Handler() http.Handler {
 	return s.instrument(mux)
 }
 
-// instrument wraps the handler tree with per-route metrics.
+// handleHealthz answers readiness by default — 503 until the first
+// snapshot is installed — and pure liveness with ?probe=live (always
+// 200). Load balancers and the cluster coordinator use the liveness form
+// to tell a crashed worker from one merely awaiting its shard.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("probe") == "live" {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	s.mu.RLock()
+	ready := s.policy != nil
+	users, k := s.stats.Users, s.stats.K
+	s.mu.RUnlock()
+	if !ready {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting", "ready": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "ready": true, "users": users, "k": k})
+}
+
+// handleAudit serves the privacy observatory's rolling report.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.aud.Report())
+}
+
+// statusRecorder captures the response status for access logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps the handler tree with per-route metrics and request-ID
+// correlation: the incoming X-Request-ID (or a minted one) is carried in
+// the request context — where audit breach logs and spans pick it up —
+// and echoed in the response header.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = audit.MintRequestID()
+		}
+		r = r.WithContext(audit.WithRequestID(r.Context(), rid))
+		w.Header().Set("X-Request-ID", rid)
 		route := r.Method + " " + r.URL.Path
 		s.reg.Counter("requests:" + route).Inc()
-		s.reg.Histogram("latency:" + route).Time(func() {
-			next.ServeHTTP(w, r)
-		})
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		s.reg.Histogram("latency:" + route).Observe(elapsed)
+		if l := s.Logger(); l != nil {
+			l.LogAttrs(r.Context(), slog.LevelDebug, "request",
+				slog.String("rid", rid),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Float64("ms", float64(elapsed.Microseconds())/1000),
+			)
+		}
 	})
 }
 
@@ -325,10 +431,16 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// runEngine executes an engine under the server's tracing and metrics
-// middleware.
+// runEngine executes an engine under the server's tracing, metrics, and
+// audit middleware. Policy computations are rare (snapshot installs,
+// move replays) relative to request serving, so every one is audited
+// (rate 1) regardless of the request sampling rate.
 func (s *Server) runEngine(ctx context.Context, e engine.Engine, db *location.DB, bounds geo.Rect, p engine.Params) (*lbs.Assignment, error) {
-	return engine.Wrap(e, engine.WithTracing(), engine.WithMetrics(s.reg)).Anonymize(ctx, db, bounds, p)
+	return engine.Wrap(e,
+		engine.WithTracing(),
+		engine.WithMetrics(s.reg),
+		engine.WithAudit(s.aud, 1),
+	).Anonymize(ctx, db, bounds, p)
 }
 
 // MovesRequest applies one snapshot interval's worth of user movement.
@@ -390,6 +502,9 @@ func (s *Server) handleMoves(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
+		// The incremental path bypasses runEngine, so audit the maintained
+		// policy explicitly — same always-on rate as engine.WithAudit.
+		s.aud.ObservePolicy(s.obsCtx(r), name, policy, s.k)
 	} else {
 		// Non-incremental engine: apply the moves to the snapshot and
 		// recompute the whole policy from scratch.
@@ -556,10 +671,19 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sr := lbs.ServiceRequest{UserID: req.User, Loc: geo.Point{X: req.X, Y: req.Y}, Params: req.Params}
-	ar, answer, err := csp.ServeContext(s.obsCtx(r), sr)
+	ctx := s.obsCtx(r)
+	ar, answer, err := csp.ServeContext(ctx, sr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
+	}
+	s.mu.RLock()
+	policy, engineName, k := s.policy, s.snapEngine, s.k
+	s.mu.RUnlock()
+	if policy != nil {
+		// Sampled achieved-anonymity check on the served cloak: two
+		// candidate scans per sampled request, nothing on the rest.
+		s.aud.MaybeObserveRequest(ctx, engineName, policy, ar.Cloak, k)
 	}
 	s.mu.Lock()
 	s.stats.RequestsServed++

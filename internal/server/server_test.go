@@ -89,9 +89,23 @@ func installPOIs(t *testing.T, base string) {
 
 func TestHealthz(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := get(t, ts.URL+"/healthz")
+	// Liveness: always 200, even before a snapshot.
+	resp, body := get(t, ts.URL+"/healthz?probe=live")
 	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
-		t.Fatalf("healthz: %d %v", resp.StatusCode, body)
+		t.Fatalf("liveness: %d %v", resp.StatusCode, body)
+	}
+	// Readiness: 503 until the first snapshot is installed.
+	resp, body = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable || body["ready"] != false {
+		t.Fatalf("readiness before snapshot: %d %v", resp.StatusCode, body)
+	}
+	installSnapshot(t, ts.URL, 5)
+	resp, body = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || body["ready"] != true {
+		t.Fatalf("readiness after snapshot: %d %v", resp.StatusCode, body)
+	}
+	if body["users"].(float64) != 40 || body["k"].(float64) != 5 {
+		t.Fatalf("readiness facts: %v", body)
 	}
 }
 
