@@ -14,6 +14,17 @@
 // SIGTERM, so a restarted server resumes serving cloak lookups without
 // recomputation.
 //
+// With -motion, POST /v1/moves switches to streaming ingest: updates are
+// validated and queued (202 Accepted) and a maintenance loop applies
+// them in coalesced batches, publishing fresh policy snapshots that the
+// serving endpoints adopt atomically. -motion-queue/-motion-batch/
+// -motion-flush size the queue and batching, -motion-policy picks the
+// full-queue backpressure (block or drop → 429), -motion-strategy forces
+// incremental or rebuild maintenance (auto decides per batch), and
+// -motion-checkpoint-every N persists -state every N batches from the
+// live loop. On shutdown the queue is drained before the final
+// checkpoint, so accepted updates are never lost. See docs/STREAMING.md.
+//
 // Observability: GET /v1/metrics serves the metrics registry as JSON, or
 // as Prometheus text exposition with ?format=prometheus (per-route
 // request counters and latency histograms plus per-phase anonymization
@@ -52,7 +63,9 @@ import (
 	"time"
 
 	"policyanon/internal/audit"
+	"policyanon/internal/checkpoint"
 	"policyanon/internal/engine"
+	"policyanon/internal/motion"
 	_ "policyanon/internal/parallel" // register the "parallel" engine
 	"policyanon/internal/server"
 )
@@ -65,6 +78,14 @@ func main() {
 		withPprof = flag.Bool("pprof", true, "mount Go profiling endpoints under /debug/pprof/")
 		logLevel  = flag.String("log-level", "info", "log floor: debug, info, warn, or error")
 		auditRate = flag.Float64("audit-rate", audit.DefaultRate, "fraction of /v1/request calls audited for achieved anonymity (0 disables)")
+
+		motionOn        = flag.Bool("motion", false, "streaming movement ingest: POST /v1/moves queues updates; a maintenance loop applies them in batches off the read path")
+		motionQueue     = flag.Int("motion-queue", 0, "ingest queue capacity (0 = motion default)")
+		motionBatch     = flag.Int("motion-batch", 0, "max coalesced updates per maintenance batch (0 = motion default)")
+		motionFlush     = flag.Duration("motion-flush", 0, "max time a queued update waits before a flush (0 = motion default)")
+		motionPolicy    = flag.String("motion-policy", "block", "backpressure when the ingest queue is full: block or drop")
+		motionStrategy  = flag.String("motion-strategy", "auto", "maintenance strategy: auto, incremental, or rebuild")
+		motionCkptEvery = flag.Int("motion-checkpoint-every", 0, "checkpoint -state every N applied batches (0 disables periodic checkpoints)")
 	)
 	flag.Parse()
 
@@ -84,6 +105,46 @@ func main() {
 	srv.SetAuditRate(*auditRate)
 	if err := srv.SetDefaultEngine(*engName); err != nil {
 		fatal("engine selection failed", "err", err)
+	}
+	// Arm motion before restoring state: RestoreFrom starts the pipeline
+	// for the restored snapshot only if the config is already in place.
+	if *motionOn {
+		var bp motion.BackpressurePolicy
+		switch *motionPolicy {
+		case "block":
+			bp = motion.Block
+		case "drop":
+			bp = motion.Drop
+		default:
+			fatal("bad -motion-policy", "value", *motionPolicy, "want", "block or drop")
+		}
+		strategy := motion.Strategy(*motionStrategy)
+		switch strategy {
+		case motion.StrategyAuto, motion.StrategyIncremental, motion.StrategyRebuild:
+		default:
+			fatal("bad -motion-strategy", "value", *motionStrategy, "want", "auto, incremental, or rebuild")
+		}
+		cfg := motion.Config{
+			QueueCapacity: *motionQueue,
+			MaxBatch:      *motionBatch,
+			FlushInterval: *motionFlush,
+			Policy:        bp,
+			Strategy:      strategy,
+		}
+		if *state != "" && *motionCkptEvery > 0 {
+			// Periodic persistence from the live loop. The callback runs on
+			// the maintenance goroutine and must not reach back into the
+			// server (lock-ordering), so it saves the self-contained
+			// snapshot record directly.
+			path := *state
+			cfg.CheckpointEvery = *motionCkptEvery
+			cfg.Checkpoint = func(snap *motion.Snapshot) error {
+				return saveSnapshotState(path, snap)
+			}
+		}
+		srv.EnableMotion(cfg)
+		logger.Info("motion enabled", "policy", *motionPolicy, "strategy", *motionStrategy,
+			"checkpointEvery", *motionCkptEvery)
 	}
 	if *state != "" {
 		if f, err := os.Open(*state); err == nil {
@@ -117,11 +178,24 @@ func main() {
 		fatal("serve failed", "err", err)
 	case <-ctx.Done():
 	}
+	// Graceful shutdown ordering: stop accepting requests, drain the
+	// motion queue so every accepted update is applied, then write the
+	// final checkpoint — no accepted batch is lost.
 	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		logger.Warn("shutdown incomplete", "err", err)
+	}
+	if srv.MotionPipeline() != nil {
+		drainCtx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := srv.DrainMotion(drainCtx); err != nil {
+			logger.Warn("motion drain incomplete", "err", err)
+		} else {
+			st := srv.MotionPipeline().Stats()
+			logger.Info("motion drained", "epoch", st.Epoch, "moves", st.Moves, "batches", st.Batches)
+		}
+		dcancel()
 	}
 	if *state != "" {
 		if err := writeCheckpoint(srv, *state); err != nil {
@@ -176,6 +250,27 @@ func writeCheckpoint(srv *server.Server, path string) error {
 		return err
 	}
 	if err := srv.CheckpointTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// saveSnapshotState persists a published motion snapshot to the -state
+// file, atomically via a temp file rename. Called from the pipeline's
+// maintenance loop, so it must stay free of server locks.
+func saveSnapshotState(path string, snap *motion.Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := checkpoint.Save(f, snap.K, snap.Bounds, snap.Policy); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

@@ -19,7 +19,9 @@
 // -bench-time, and the validate-only -check-bench mode), audit (privacy
 // observatory serving overhead: /v1/request throughput with audit
 // sampling off vs at -audit-rate; writes the tracked BENCH_audit.json —
-// see -audit-out), all.
+// see -audit-out), churn (live motion pipeline: streaming update
+// throughput under forced incremental maintenance vs rebuild-per-batch;
+// writes the tracked BENCH_churn.json — see -churn-out), all.
 //
 // -check-bench validates either tracked benchmark document: it sniffs the
 // "bench" discriminator field and dispatches to the matching loader, so
@@ -57,7 +59,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|engines|workers|audit|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|engines|workers|audit|churn|all")
 		scale      = flag.String("scale", "small", "dataset scale: small (~50k users) or paper (1.75M users)")
 		k          = flag.Int("k", 50, "anonymity parameter k")
 		seed       = flag.Int64("seed", 42, "dataset seed")
@@ -69,6 +71,7 @@ func main() {
 		workerList = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -exp workers")
 		benchTime  = flag.Duration("bench-time", time.Second, "measurement budget per worker count for -exp workers and per mode for -exp audit")
 		auditOut   = flag.String("audit-out", "BENCH_audit.json", "output file for the -exp audit overhead benchmark")
+		churnOut   = flag.String("churn-out", "BENCH_churn.json", "output file for the -exp churn streaming benchmark")
 		auditRate  = flag.Float64("audit-rate", audit.DefaultRate, "request sampling rate for -exp audit's sampled mode")
 		checkBench = flag.String("check-bench", "", "validate an existing BENCH file (bulkdp or audit) and exit (CI gate)")
 	)
@@ -82,7 +85,7 @@ func main() {
 		return
 	}
 	if err := run(*exp, *scale, *k, *seed, *format, *engines, *traceOut, *phases,
-		*benchOut, *workerList, *benchTime, *auditOut, *auditRate); err != nil {
+		*benchOut, *workerList, *benchTime, *auditOut, *auditRate, *churnOut); err != nil {
 		fmt.Fprintln(os.Stderr, "lbsbench:", err)
 		os.Exit(1)
 	}
@@ -106,6 +109,8 @@ func checkBenchFile(path string) error {
 	switch probe.Bench {
 	case "audit":
 		_, err = experiments.LoadAuditBench(bytes.NewReader(data))
+	case "churn":
+		_, err = experiments.LoadChurnBench(bytes.NewReader(data))
 	case "":
 		_, err = experiments.LoadBulkDPBench(bytes.NewReader(data))
 	default:
@@ -160,7 +165,8 @@ func sweepEngines(flagVal string) []string {
 }
 
 func run(exp, scale string, k int, seed int64, format, engineList, traceOut string, phases bool,
-	benchOut, workerList string, benchTime time.Duration, auditOut string, auditRate float64) error {
+	benchOut, workerList string, benchTime time.Duration, auditOut string, auditRate float64,
+	churnOut string) error {
 	switch format {
 	case "table", "csv", "markdown":
 	default:
@@ -380,6 +386,23 @@ func run(exp, scale string, k int, seed int64, format, engineList, traceOut stri
 		}
 		fmt.Fprintln(os.Stderr, "lbsbench:", experiments.AuditOverheadSummary(bench))
 		fmt.Fprintf(os.Stderr, "lbsbench: audit benchmark written to %s\n", auditOut)
+	}
+	if want("churn") {
+		ran = true
+		banner(fmt.Sprintf("== Live motion: streaming churn, incremental vs rebuild, |D|=%d, k=%d ==", sizes[0], k))
+		bench, err := experiments.ChurnSweep(d, sizes[0], k, benchTime)
+		if err != nil {
+			return err
+		}
+		bench.Dataset = scale
+		if err := writeBench(churnOut, bench); err != nil {
+			return err
+		}
+		if err := emit(experiments.ChurnBenchTable(bench), func() { experiments.PrintChurnBench(os.Stdout, bench) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "lbsbench:", experiments.ChurnSpeedupSummary(bench))
+		fmt.Fprintf(os.Stderr, "lbsbench: churn benchmark written to %s\n", churnOut)
 	}
 	if want("parallel") {
 		ran = true

@@ -26,12 +26,13 @@ func main() {
 		reqProb   = flag.Float64("reqprob", 0.1, "per-user request probability per snapshot")
 		pois      = flag.Int("pois", 2000, "provider catalogue size")
 		roadnet   = flag.Bool("roadnet", false, "road-network movement instead of random jitter")
+		cont      = flag.Bool("continuous", false, "continuous trajectories (bounded moves from each user's previous position)")
 		seed      = flag.Int64("seed", 42, "simulation seed")
 	)
 	flag.Parse()
 	rep, err := sim.Run(sim.Config{
 		Users: *users, K: *k, Snapshots: *snapshots,
-		RequestProb: *reqProb, POIs: *pois, RoadNetwork: *roadnet, Seed: *seed,
+		RequestProb: *reqProb, POIs: *pois, RoadNetwork: *roadnet, Continuous: *cont, Seed: *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbssim:", err)

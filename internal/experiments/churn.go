@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"policyanon/internal/engine"
+	"policyanon/internal/motion"
+	"policyanon/internal/workload"
+)
+
+// This file implements the tracked streaming-churn benchmark: sustained
+// movement-update throughput of the live motion pipeline under forced
+// incremental maintenance versus forced full rebuilds, written as
+// BENCH_churn.json. The acceptance gate is that incremental maintenance
+// outruns rebuild-per-batch (IncrementalSpeedup > 1 — the reason
+// Section V's incremental algorithm exists); -check-bench re-validates
+// the tracked document in CI.
+
+// ChurnBatchSize is the flush size ChurnSweep drives the pipeline with:
+// large enough to amortize per-batch overhead, small enough that a
+// rebuild engine recomputes many times per measurement window.
+const ChurnBatchSize = 64
+
+// ChurnBenchRow is one maintenance strategy's measurement.
+type ChurnBenchRow struct {
+	Strategy      string  `json:"strategy"` // "incremental" or "rebuild"
+	Batches       int64   `json:"batches"`
+	Moves         int64   `json:"moves"`
+	Rows          int64   `json:"rowsRecomputed"`
+	UpdatesPerSec float64 `json:"updatesPerSec"`
+	NsPerBatch    float64 `json:"nsPerBatch"`
+}
+
+// ChurnBench is the BENCH_churn.json document.
+type ChurnBench struct {
+	// Bench discriminates benchmark documents for -check-bench; always
+	// "churn" here.
+	Bench   string `json:"bench"`
+	Dataset string `json:"dataset"` // lbsbench scale name
+	Users   int    `json:"users"`
+	K       int    `json:"k"`
+	Engine  string `json:"engine"`
+	Batch   int    `json:"batch"` // MaxBatch the pipeline flushed at
+	// Machine metadata, as in the other tracked BENCH documents.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numCPU"`
+	CPUModel   string `json:"cpuModel"`
+	GoVersion  string `json:"goVersion"`
+	// Incremental and Rebuild measure the same bounded-motion feed under
+	// the two forced strategies; IncrementalSpeedup is the throughput
+	// ratio incremental/rebuild.
+	Incremental        ChurnBenchRow `json:"incremental"`
+	Rebuild            ChurnBenchRow `json:"rebuild"`
+	IncrementalSpeedup float64       `json:"incrementalSpeedup"`
+}
+
+// ChurnSweep measures sustained update throughput through a live motion
+// pipeline — ingest queue, coalescing, maintenance, snapshot publish —
+// once per forced strategy, over the same deterministic bounded-motion
+// feed. minTime is the feed budget per strategy (draining the queue is
+// measured on top, so every accepted update counts).
+func ChurnSweep(d Dataset, users, k int, minTime time.Duration) (*ChurnBench, error) {
+	measure := func(strategy motion.Strategy) (ChurnBenchRow, error) {
+		base, err := d.Sample(users)
+		if err != nil {
+			return ChurnBenchRow{}, err
+		}
+		// The pipeline mutates its DB; never hand it the shared master.
+		db := base.Clone()
+		cfg := motion.Config{
+			K:             k,
+			QueueCapacity: 4 * ChurnBatchSize,
+			MaxBatch:      ChurnBatchSize,
+			FlushInterval: time.Hour, // flush on size only: fixed batches
+			Strategy:      strategy,
+			MaxMoveMeters: -1, // the feed is bounded by construction
+			SkipVerify:    true,
+			BaseContext:   d.ctx(),
+		}
+		p, err := motion.New(db, d.Bounds, cfg)
+		if err != nil {
+			return ChurnBenchRow{}, err
+		}
+		stream := workload.NewMoveStream(d.Seed+3, db, 200, d.Bounds.MaxX)
+		ctx := context.Background()
+		feed := func(n int) error {
+			for _, mv := range stream.NextBatch(n) {
+				u := motion.Update{
+					UserID: stream.UserID(mv.Index),
+					X:      float64(mv.To.X),
+					Y:      float64(mv.To.Y),
+				}
+				if err := p.Enqueue(ctx, u); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Warm up one batch (first apply pays one-off allocation costs),
+		// then feed under backpressure for the budget and drain.
+		if err := feed(ChurnBatchSize); err != nil {
+			return ChurnBenchRow{}, err
+		}
+		warmDeadline := time.Now().Add(time.Minute)
+		for p.Epoch() < 2 {
+			if time.Now().After(warmDeadline) {
+				return ChurnBenchRow{}, fmt.Errorf("experiments: churn warmup batch never applied")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		warm := p.Stats()
+		start := time.Now()
+		for time.Since(start) < minTime {
+			if err := feed(ChurnBatchSize); err != nil {
+				return ChurnBenchRow{}, err
+			}
+		}
+		drainCtx, cancel := context.WithTimeout(ctx, 5*time.Minute)
+		defer cancel()
+		if err := p.Close(drainCtx); err != nil {
+			return ChurnBenchRow{}, fmt.Errorf("experiments: churn drain (%s): %w", strategy, err)
+		}
+		elapsed := time.Since(start)
+		st := p.Stats()
+		batches := st.Batches - warm.Batches
+		moves := st.Moves - warm.Moves
+		if batches < 1 || moves < 1 {
+			return ChurnBenchRow{}, fmt.Errorf("experiments: churn (%s) applied no batches", strategy)
+		}
+		if strategy == motion.StrategyIncremental && st.Rebuilds > 0 {
+			return ChurnBenchRow{}, fmt.Errorf("experiments: churn incremental run fell back to %d rebuilds", st.Rebuilds)
+		}
+		return ChurnBenchRow{
+			Strategy:      string(strategy),
+			Batches:       batches,
+			Moves:         moves,
+			Rows:          st.Rows - warm.Rows,
+			UpdatesPerSec: float64(moves) / elapsed.Seconds(),
+			NsPerBatch:    float64(elapsed.Nanoseconds()) / float64(batches),
+		}, nil
+	}
+
+	inc, err := measure(motion.StrategyIncremental)
+	if err != nil {
+		return nil, err
+	}
+	reb, err := measure(motion.StrategyRebuild)
+	if err != nil {
+		return nil, err
+	}
+	bench := &ChurnBench{
+		Bench:              "churn",
+		Users:              users,
+		K:                  k,
+		Engine:             engine.DefaultName,
+		Batch:              ChurnBatchSize,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		NumCPU:             runtime.NumCPU(),
+		CPUModel:           cpuModel(),
+		GoVersion:          runtime.Version(),
+		Incremental:        inc,
+		Rebuild:            reb,
+		IncrementalSpeedup: inc.UpdatesPerSec / reb.UpdatesPerSec,
+	}
+	return bench, nil
+}
+
+// LoadChurnBench decodes and validates a BENCH_churn.json document,
+// enforcing the incremental-wins gate; CI uses it to fail on malformed
+// or regressed benchmark output.
+func LoadChurnBench(r io.Reader) (*ChurnBench, error) {
+	var b ChurnBench
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("experiments: decode BENCH_churn.json: %w", err)
+	}
+	if b.Bench != "churn" {
+		return nil, fmt.Errorf("experiments: BENCH_churn.json bench = %q, want \"churn\"", b.Bench)
+	}
+	if b.Users < 1 || b.K < 1 || b.Batch < 1 {
+		return nil, fmt.Errorf("experiments: BENCH_churn.json metadata invalid: users=%d k=%d batch=%d", b.Users, b.K, b.Batch)
+	}
+	if b.GOMAXPROCS < 1 || b.GoVersion == "" {
+		return nil, fmt.Errorf("experiments: BENCH_churn.json machine metadata missing")
+	}
+	for _, row := range []ChurnBenchRow{b.Incremental, b.Rebuild} {
+		if row.Batches < 1 || row.Moves < 1 || row.UpdatesPerSec <= 0 || row.NsPerBatch <= 0 {
+			return nil, fmt.Errorf("experiments: BENCH_churn.json row invalid: %+v", row)
+		}
+	}
+	if b.Incremental.Strategy != string(motion.StrategyIncremental) ||
+		b.Rebuild.Strategy != string(motion.StrategyRebuild) {
+		return nil, fmt.Errorf("experiments: BENCH_churn.json rows mislabelled: %q/%q",
+			b.Incremental.Strategy, b.Rebuild.Strategy)
+	}
+	if b.IncrementalSpeedup <= 1 {
+		return nil, fmt.Errorf("experiments: incremental maintenance speedup %.2fx does not beat rebuild-per-batch",
+			b.IncrementalSpeedup)
+	}
+	return &b, nil
+}
+
+// ChurnBenchTable renders the measurement for the lbsbench table formats.
+func ChurnBenchTable(b *ChurnBench) Table {
+	tbl := Table{
+		Name:   "churn",
+		Header: []string{"strategy", "batches", "moves", "rows_recomputed", "updates_per_sec", "ns_per_batch"},
+	}
+	for _, r := range []ChurnBenchRow{b.Incremental, b.Rebuild} {
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Strategy,
+			fmt.Sprintf("%d", r.Batches),
+			fmt.Sprintf("%d", r.Moves),
+			fmt.Sprintf("%d", r.Rows),
+			fmt.Sprintf("%.0f", r.UpdatesPerSec),
+			fmt.Sprintf("%.0f", r.NsPerBatch),
+		})
+	}
+	return tbl
+}
+
+// PrintChurnBench writes the human table plus the speedup summary line.
+func PrintChurnBench(w io.Writer, b *ChurnBench) {
+	fmt.Fprintf(w, "%-12s %9s %10s %12s %15s %15s\n",
+		"strategy", "batches", "moves", "rows", "updates/sec", "ns/batch")
+	for _, r := range []ChurnBenchRow{b.Incremental, b.Rebuild} {
+		fmt.Fprintf(w, "%-12s %9d %10d %12d %15.0f %15.0f\n",
+			r.Strategy, r.Batches, r.Moves, r.Rows, r.UpdatesPerSec, r.NsPerBatch)
+	}
+	fmt.Fprintln(w, ChurnSpeedupSummary(b))
+}
+
+// ChurnSpeedupSummary renders the one-line gate summary, e.g.
+// "incremental maintenance: 14.2x rebuild throughput (61k vs 4k updates/sec)".
+func ChurnSpeedupSummary(b *ChurnBench) string {
+	return fmt.Sprintf("incremental maintenance: %.2fx rebuild throughput (%.0f vs %.0f updates/sec, batch %d, %d users)",
+		b.IncrementalSpeedup, b.Incremental.UpdatesPerSec, b.Rebuild.UpdatesPerSec, b.Batch, b.Users)
+}

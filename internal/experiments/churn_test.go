@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"policyanon/internal/workload"
+)
+
+func churnDataset() Dataset {
+	cfg := workload.Config{MapSide: 1 << 12, Intersections: 400, UsersPerIntersection: 5, SpreadSigma: 60}
+	return NewDataset(cfg, 7)
+}
+
+func TestChurnSweepShape(t *testing.T) {
+	d := churnDataset()
+	b, err := ChurnSweep(d, 1500, 10, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bench != "churn" || b.Users != 1500 || b.K != 10 || b.Batch != ChurnBatchSize {
+		t.Fatalf("metadata: %+v", b)
+	}
+	for _, row := range []ChurnBenchRow{b.Incremental, b.Rebuild} {
+		if row.Batches < 1 || row.Moves < row.Batches || row.UpdatesPerSec <= 0 {
+			t.Fatalf("row %+v", row)
+		}
+	}
+	// The rebuild row recomputes the full snapshot every batch; the
+	// incremental row must touch far fewer rows per batch.
+	if b.Rebuild.Rows != b.Rebuild.Batches*int64(b.Users) {
+		t.Fatalf("rebuild rows = %d over %d batches of %d users", b.Rebuild.Rows, b.Rebuild.Batches, b.Users)
+	}
+	if b.Incremental.Rows >= b.Rebuild.Rows {
+		t.Fatalf("incremental recomputed %d rows, rebuild %d — no maintenance advantage measured",
+			b.Incremental.Rows, b.Rebuild.Rows)
+	}
+	// Round-trip through the document loader (without the speedup gate:
+	// a 20ms measurement is noise, so synthesize a passing ratio).
+	b.IncrementalSpeedup = 2
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadChurnBench(&buf); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+}
+
+func TestLoadChurnBenchGates(t *testing.T) {
+	valid := ChurnBench{
+		Bench: "churn", Dataset: "small", Users: 1000, K: 10, Engine: "bulkdp-binary", Batch: 64,
+		GOMAXPROCS: 4, NumCPU: 4, GoVersion: "go1.23",
+		Incremental: ChurnBenchRow{
+			Strategy: "incremental", Batches: 10, Moves: 640, Rows: 900, UpdatesPerSec: 5000, NsPerBatch: 1e6,
+		},
+		Rebuild: ChurnBenchRow{
+			Strategy: "rebuild", Batches: 5, Moves: 320, Rows: 5000, UpdatesPerSec: 2000, NsPerBatch: 3e6,
+		},
+		IncrementalSpeedup: 2.5,
+	}
+	mustFail := func(name string, mutate func(*ChurnBench), wantErr string) {
+		t.Helper()
+		b := valid
+		mutate(&b)
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = LoadChurnBench(bytes.NewReader(data))
+		if err == nil || !strings.Contains(err.Error(), wantErr) {
+			t.Fatalf("%s: err = %v, want %q", name, err, wantErr)
+		}
+	}
+
+	data, err := json.Marshal(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadChurnBench(bytes.NewReader(data)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	mustFail("wrong kind", func(b *ChurnBench) { b.Bench = "audit" }, `want "churn"`)
+	mustFail("no users", func(b *ChurnBench) { b.Users = 0 }, "metadata invalid")
+	mustFail("no machine", func(b *ChurnBench) { b.GoVersion = "" }, "machine metadata")
+	mustFail("empty row", func(b *ChurnBench) { b.Rebuild.Batches = 0 }, "row invalid")
+	mustFail("mislabelled", func(b *ChurnBench) { b.Incremental.Strategy = "rebuild" }, "mislabelled")
+	mustFail("regressed", func(b *ChurnBench) { b.IncrementalSpeedup = 0.9 }, "does not beat")
+	if _, err := LoadChurnBench(strings.NewReader(`{"bench":"churn","bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

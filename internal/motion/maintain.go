@@ -1,0 +1,165 @@
+package motion
+
+import (
+	"context"
+	"fmt"
+
+	"policyanon/internal/core"
+	"policyanon/internal/engine"
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/verify"
+)
+
+// maintainer owns the live location state and applies coalesced batches to
+// it. Every field is confined to the maintenance loop after construction
+// (construction itself runs before the loop starts, so no locks are
+// needed anywhere here).
+type maintainer struct {
+	db     *location.DB
+	bounds geo.Rect
+	cfg    Config
+	eng    engine.Engine
+	info   engine.Info
+	params engine.Params
+
+	// anon is the live configuration matrix (Section V); non-nil only for
+	// Incremental-capable engines once a matrix has been built. Rebuilds
+	// replace it so later batches can go back to incremental maintenance.
+	anon *core.Anonymizer
+}
+
+func newMaintainer(db *location.DB, bounds geo.Rect, cfg Config) (*maintainer, error) {
+	eng, err := engine.Get(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	info, _ := engine.InfoOf(cfg.Engine)
+	return &maintainer{
+		db:     db,
+		bounds: bounds,
+		cfg:    cfg,
+		eng:    eng,
+		info:   info,
+		params: engine.Params{K: cfg.K, Opts: cfg.Opts},
+	}, nil
+}
+
+// choose dispatches one batch to a maintenance strategy, driven by the
+// engine's Incremental capability flag and the batch's churn fraction:
+// Section V's incremental maintenance recomputes only the matrix rows
+// whose relevant-subtree contents changed, which wins while batches move
+// a small fraction of users and loses to a from-scratch rebuild past the
+// RebuildThreshold.
+func (m *maintainer) choose(moves int) Strategy {
+	switch m.cfg.Strategy {
+	case StrategyIncremental:
+		return StrategyIncremental
+	case StrategyRebuild:
+		return StrategyRebuild
+	}
+	if !m.info.Incremental || m.anon == nil {
+		return StrategyRebuild
+	}
+	if float64(moves) > m.cfg.RebuildThreshold*float64(m.db.Len()) {
+		return StrategyRebuild
+	}
+	return StrategyIncremental
+}
+
+// apply performs one coalesced batch against the live state and returns
+// the next policy rebound to an immutable snapshot clone, verified and
+// ready to publish.
+func (m *maintainer) apply(ctx context.Context, moves map[int]geo.Point) (*lbs.Assignment, Strategy, int, error) {
+	strategy := m.choose(len(moves))
+	var (
+		policy *lbs.Assignment
+		rows   int
+		err    error
+	)
+	switch strategy {
+	case StrategyIncremental:
+		if m.anon == nil {
+			// Forced-incremental pipeline adopted a policy without a
+			// matrix: build one over the pre-move state, then maintain it.
+			if _, _, err = m.rebuild(ctx); err != nil {
+				return nil, strategy, 0, err
+			}
+		}
+		for idx, to := range moves {
+			if err = m.anon.Move(idx, to); err != nil {
+				return nil, strategy, 0, err
+			}
+		}
+		rows = m.anon.Refresh()
+		policy, err = m.anon.Policy()
+	default:
+		for idx, to := range moves {
+			m.db.MoveAt(idx, to)
+		}
+		policy, rows, err = m.rebuild(ctx)
+	}
+	if err != nil {
+		return nil, strategy, 0, err
+	}
+	pub, err := m.rebind(policy)
+	if err != nil {
+		return nil, strategy, 0, err
+	}
+	if err := m.verify(pub); err != nil {
+		return nil, strategy, 0, err
+	}
+	return pub, strategy, rows, nil
+}
+
+// rebuild recomputes the policy from scratch over the live DB. For
+// Incremental-capable engines it goes through a fresh core maintainer so
+// the configuration matrix stays live for subsequent incremental batches;
+// other engines are invoked directly.
+func (m *maintainer) rebuild(ctx context.Context) (*lbs.Assignment, int, error) {
+	if m.info.Incremental {
+		dp, err := engine.DPOptions(m.params)
+		if err != nil {
+			return nil, 0, err
+		}
+		anon, err := core.NewAnonymizerContext(ctx, m.db, m.bounds, core.AnonymizerOptions{
+			K:    m.cfg.K,
+			Kind: m.cfg.TreeKind,
+			DP:   dp,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		m.anon = anon
+		policy, err := anon.Policy()
+		if err != nil {
+			return nil, 0, err
+		}
+		return policy, m.db.Len(), nil
+	}
+	policy, err := m.eng.Anonymize(ctx, m.db, m.bounds, m.params)
+	if err != nil {
+		return nil, 0, err
+	}
+	return policy, m.db.Len(), nil
+}
+
+// rebind binds a policy to an immutable clone of the live DB: the policy
+// returned by the engine or matrix references the live state the loop
+// will keep mutating, and published snapshots must never see that.
+func (m *maintainer) rebind(policy *lbs.Assignment) (*lbs.Assignment, error) {
+	return lbs.NewAssignment(policy.DB().Clone(), policy.Cloaks())
+}
+
+// verify is the defence-in-depth gate of every publish (unless disabled):
+// masking and k-anonymity re-derived from first principles.
+func (m *maintainer) verify(policy *lbs.Assignment) error {
+	if m.cfg.SkipVerify {
+		return nil
+	}
+	if rep := verify.Policy(policy, m.cfg.K); !rep.OK() {
+		return fmt.Errorf("motion: refusing to publish: %s", rep.Problems[0])
+	}
+	return nil
+}

@@ -43,6 +43,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"policyanon/internal/audit"
@@ -53,6 +54,7 @@ import (
 	"policyanon/internal/lbs"
 	"policyanon/internal/location"
 	"policyanon/internal/metrics"
+	"policyanon/internal/motion"
 	"policyanon/internal/obs"
 )
 
@@ -84,6 +86,14 @@ type Server struct {
 	// engines per-request in one process. Invalidated whenever the
 	// snapshot changes.
 	enginePolicies map[string]*lbs.Assignment
+
+	// motionCfg, when non-nil, arms streaming movement ingest
+	// (EnableMotion); pipeline is the live instance, created when a
+	// snapshot installs. lastEpoch is the pipeline epoch the serving
+	// state last adopted — the lock-free fast path of refreshMotion.
+	motionCfg *motion.Config
+	pipeline  *motion.Pipeline
+	lastEpoch atomic.Int64
 }
 
 // Stats reports the server's state.
@@ -201,6 +211,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/cloak", s.handleCloak)
 	mux.HandleFunc("POST /v1/request", s.handleRequest)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/motion", s.handleMotion)
 	return s.instrument(mux)
 }
 
@@ -420,6 +431,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.stats.PolicyCost = policy.Cost()
 	s.stats.AvgCloakArea = policy.AvgArea()
 	s.stats.AnonymizeMs = float64(elapsed.Microseconds()) / 1000
+	if err := s.startMotionLocked(); err != nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 	s.mu.Unlock()
 
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -449,6 +465,12 @@ type MovesRequest struct {
 }
 
 func (s *Server) handleMoves(w http.ResponseWriter, r *http.Request) {
+	if p := s.MotionPipeline(); p != nil {
+		// Motion enabled: streaming ingest owns maintenance; the
+		// synchronous protocol below only serves pipelines-off deployments.
+		s.handleMovesStreaming(w, r, p)
+		return
+	}
 	var req MovesRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
@@ -490,6 +512,11 @@ func (s *Server) handleMoves(w http.ResponseWriter, r *http.Request) {
 				httpError(w, http.StatusBadRequest, fmt.Errorf("unknown user %q", m.ID))
 				return
 			}
+			if !s.bounds.Contains(geo.Point{X: m.X, Y: m.Y}) {
+				s.reg.Counter("moves_rejected:bounds").Inc()
+				httpError(w, http.StatusBadRequest, fmt.Errorf("move %q: destination (%d,%d) outside map bounds", m.ID, m.X, m.Y))
+				return
+			}
 			if err := s.anon.Move(idx, geo.Point{X: m.X, Y: m.Y}); err != nil {
 				httpError(w, http.StatusBadRequest, fmt.Errorf("move %q: %w", m.ID, err))
 				return
@@ -512,6 +539,11 @@ func (s *Server) handleMoves(w http.ResponseWriter, r *http.Request) {
 			idx := s.db.Index(m.ID)
 			if idx < 0 {
 				httpError(w, http.StatusBadRequest, fmt.Errorf("unknown user %q", m.ID))
+				return
+			}
+			if !s.bounds.Contains(geo.Point{X: m.X, Y: m.Y}) {
+				s.reg.Counter("moves_rejected:bounds").Inc()
+				httpError(w, http.StatusBadRequest, fmt.Errorf("move %q: destination (%d,%d) outside map bounds", m.ID, m.X, m.Y))
 				return
 			}
 			s.db.MoveAt(idx, geo.Point{X: m.X, Y: m.Y})
@@ -590,6 +622,7 @@ func (s *Server) handlePOIs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCloak(w http.ResponseWriter, r *http.Request) {
+	s.refreshMotion()
 	user := r.URL.Query().Get("user")
 	if user == "" {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("missing user parameter"))
@@ -638,7 +671,13 @@ func (s *Server) enginePolicyLocked(ctx context.Context, name string) (*lbs.Assi
 	if err != nil {
 		return nil, err
 	}
-	p, err := s.runEngine(ctx, eng, s.db, s.bounds, engine.Params{K: s.k, Opts: s.snapOpts})
+	db := s.db
+	if s.pipeline != nil && s.policy != nil {
+		// With motion active the live db belongs to the maintenance loop;
+		// alternative engines must read the immutable published clone.
+		db = s.policy.DB()
+	}
+	p, err := s.runEngine(ctx, eng, db, s.bounds, engine.Params{K: s.k, Opts: s.snapOpts})
 	if err != nil {
 		return nil, err
 	}
@@ -658,6 +697,7 @@ type ServiceRequestJSON struct {
 }
 
 func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
+	s.refreshMotion()
 	var req ServiceRequestJSON
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
@@ -703,6 +743,7 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 // CheckpointTo streams the current state as a checkpoint; it fails when
 // no snapshot is installed.
 func (s *Server) CheckpointTo(w io.Writer) error {
+	s.refreshMotion()
 	s.mu.RLock()
 	policy, k, bounds := s.policy, s.k, s.bounds
 	s.mu.RUnlock()
@@ -741,8 +782,9 @@ func (s *Server) RestoreFrom(r io.Reader) error {
 	s.stats.K = st.K
 	s.stats.PolicyCost = st.Policy.Cost()
 	s.stats.AvgCloakArea = st.Policy.AvgArea()
+	err = s.startMotionLocked()
 	s.mu.Unlock()
-	return nil
+	return err
 }
 
 func (s *Server) handleCheckpointSave(w http.ResponseWriter, r *http.Request) {
@@ -776,6 +818,7 @@ func (s *Server) handleCheckpointRestore(w http.ResponseWriter, r *http.Request)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.refreshMotion()
 	s.mu.RLock()
 	st := s.stats
 	s.mu.RUnlock()

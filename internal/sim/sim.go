@@ -49,6 +49,12 @@ type Config struct {
 	// RoadNetwork selects Brinkhoff-style network movement instead of
 	// the random-jitter model of Section VI-C.
 	RoadNetwork bool
+	// Continuous replaces the per-snapshot independent jitter with a
+	// workload.MoveStream: users follow continuous trajectories (each
+	// move bounded relative to the previous emitted position), the same
+	// emission model the live motion pipeline ingests. Ignored under
+	// RoadNetwork, which is already continuous.
+	Continuous bool
 	// MaxMoveMeters bounds jitter movement per snapshot (default 200, the
 	// paper's value). Ignored under RoadNetwork.
 	MaxMoveMeters float64
@@ -176,6 +182,10 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	var stream *workload.MoveStream
+	if cfg.Continuous && !cfg.RoadNetwork {
+		stream = workload.NewMoveStream(cfg.Seed+2, db, cfg.MaxMoveMeters, cfg.MapSide)
+	}
 	report := &Report{Config: cfg}
 	for s := 0; s < cfg.Snapshots; s++ {
 		// 1. Movement + incremental maintenance.
@@ -189,6 +199,18 @@ func Run(cfg Config) (*Report, error) {
 						if err := anon.Move(i, p); err != nil {
 							return nil, err
 						}
+					}
+				}
+			} else if stream != nil {
+				// Continuous trajectories: the same 5% of users per
+				// interval, but each from its previous emitted position.
+				n := cfg.Users / 20
+				if n < 1 {
+					n = 1
+				}
+				for _, mv := range stream.NextBatch(n) {
+					if err := anon.Move(mv.Index, mv.To); err != nil {
+						return nil, err
 					}
 				}
 			} else {

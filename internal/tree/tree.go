@@ -15,16 +15,22 @@
 // optimum over the fully materialized tree of the same depth.
 //
 // The tree supports point movement (Move) with canonical re-splitting and
-// collapsing, so that a mutated tree is structurally identical to a tree
-// freshly built from the new snapshot. Mutations record the set of nodes
-// whose occupancy changed; the incremental maintenance of the optimum
-// configuration matrix (Section IV) recomputes only those rows.
+// collapsing, so that a mutated tree is identical to a tree freshly built
+// from the new snapshot — structurally AND in leaf point order (ascending
+// point index). The ordering half of that guarantee is what makes policy
+// extraction deterministic: Extract picks "which points cloak here" by
+// leaf order (the choice is immaterial by Lemma 1), so canonical order is
+// what lets incremental maintenance reproduce a from-scratch rebuild
+// byte-for-byte. Mutations record the set of nodes whose occupancy
+// changed; the incremental maintenance of the optimum configuration
+// matrix (Section IV) recomputes only those rows.
 package tree
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"policyanon/internal/geo"
 	"policyanon/internal/obs"
@@ -378,8 +384,7 @@ func (t *Tree) Move(i int32, to geo.Point) error {
 		t.markDirty(next)
 		id = next
 	}
-	n := &t.nodes[id]
-	n.pts = append(n.pts, i)
+	t.insertSorted(id, i)
 	t.leafOf[i] = id
 	// Restore canonical structure on both paths.
 	t.resplit(t.leafOf[i])
@@ -387,20 +392,26 @@ func (t *Tree) Move(i int32, to geo.Point) error {
 	return nil
 }
 
-// removeFromLeaf deletes point i from leaf's point list and decrements its
-// count.
+// removeFromLeaf deletes point i from leaf's point list (preserving the
+// canonical ascending order) and decrements its count.
 func (t *Tree) removeFromLeaf(leaf NodeID, i int32) {
 	n := &t.nodes[leaf]
-	for j, p := range n.pts {
-		if p == i {
-			n.pts[j] = n.pts[len(n.pts)-1]
-			n.pts = n.pts[:len(n.pts)-1]
-			n.count--
-			t.markDirty(leaf)
-			return
-		}
+	j := sort.Search(len(n.pts), func(j int) bool { return n.pts[j] >= i })
+	if j == len(n.pts) || n.pts[j] != i {
+		panic(fmt.Sprintf("tree: point %d not found in leaf %d", i, leaf))
 	}
-	panic(fmt.Sprintf("tree: point %d not found in leaf %d", i, leaf))
+	n.pts = append(n.pts[:j], n.pts[j+1:]...)
+	n.count--
+	t.markDirty(leaf)
+}
+
+// insertSorted adds point i to leaf id keeping pts in ascending order.
+func (t *Tree) insertSorted(id NodeID, i int32) {
+	n := &t.nodes[id]
+	j := sort.Search(len(n.pts), func(j int) bool { return n.pts[j] >= i })
+	n.pts = append(n.pts, 0)
+	copy(n.pts[j+1:], n.pts[j:])
+	n.pts[j] = i
 }
 
 // resplit splits a leaf (recursively) if it now satisfies the
@@ -422,6 +433,10 @@ func (t *Tree) collapseUp(id NodeID) {
 		if !t.IsLeaf(id) && !t.shouldSplit(id) {
 			var pts []int32
 			t.gather(id, &pts)
+			// Restore the canonical ascending order: children are sorted
+			// internally but not relative to each other. Collapsed nodes
+			// hold fewer than minSplit points, so this stays cheap.
+			sort.Slice(pts, func(a, b int) bool { return pts[a] < pts[b] })
 			t.freeChildren(id)
 			n := &t.nodes[id]
 			n.nchild = 0
@@ -514,6 +529,9 @@ func (t *Tree) Validate() error {
 		if t.IsLeaf(id) {
 			if int32(len(n.pts)) != n.count {
 				err = fmt.Errorf("leaf %d count %d != len(pts) %d", id, n.count, len(n.pts))
+			}
+			if !sort.SliceIsSorted(n.pts, func(a, b int) bool { return n.pts[a] < n.pts[b] }) {
+				err = fmt.Errorf("leaf %d points not in canonical ascending order", id)
 			}
 			for _, p := range n.pts {
 				if !n.rect.Contains(t.loc[p]) {
