@@ -9,6 +9,14 @@
 //	anoncli -in snap.csv -k 50 -out cloaks.csv
 //	anoncli -in snap.csv -k 50 -engine casper -out cloaks.csv
 //	anoncli -list-engines
+//	anoncli verify-ledger -anchor audit.ledger
+//
+// The verify-ledger subcommand replays an anonserver -ledger-anchor file
+// offline: it recomputes every event leaf hash, Merkle batch root, and
+// chain link, and checks every checkpoint signature. Any mutation of the
+// sealed history — a flipped byte, a dropped or reordered event, an
+// excised batch, a torn tail — fails with a nonzero exit. -pubkey HEX
+// additionally pins the expected signing key.
 //
 // Observability: -trace FILE writes a Chrome trace_event JSON file of the
 // run's phase spans (open it in chrome://tracing or https://ui.perfetto.dev);
@@ -37,6 +45,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "verify-ledger" {
+		if err := verifyLedger(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "anoncli: verify-ledger:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		in       = flag.String("in", "-", "input CSV ('-' for stdin)")
 		out      = flag.String("out", "-", "output CSV ('-' for stdout)")

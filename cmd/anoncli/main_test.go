@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"encoding/hex"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -11,6 +13,7 @@ import (
 
 	"policyanon/internal/engine"
 	"policyanon/internal/geo"
+	"policyanon/internal/ledger"
 	"policyanon/internal/location"
 	"policyanon/internal/workload"
 )
@@ -181,5 +184,62 @@ func TestListEngines(t *testing.T) {
 	}
 	if !strings.Contains(got, "* bulkdp-binary") {
 		t.Errorf("default engine not marked:\n%s", got)
+	}
+}
+
+func TestVerifyLedgerSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.ledger")
+	anchor, err := ledger.OpenFileAnchor(path, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ledger.New(anchor, ledger.Options{FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(ctx, ledger.KindPolicyAudit, "bulkdp-binary", "", `{}`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Seal(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := anchor.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := verifyLedger([]string{"-anchor", path, "-q"}); err != nil {
+		t.Fatalf("intact anchor rejected: %v", err)
+	}
+	// Pinning the right key passes; the wrong key fails.
+	pub := hex.EncodeToString(l.PublicKey())
+	if err := verifyLedger([]string{"-anchor", path, "-pubkey", pub, "-q"}); err != nil {
+		t.Fatalf("pinned verify failed: %v", err)
+	}
+	if err := verifyLedger([]string{"-anchor", path, "-pubkey", strings.Repeat("00", 32), "-q"}); err == nil {
+		t.Fatal("wrong pinned key accepted")
+	}
+
+	// One flipped byte in the sealed history must fail the replay.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyLedger([]string{"-anchor", path, "-q"}); err == nil {
+		t.Fatal("tampered anchor accepted")
+	}
+
+	if err := verifyLedger([]string{"-anchor", filepath.Join(dir, "missing"), "-q"}); err == nil {
+		t.Fatal("missing anchor accepted")
 	}
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"policyanon/internal/ledger"
+)
+
+// verifyLedger implements the verify-ledger subcommand: an offline
+// replay of an anonserver ledger anchor file that fails on any mutation
+// of the sealed audit history.
+func verifyLedger(args []string) error {
+	fs := flag.NewFlagSet("verify-ledger", flag.ExitOnError)
+	anchor := fs.String("anchor", "", "ledger anchor file to verify (required)")
+	pubkey := fs.String("pubkey", "", "hex ed25519 public key to pin (optional; default trusts the file's own keys)")
+	quiet := fs.Bool("q", false, "suppress the summary; exit status only")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *anchor == "" {
+		fs.Usage()
+		return fmt.Errorf("-anchor is required")
+	}
+	var pin ed25519.PublicKey
+	if *pubkey != "" {
+		raw, err := hex.DecodeString(*pubkey)
+		if err != nil {
+			return fmt.Errorf("bad -pubkey: %w", err)
+		}
+		if len(raw) != ed25519.PublicKeySize {
+			return fmt.Errorf("bad -pubkey: %d bytes, want %d", len(raw), ed25519.PublicKeySize)
+		}
+		pin = ed25519.PublicKey(raw)
+	}
+	res, err := ledger.VerifyAnchorFile(*anchor, pin)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		printVerifyResult(os.Stdout, *anchor, res)
+	}
+	return nil
+}
+
+func printVerifyResult(w io.Writer, path string, res *ledger.VerifyResult) {
+	fmt.Fprintf(w, "anoncli: %s OK: %d batches, %d events\n", path, res.Batches, res.Events)
+	kinds := make([]string, 0, len(res.ByKind))
+	for k := range res.ByKind {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-16s %d\n", k, res.ByKind[ledger.Kind(k)])
+	}
+	cp := res.LastCheckpoint
+	fmt.Fprintf(w, "  chain head: batch %d, root %s, sealed %d\n", cp.BatchSeq, cp.ChainRoot, cp.SealedMs)
+	for _, pk := range res.PublicKeys {
+		fmt.Fprintf(w, "  signed by: %s\n", pk)
+	}
+}

@@ -25,6 +25,16 @@
 // live loop. On shutdown the queue is drained before the final
 // checkpoint, so accepted updates are never lost. See docs/STREAMING.md.
 //
+// With -ledger, every audit event (policy audits, sampled request
+// verdicts, breaches, motion snapshot swaps) is appended to a
+// tamper-evident ledger: events batch into Merkle trees whose roots form
+// a signed hash chain, served at GET /v1/audit/root (latest checkpoint)
+// and GET /v1/audit/proof?seq=N (inclusion proof). -ledger-anchor
+// persists sealed batches to an append-only file — verify it offline
+// with `anoncli verify-ledger -anchor FILE` — and -ledger-key pins the
+// signing identity across restarts. -ledger-batch/-ledger-flush/
+// -ledger-retain tune batching and proof retention.
+//
 // Observability: GET /v1/metrics serves the metrics registry as JSON, or
 // as Prometheus text exposition with ?format=prometheus (per-route
 // request counters and latency histograms plus per-phase anonymization
@@ -52,6 +62,8 @@ package main
 
 import (
 	"context"
+	"crypto/ed25519"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"log/slog"
@@ -65,6 +77,7 @@ import (
 	"policyanon/internal/audit"
 	"policyanon/internal/checkpoint"
 	"policyanon/internal/engine"
+	"policyanon/internal/ledger"
 	"policyanon/internal/motion"
 	_ "policyanon/internal/parallel" // register the "parallel" engine
 	"policyanon/internal/server"
@@ -78,6 +91,13 @@ func main() {
 		withPprof = flag.Bool("pprof", true, "mount Go profiling endpoints under /debug/pprof/")
 		logLevel  = flag.String("log-level", "info", "log floor: debug, info, warn, or error")
 		auditRate = flag.Float64("audit-rate", audit.DefaultRate, "fraction of /v1/request calls audited for achieved anonymity (0 disables)")
+
+		ledgerOn     = flag.Bool("ledger", false, "tamper-evident audit ledger: Merkle-batched hash chain over audit events, served at /v1/audit/root and /v1/audit/proof")
+		ledgerAnchor = flag.String("ledger-anchor", "", "append-only anchor file for sealed ledger batches (empty = in-memory anchor; verify offline with anoncli verify-ledger)")
+		ledgerKey    = flag.String("ledger-key", "", "ed25519 seed file signing ledger checkpoints (created if missing; empty = ephemeral per-process key)")
+		ledgerBatch  = flag.Int("ledger-batch", 0, "max events per sealed ledger batch (0 = ledger default)")
+		ledgerFlush  = flag.Duration("ledger-flush", 0, "max time an appended event waits before its batch seals (0 = ledger default)")
+		ledgerRetain = flag.Int("ledger-retain", 0, "sealed batches kept in memory for proof serving (0 = ledger default)")
 
 		motionOn        = flag.Bool("motion", false, "streaming movement ingest: POST /v1/moves queues updates; a maintenance loop applies them in batches off the read path")
 		motionQueue     = flag.Int("motion-queue", 0, "ingest queue capacity (0 = motion default)")
@@ -105,6 +125,46 @@ func main() {
 	srv.SetAuditRate(*auditRate)
 	if err := srv.SetDefaultEngine(*engName); err != nil {
 		fatal("engine selection failed", "err", err)
+	}
+	// Attach the ledger before motion and state restore, so the very first
+	// policy audit (a restored snapshot's install) is already on the chain.
+	var led *ledger.Ledger
+	var ledFile *ledger.FileAnchor
+	if *ledgerOn {
+		var anchor ledger.Anchor
+		if *ledgerAnchor != "" {
+			fa, err := ledger.OpenFileAnchor(*ledgerAnchor, srv.Metrics(), logger)
+			if err != nil {
+				fatal("ledger anchor open failed", "path", *ledgerAnchor, "err", err)
+			}
+			ledFile, anchor = fa, fa
+		} else {
+			anchor = ledger.NewMemAnchor()
+		}
+		var key ed25519.PrivateKey
+		if *ledgerKey != "" {
+			var err error
+			key, err = ledger.LoadOrCreateKey(*ledgerKey)
+			if err != nil {
+				fatal("ledger key load failed", "path", *ledgerKey, "err", err)
+			}
+		}
+		var err error
+		led, err = ledger.New(anchor, ledger.Options{
+			MaxBatch:      *ledgerBatch,
+			FlushInterval: *ledgerFlush,
+			Retain:        *ledgerRetain,
+			Key:           key,
+			Registry:      srv.Metrics(),
+			Logger:        logger,
+		})
+		if err != nil {
+			fatal("ledger start failed", "err", err)
+		}
+		srv.EnableLedger(led)
+		logger.Info("ledger enabled",
+			"anchor", *ledgerAnchor, "keyFile", *ledgerKey,
+			"publicKey", hex.EncodeToString(led.PublicKey()))
 	}
 	// Arm motion before restoring state: RestoreFrom starts the pipeline
 	// for the restored snapshot only if the config is already in place.
@@ -202,6 +262,24 @@ func main() {
 			logger.Warn("checkpoint failed", "path", *state, "err", err)
 		} else {
 			logger.Info("state checkpointed", "path", *state)
+		}
+	}
+	// The ledger closes after the drain and checkpoint: every audit event
+	// those steps emitted is sealed into a final anchored batch, so the
+	// chain's head covers the process's whole life.
+	if led != nil {
+		closeCtx, lcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := led.Close(closeCtx); err != nil {
+			logger.Warn("ledger close incomplete", "err", err)
+		}
+		lcancel()
+		if cp, ok := led.Latest(); ok {
+			logger.Info("ledger sealed", "batchSeq", cp.BatchSeq, "chainRoot", cp.ChainRoot)
+		}
+		if ledFile != nil {
+			if err := ledFile.Close(); err != nil {
+				logger.Warn("ledger anchor close failed", "err", err)
+			}
 		}
 	}
 	logAuditSummary(logger, srv)

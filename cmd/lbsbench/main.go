@@ -23,9 +23,13 @@
 // throughput under forced incremental maintenance vs rebuild-per-batch;
 // writes the tracked BENCH_churn.json — see -churn-out), all.
 //
-// -check-bench validates either tracked benchmark document: it sniffs the
+// -check-bench validates any tracked benchmark document: it sniffs the
 // "bench" discriminator field and dispatches to the matching loader, so
-// CI can gate BENCH_bulkdp.json and BENCH_audit.json with one mode.
+// CI can gate BENCH_bulkdp.json, BENCH_audit.json, and BENCH_churn.json
+// with one mode. A negative measured overhead (the audited run out-ran
+// its baseline) passes with a note — it is measurement noise, not a
+// speedup. -check-bench-all validates every BENCH_*.json in the working
+// directory in a single pass, for the CI bench-smoke job.
 //
 // All comparative experiments resolve their policies from the engine
 // registry (internal/engine), so output keys are stable registry names.
@@ -44,7 +48,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -73,15 +80,24 @@ func main() {
 		auditOut   = flag.String("audit-out", "BENCH_audit.json", "output file for the -exp audit overhead benchmark")
 		churnOut   = flag.String("churn-out", "BENCH_churn.json", "output file for the -exp churn streaming benchmark")
 		auditRate  = flag.Float64("audit-rate", audit.DefaultRate, "request sampling rate for -exp audit's sampled mode")
-		checkBench = flag.String("check-bench", "", "validate an existing BENCH file (bulkdp or audit) and exit (CI gate)")
+		checkBench    = flag.String("check-bench", "", "validate an existing BENCH file (bulkdp, audit, or churn) and exit (CI gate)")
+		checkBenchAll = flag.Bool("check-bench-all", false, "validate every tracked BENCH_*.json in the working directory in one pass and exit (CI gate)")
 	)
 	flag.Parse()
 	if *checkBench != "" {
-		if err := checkBenchFile(*checkBench); err != nil {
+		note, err := checkBenchFile(*checkBench)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "lbsbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: valid\n", *checkBench)
+		fmt.Printf("%s: valid%s\n", *checkBench, note)
+		return
+	}
+	if *checkBenchAll {
+		if err := checkAllBenchFiles(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if err := run(*exp, *scale, *k, *seed, *format, *engines, *traceOut, *phases,
@@ -94,21 +110,34 @@ func main() {
 // checkBenchFile is the -check-bench mode: decode and validate a tracked
 // benchmark document, failing the process on malformed or out-of-budget
 // output. The document kind is sniffed from the "bench" discriminator
-// field; documents without one are the original bulkdp sweeps.
-func checkBenchFile(path string) error {
+// field; documents without one are the original bulkdp sweeps. The
+// returned note annotates pass-with-note conditions — a negative measured
+// overhead (the audited run out-ran the baseline) is measurement noise,
+// not a failure.
+func checkBenchFile(path string) (string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return "", err
 	}
 	var probe struct {
 		Bench string `json:"bench"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return "", fmt.Errorf("%s: %w", path, err)
 	}
+	note := ""
 	switch probe.Bench {
 	case "audit":
-		_, err = experiments.LoadAuditBench(bytes.NewReader(data))
+		var b *experiments.AuditBench
+		b, err = experiments.LoadAuditBench(bytes.NewReader(data))
+		if err == nil {
+			if b.OverheadPct < 0 {
+				note += fmt.Sprintf(" (note: overheadPct %.2f%% < 0 is measurement noise, treated as 0)", b.OverheadPct)
+			}
+			if b.LedgerOverheadPct != nil && *b.LedgerOverheadPct < 0 {
+				note += fmt.Sprintf(" (note: ledgerOverheadPct %.2f%% < 0 is measurement noise, treated as 0)", *b.LedgerOverheadPct)
+			}
+		}
 	case "churn":
 		_, err = experiments.LoadChurnBench(bytes.NewReader(data))
 	case "":
@@ -117,7 +146,35 @@ func checkBenchFile(path string) error {
 		err = fmt.Errorf("unknown bench kind %q", probe.Bench)
 	}
 	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return note, nil
+}
+
+// checkAllBenchFiles is the -check-bench-all mode: glob every tracked
+// BENCH_*.json in the working directory and validate each, reporting all
+// failures (not just the first) before failing the process.
+func checkAllBenchFiles(w io.Writer) error {
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("check-bench-all: no BENCH_*.json files in the working directory")
+	}
+	sort.Strings(paths)
+	failed := 0
+	for _, path := range paths {
+		note, err := checkBenchFile(path)
+		if err != nil {
+			fmt.Fprintf(w, "%s: INVALID: %v\n", path, err)
+			failed++
+			continue
+		}
+		fmt.Fprintf(w, "%s: valid%s\n", path, note)
+	}
+	if failed > 0 {
+		return fmt.Errorf("check-bench-all: %d of %d tracked documents failed", failed, len(paths))
 	}
 	return nil
 }

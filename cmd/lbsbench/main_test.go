@@ -89,7 +89,7 @@ func TestRunWorkersSweep(t *testing.T) {
 	if err := run("workers", "small", 50, 1, "csv", "", "", false, out, "1,2", time.Millisecond, "", 0.5, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkBenchFile(out); err != nil {
+	if _, err := checkBenchFile(out); err != nil {
 		t.Fatalf("emitted sweep fails validation: %v", err)
 	}
 	// Malformed worker lists are rejected before any measurement.
@@ -115,12 +115,95 @@ func TestRunAuditBench(t *testing.T) {
 	if err := run("audit", "small", 50, 1, "csv", "", "", false, "", "1", 5*time.Millisecond, out, 0.5, ""); err != nil {
 		t.Fatal(err)
 	}
-	err = checkBenchFile(out)
+	_, err = checkBenchFile(out)
 	if err != nil && !strings.Contains(err.Error(), "budget") {
 		t.Fatalf("emitted audit bench fails validation: %v", err)
 	}
 	// An out-of-range rate is rejected before any measurement.
 	if err := run("audit", "small", 50, 1, "csv", "", "", false, "", "1", time.Millisecond, out, 1.5, ""); err == nil {
 		t.Error("audit rate 1.5 accepted")
+	}
+}
+
+// TestCheckBenchNegativeOverheadPassesWithNote exercises the noise
+// handling: a tracked document whose audited run out-ran the baseline
+// (negative overheadPct) validates, and the note flags it.
+func TestCheckBenchNegativeOverheadPassesWithNote(t *testing.T) {
+	doc := `{"bench":"audit","dataset":"small","users":500,"k":10,"engine":"bulkdp-binary",
+		"gomaxprocs":4,"numCPU":4,"cpuModel":"x","goVersion":"go1.24",
+		"off":{"mode":"off","rate":0,"requests":1000,"reqPerSec":5000,"nsPerReq":200000,"audited":0},
+		"sampled":{"mode":"sampled","rate":0.015625,"requests":990,"reqPerSec":5025,"nsPerReq":199000,"audited":15},
+		"overheadPct":-0.47,"minKAware":10,"minKUnaware":12,"breaches":0}`
+	path := t.TempDir() + "/BENCH_audit.json"
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	note, err := checkBenchFile(path)
+	if err != nil {
+		t.Fatalf("negative overhead failed validation: %v", err)
+	}
+	if !strings.Contains(note, "-0.47") || !strings.Contains(note, "noise") {
+		t.Fatalf("note = %q, want the raw noise value flagged", note)
+	}
+	// A positive in-budget overhead gets no note.
+	pos := strings.Replace(doc, `"overheadPct":-0.47`, `"overheadPct":1.2`, 1)
+	if err := os.WriteFile(path, []byte(pos), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if note, err := checkBenchFile(path); err != nil || note != "" {
+		t.Fatalf("positive overhead: note=%q err=%v", note, err)
+	}
+}
+
+// TestCheckAllBenchFiles validates the one-pass CI mode: every
+// BENCH_*.json in the working directory is checked, and one invalid
+// document fails the pass while the rest still report.
+func TestCheckAllBenchFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldWD, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(oldWD)
+
+	// No tracked documents at all is a failure, not a silent pass.
+	var buf strings.Builder
+	if err := checkAllBenchFiles(&buf); err == nil {
+		t.Fatal("empty directory passed -check-bench-all")
+	}
+
+	good := `{"bench":"audit","dataset":"small","users":500,"k":10,"engine":"bulkdp-binary",
+		"gomaxprocs":4,"numCPU":4,"cpuModel":"x","goVersion":"go1.24",
+		"off":{"mode":"off","rate":0,"requests":1000,"reqPerSec":5000,"nsPerReq":200000,"audited":0},
+		"sampled":{"mode":"sampled","rate":0.015625,"requests":990,"reqPerSec":4950,"nsPerReq":202000,"audited":15},
+		"overheadPct":1.0,"minKAware":10,"minKUnaware":12,"breaches":0}`
+	if err := os.WriteFile("BENCH_audit.json", []byte(good), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := checkAllBenchFiles(&buf); err != nil {
+		t.Fatalf("valid set failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "BENCH_audit.json: valid") {
+		t.Fatalf("missing per-file report: %q", buf.String())
+	}
+
+	if err := os.WriteFile("BENCH_churn.json", []byte(`{"bench":"churn"`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	err = checkAllBenchFiles(&buf)
+	if err == nil {
+		t.Fatal("invalid document passed -check-bench-all")
+	}
+	if !strings.Contains(buf.String(), "BENCH_churn.json: INVALID") ||
+		!strings.Contains(buf.String(), "BENCH_audit.json: valid") {
+		t.Fatalf("per-file reporting incomplete: %q", buf.String())
+	}
+	if !strings.Contains(err.Error(), "1 of 2") {
+		t.Fatalf("failure tally wrong: %v", err)
 	}
 }

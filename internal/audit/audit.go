@@ -29,6 +29,7 @@ package audit
 
 import (
 	"context"
+	"encoding/json"
 	"log/slog"
 	"math"
 	"sync"
@@ -37,6 +38,7 @@ import (
 	"policyanon/internal/attacker"
 	"policyanon/internal/geo"
 	"policyanon/internal/lbs"
+	"policyanon/internal/ledger"
 	"policyanon/internal/metrics"
 	"policyanon/internal/obs"
 )
@@ -129,6 +131,11 @@ type Auditor struct {
 
 	skipped atomic.Int64
 
+	// led, when set, receives every audit outcome as a tamper-evident
+	// ledger event (see SetLedger). Atomic so the serving path never takes
+	// a.mu just to discover the ledger is disabled.
+	led atomic.Pointer[ledger.Ledger]
+
 	mu            sync.Mutex
 	rate          float64
 	sampler       *Sampler
@@ -202,6 +209,36 @@ func (a *Auditor) SetLogger(l *slog.Logger) {
 	a.mu.Unlock()
 }
 
+// SetLedger attaches a tamper-evident ledger: from then on every policy
+// audit, sampled request verdict, and breach is appended as a ledger
+// event (kinds policy_audit / request_verdict / breach) whose detail is
+// the sample's JSON. nil detaches. Append is a single hash + slice
+// append; sealing happens on the ledger's own goroutine, so the serving
+// path stays within the audit overhead budget.
+func (a *Auditor) SetLedger(l *ledger.Ledger) {
+	a.led.Store(l)
+}
+
+// Ledger returns the attached ledger, or nil.
+func (a *Auditor) Ledger() *ledger.Ledger {
+	return a.led.Load()
+}
+
+// record appends an audit outcome to the attached ledger, if any. Ledger
+// failures must never fail the audit itself — the event is dropped and
+// the ledger's own metrics/log carry the error.
+func (a *Auditor) record(ctx context.Context, kind ledger.Kind, engineName string, detail any) {
+	l := a.led.Load()
+	if l == nil {
+		return
+	}
+	payload, err := json.Marshal(detail)
+	if err != nil {
+		return
+	}
+	l.Append(ctx, kind, engineName, RequestID(ctx), string(payload))
+}
+
 // PolicySample is the outcome of one full-policy audit: the achieved
 // anonymity floor of the whole assignment under each attacker class, the
 // breached-group counts, and the policy's utility measures.
@@ -248,6 +285,8 @@ func (a *Auditor) ObservePolicy(ctx context.Context, engineName string, pol *lbs
 	a.push(windowEntry{aware: minAware, unaware: minUnaware, area: s.AvgCloakArea})
 	logger := a.logger
 	a.mu.Unlock()
+
+	a.record(ctx, ledger.KindPolicyAudit, engineName, s)
 
 	if s.BreachesAware > 0 {
 		var first geo.Rect
@@ -327,6 +366,8 @@ func (a *Auditor) ObserveRequest(ctx context.Context, engineName string, pol *lb
 	logger := a.logger
 	a.mu.Unlock()
 
+	a.record(ctx, ledger.KindRequestVerdict, engineName, s)
+
 	if nAware < k {
 		a.breach(ctx, logger, engineName, attacker.PolicyAware, nAware, k, 1, cloak)
 	}
@@ -357,9 +398,20 @@ func (a *Auditor) observeK(engineName string, aware, unaware int) {
 		AchievedKBounds).Observe(int64(unaware))
 }
 
+// breachEvent is the JSON detail payload of a KindBreach ledger event.
+type breachEvent struct {
+	Engine         string `json:"engine"`
+	Awareness      string `json:"awareness"`
+	AchievedK      int    `json:"achievedK"`
+	WantK          int    `json:"wantK"`
+	BreachedGroups int    `json:"breachedGroups"`
+	Expected       bool   `json:"expected"`
+	Cloak          string `json:"cloak"`
+}
+
 // breach records one breach event into every sink: the anon_breach
-// counter, the cumulative totals, the enclosing obs span, and the
-// structured log (correlated by the context's request ID).
+// counter, the cumulative totals, the enclosing obs span, the ledger,
+// and the structured log (correlated by the context's request ID).
 func (a *Auditor) breach(ctx context.Context, logger *slog.Logger, engineName string,
 	aw attacker.Awareness, achieved, want, groups int, cloak geo.Rect) {
 	a.reg.Counter("anon_breach:" + engineName + "/" + aw.String()).Add(int64(groups))
@@ -381,6 +433,12 @@ func (a *Auditor) breach(ctx context.Context, logger *slog.Logger, engineName st
 		sp.SetAttr("audit.breach", aw.String())
 		sp.SetInt("audit.achievedK", int64(achieved))
 	}
+	a.record(ctx, ledger.KindBreach, engineName, breachEvent{
+		Engine: engineName, Awareness: aw.String(),
+		AchievedK: achieved, WantK: want,
+		BreachedGroups: groups, Expected: expected,
+		Cloak: cloak.String(),
+	})
 	if logger != nil {
 		logger.LogAttrs(ctx, slog.LevelWarn, "anonymity breach",
 			slog.String("rid", RequestID(ctx)),

@@ -420,3 +420,72 @@ func TestConcurrentAuditor(t *testing.T) {
 type writerFunc func([]byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestMergeEdgeCases(t *testing.T) {
+	// An entirely empty shard report (fresh server, no traffic yet) must
+	// not clobber the merged min or produce zero counts: Merge skips
+	// Count==0 shards for order statistics but still counts the shard.
+	loaded := audit.Report{
+		SampleRate: 0.5, WindowCap: 8, WindowSamples: 3,
+		PolicyAudits: 1, RequestAudits: 2,
+		Aware:   audit.KStats{Count: 3, Min: 4, P50: 5, P95: 6, Max: 6, Breaches: 1},
+		Unaware: audit.KStats{Count: 3, Min: 6, P50: 7, P95: 8, Max: 8},
+		Engines: []string{"bulkdp"}, AvgCloakArea: 10,
+	}
+	m := audit.Merge(audit.Report{}, loaded, audit.Report{})
+	if m.Shards != 3 {
+		t.Errorf("shards = %d, want 3", m.Shards)
+	}
+	if m.Aware.Min != 4 || m.Aware.Count != 3 || m.Aware.Breaches != 1 {
+		t.Errorf("empty shards perturbed aware stats: %+v", m.Aware)
+	}
+	if m.Unaware.Min != 6 {
+		t.Errorf("empty shards perturbed unaware min: %+v", m.Unaware)
+	}
+	if m.AvgCloakArea != 10 {
+		t.Errorf("empty shards perturbed avg area: %v", m.AvgCloakArea)
+	}
+
+	// Shards with differing achieved-k: the merged min must be the exact
+	// minimum across shards, never a weighted average — min-k is the
+	// guarantee the paper is about, so it cannot be approximated.
+	low := audit.Report{Aware: audit.KStats{Count: 1, Min: 2, P50: 2, P95: 2, Max: 2}}
+	high := audit.Report{Aware: audit.KStats{Count: 99, Min: 50, P50: 50, P95: 50, Max: 50}}
+	m = audit.Merge(high, low)
+	if m.Aware.Min != 2 {
+		t.Fatalf("merged min-k = %d, want exact 2 (one shard's weak floor must dominate)", m.Aware.Min)
+	}
+	if m.Aware.Max != 50 {
+		t.Errorf("merged max = %d, want 50", m.Aware.Max)
+	}
+	// The weighted percentile must still lean toward the heavy shard.
+	if m.Aware.P50 < 40 {
+		t.Errorf("merged p50 = %d, want count-weighted (~50)", m.Aware.P50)
+	}
+
+	// Overlapping rolling windows: two shards that audited the same
+	// traffic (e.g. replicas behind a round-robin) sum their counts —
+	// Merge documents count-weighted semantics, and must not panic or
+	// drop either window.
+	m = audit.Merge(loaded, loaded)
+	if m.Aware.Count != 6 || m.WindowSamples != 6 {
+		t.Errorf("overlapping windows: count=%d samples=%d, want 6/6", m.Aware.Count, m.WindowSamples)
+	}
+	if m.Aware.Min != 4 || m.Aware.P50 != 5 {
+		t.Errorf("overlapping windows changed stats: %+v", m.Aware)
+	}
+
+	// Ledger roots concatenate across shards, preserving worker labels.
+	withRoot := func(worker, root string) audit.Report {
+		return audit.Report{LedgerRoots: []audit.LedgerRoot{{
+			Worker: worker, BatchSeq: 1, Events: 3, ChainRoot: root, SealedMs: 1,
+		}}}
+	}
+	m = audit.Merge(withRoot("w1", "aa"), audit.Report{}, withRoot("w2", "bb"))
+	if len(m.LedgerRoots) != 2 {
+		t.Fatalf("merged ledger roots = %d, want 2", len(m.LedgerRoots))
+	}
+	if m.LedgerRoots[0].Worker != "w1" || m.LedgerRoots[1].ChainRoot != "bb" {
+		t.Errorf("ledger root concat order lost: %+v", m.LedgerRoots)
+	}
+}

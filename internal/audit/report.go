@@ -43,6 +43,24 @@ type Report struct {
 	// are count-weighted means of the shard percentiles — an
 	// approximation; Min/Max/counts/breaches are exact.
 	Shards int `json:"shards,omitempty"`
+	// LedgerRoots lists the latest sealed tamper-evident ledger checkpoint
+	// per shard (at most one entry for a single-server report, absent when
+	// the ledger is disabled or nothing has sealed yet). Merge
+	// concatenates, so a coordinator report carries every shard's root.
+	LedgerRoots []LedgerRoot `json:"ledgerRoots,omitempty"`
+}
+
+// LedgerRoot is one shard's latest sealed ledger checkpoint, enough to
+// pin its chain head: fetch the full signed checkpoint and proofs from
+// the shard's /v1/audit/root and /v1/audit/proof endpoints.
+type LedgerRoot struct {
+	// Worker is the shard's base URL; empty on a single-server report
+	// (the coordinator stamps it when merging).
+	Worker    string `json:"worker,omitempty"`
+	BatchSeq  uint64 `json:"batchSeq"`
+	Events    uint64 `json:"events"`
+	ChainRoot string `json:"chainRoot"`
+	SealedMs  int64  `json:"sealedMs"`
 }
 
 // push appends an entry to the rolling window. Callers must hold a.mu.
@@ -78,6 +96,17 @@ func (a *Auditor) Report() Report {
 	breachAware, breachUnaware := a.breachAware, a.breachUnaware
 	a.mu.Unlock()
 	sort.Strings(r.Engines)
+
+	if l := a.led.Load(); l != nil {
+		if cp, ok := l.Latest(); ok {
+			r.LedgerRoots = []LedgerRoot{{
+				BatchSeq:  cp.BatchSeq,
+				Events:    cp.FirstSeq + uint64(cp.Count) - 1,
+				ChainRoot: cp.ChainRoot,
+				SealedMs:  cp.SealedMs,
+			}}
+		}
+	}
 
 	aware := make([]int, len(entries))
 	unaware := make([]int, len(entries))
@@ -183,6 +212,7 @@ func Merge(reports ...Report) Report {
 		if r.WindowSamples > 0 {
 			areaW += float64(r.WindowSamples) * r.AvgCloakArea
 		}
+		out.LedgerRoots = append(out.LedgerRoots, r.LedgerRoots...)
 	}
 	if awareW > 0 {
 		out.Aware.P50 = int(p50A/awareW + 0.5)

@@ -140,6 +140,14 @@ func (c *Coordinator) AuditReport(ctx context.Context) (audit.Report, error) {
 		if resp.StatusCode != http.StatusOK {
 			return audit.Report{}, fmt.Errorf("cluster: audit fetch %s: %s", w, resp.Status)
 		}
+		// A single-server report leaves Worker empty; the coordinator knows
+		// which shard it fetched from, so stamp the URL before merging —
+		// the merged report then pins every shard's ledger chain head.
+		for i := range rep.LedgerRoots {
+			if rep.LedgerRoots[i].Worker == "" {
+				rep.LedgerRoots[i].Worker = w
+			}
+		}
 		reports = append(reports, rep)
 	}
 	return audit.Merge(reports...), nil

@@ -35,14 +35,54 @@ func TestAuditSweepProducesValidDoc(t *testing.T) {
 	if bench.GOMAXPROCS < 1 || bench.GoVersion == "" || bench.CPUModel == "" {
 		t.Errorf("machine metadata incomplete: %+v", bench)
 	}
+	if bench.Ledgered == nil || bench.LedgerOverheadPct == nil {
+		t.Fatalf("ledgered measurement missing: %+v", bench)
+	}
+	if bench.Ledgered.Requests < 1 || bench.Ledgered.Audited < 1 {
+		t.Errorf("ledgered row empty: %+v", *bench.Ledgered)
+	}
 	tbl := AuditBenchTable(bench)
-	if len(tbl.Rows) != 2 || len(tbl.Rows[0]) != len(tbl.Header) {
+	if len(tbl.Rows) != 3 || len(tbl.Rows[0]) != len(tbl.Header) {
 		t.Errorf("table shape wrong: %+v", tbl)
 	}
 	var buf bytes.Buffer
 	PrintAuditBench(&buf, bench)
 	if !strings.Contains(buf.String(), "audit overhead:") {
 		t.Errorf("print output missing summary: %q", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ledger overhead:") {
+		t.Errorf("print output missing ledger overhead: %q", buf.String())
+	}
+}
+
+func TestAuditOverheadSummaryClampsNoise(t *testing.T) {
+	// A faster-than-baseline audited run is measurement noise: the
+	// summary reports 0 but keeps the raw value visible.
+	neg := -0.47
+	b := &AuditBench{
+		OverheadPct:       -0.47,
+		LedgerOverheadPct: &neg,
+		Sampled:           AuditBenchRow{Rate: 1.0 / 64},
+		MinKAware:         10, MinKUnaware: 12,
+	}
+	s := AuditOverheadSummary(b)
+	if !strings.Contains(s, "audit overhead: 0.00%") {
+		t.Errorf("negative overhead not clamped: %q", s)
+	}
+	if !strings.Contains(s, "measured -0.47%") {
+		t.Errorf("raw noise value dropped: %q", s)
+	}
+	if !strings.Contains(s, "ledger overhead: 0.00%") {
+		t.Errorf("ledger overhead not clamped: %q", s)
+	}
+	b.OverheadPct = 1.25
+	b.LedgerOverheadPct = nil
+	s = AuditOverheadSummary(b)
+	if !strings.Contains(s, "audit overhead: 1.25%") || strings.Contains(s, "noise") {
+		t.Errorf("positive overhead mangled: %q", s)
+	}
+	if strings.Contains(s, "ledger overhead") {
+		t.Errorf("absent ledger row still summarized: %q", s)
 	}
 }
 
@@ -61,8 +101,22 @@ func TestLoadAuditBenchGatesOverhead(t *testing.T) {
 	} else if !strings.Contains(err.Error(), "budget") {
 		t.Errorf("overhead failure has wrong message: %v", err)
 	}
+	// A pre-ledger document (no ledgered fields) stays loadable — checked
+	// above — and a ledgered document gates on its own overhead.
+	ledgered := strings.Replace(valid, `"overheadPct":1.0`,
+		`"overheadPct":1.0,"ledgered":{"mode":"ledgered","rate":0.015625,"requests":980,"reqPerSec":4900,"nsPerReq":204000,"audited":15},"ledgerOverheadPct":2.0`, 1)
+	if _, err := LoadAuditBench(strings.NewReader(ledgered)); err != nil {
+		t.Fatalf("ledgered doc rejected: %v", err)
+	}
+	ledgerOver := strings.Replace(ledgered, `"ledgerOverheadPct":2.0`, `"ledgerOverheadPct":6.5`, 1)
+	if _, err := LoadAuditBench(strings.NewReader(ledgerOver)); err == nil {
+		t.Error("ledgerOverheadPct 6.5 accepted against the 5% budget")
+	}
 	for name, doc := range map[string]string{
 		"not-json":      `{`,
+		"ledgered-row-no-pct": strings.Replace(valid, `"overheadPct":1.0`,
+			`"overheadPct":1.0,"ledgered":{"mode":"ledgered","rate":0.015625,"requests":980,"reqPerSec":4900,"nsPerReq":204000,"audited":15}`, 1),
+		"ledgered-empty-row": strings.Replace(ledgered, `"requests":980`, `"requests":0`, 1),
 		"wrong-kind":    strings.Replace(valid, `"bench":"audit"`, `"bench":"bulkdp"`, 1),
 		"unknown-field": strings.Replace(valid, `"users":500`, `"users":500,"bogus":1`, 1),
 		"zero-users":    strings.Replace(valid, `"users":500`, `"users":0`, 1),

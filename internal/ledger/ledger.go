@@ -1,0 +1,638 @@
+// Package ledger is the tamper-evident commitment layer of the privacy
+// observatory: an append-only hash chain over audit events (policy-change
+// audits, sampled request verdicts, breaches, motion snapshot swaps) with
+// time/size-bounded Merkle batching.
+//
+// The observatory (internal/audit) measures the achieved guarantee on
+// live traffic; this package makes that evidence non-repudiable. An
+// operator who silently drops a breach record — the classic audit-log
+// attack — is caught, because every event is committed:
+//
+//   - Append assigns each event a sequence number and hashes it into the
+//     pending batch (one SHA-256, cheap enough for the serving path).
+//   - A flush — when the batch fills (MaxBatch) or ages out
+//     (FlushInterval) — seals the batch into a Merkle tree whose root is
+//     chained onto the previous sealed root and signed (Ed25519),
+//     producing a Checkpoint.
+//   - Checkpoints and their events land in a pluggable Anchor: an
+//     in-memory mock for tests, or a file-backed append-only log with
+//     crash-safe recovery (anchor.go) that an offline verifier
+//     (`anoncli verify-ledger`) replays independently of the server.
+//   - Prove builds an inclusion proof for any retained event: leaf,
+//     audit path, batch root, and chain position, verifiable by anyone
+//     holding the latest signed root (GET /v1/audit/root).
+//
+// Observability is first-class: ledger_* metric families (events
+// appended, batches sealed, seal latency, queue depth, anchor fsync
+// time), ledger.append/seal/prove obs spans, and structured slog lines
+// carrying batch seq + root prefix.
+package ledger
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"policyanon/internal/metrics"
+	"policyanon/internal/obs"
+)
+
+// Kind is the event taxonomy: which part of the observatory produced an
+// event. The set is open (the chain commits any string), but these are
+// the kinds the serving stack emits.
+type Kind string
+
+const (
+	// KindPolicyAudit is a full-policy audit outcome (snapshot install,
+	// move replay, or motion maintenance publishing a new assignment).
+	KindPolicyAudit Kind = "policy_audit"
+	// KindRequestVerdict is one sampled request-path audit verdict.
+	KindRequestVerdict Kind = "request_verdict"
+	// KindBreach is an observed anonymity breach (achieved-k < k).
+	KindBreach Kind = "breach"
+	// KindSnapshotSwap is a motion-pipeline snapshot swap adoption.
+	KindSnapshotSwap Kind = "snapshot_swap"
+)
+
+// Event is one committed audit record. Seq and TimeMs are assigned by
+// Append; Detail carries the kind-specific payload as compact JSON.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	TimeMs int64  `json:"timeMs"`
+	Kind   Kind   `json:"kind"`
+	Engine string `json:"engine,omitempty"`
+	RID    string `json:"rid,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// canonical returns the deterministic byte encoding the leaf hash
+// commits to: fixed-width big-endian integers followed by
+// length-prefixed strings in declaration order. JSON is deliberately not
+// the hashed form — whitespace or key-order drift must not change the
+// chain.
+func (e *Event) canonical() []byte {
+	buf := make([]byte, 0, 64+len(e.Kind)+len(e.Engine)+len(e.RID)+len(e.Detail))
+	buf = binary.BigEndian.AppendUint64(buf, e.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.TimeMs))
+	for _, s := range []string{string(e.Kind), e.Engine, e.RID, e.Detail} {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+// LeafHash returns the event's Merkle leaf hash: H(0x00 || canonical).
+func (e *Event) LeafHash() [32]byte {
+	h := sha256.New()
+	h.Write([]byte{domainLeaf})
+	h.Write(e.canonical())
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Checkpoint is one sealed batch's commitment: the batch's Merkle root
+// chained onto the previous sealed root and signed. Hashes and keys are
+// lowercase hex on the wire.
+type Checkpoint struct {
+	// BatchSeq numbers sealed batches from 1.
+	BatchSeq uint64 `json:"batchSeq"`
+	// FirstSeq and Count delimit the event sequence range
+	// [FirstSeq, FirstSeq+Count) committed by this batch.
+	FirstSeq uint64 `json:"firstSeq"`
+	Count    int    `json:"count"`
+	// SealedMs is the wall-clock seal time (Unix milliseconds).
+	SealedMs int64 `json:"sealedMs"`
+	// BatchRoot is the Merkle root over this batch's event leaves.
+	BatchRoot string `json:"batchRoot"`
+	// PrevChainRoot is the previous checkpoint's ChainRoot (all zeros for
+	// the genesis batch); ChainRoot = H(0x02 || prev || batchRoot ||
+	// batchSeq || firstSeq || count), so one root commits the whole
+	// history.
+	PrevChainRoot string `json:"prevChainRoot"`
+	ChainRoot     string `json:"chainRoot"`
+	// PublicKey and Signature authenticate the checkpoint: Signature is
+	// Ed25519 over chainRoot || sealedMs under PublicKey.
+	PublicKey string `json:"publicKey"`
+	Signature string `json:"signature"`
+}
+
+// chainHash computes the chain root binding a batch root to its
+// predecessor and its position.
+func chainHash(prev, batchRoot [32]byte, batchSeq, firstSeq uint64, count int) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{domainChain})
+	h.Write(prev[:])
+	h.Write(batchRoot[:])
+	var be [8]byte
+	binary.BigEndian.PutUint64(be[:], batchSeq)
+	h.Write(be[:])
+	binary.BigEndian.PutUint64(be[:], firstSeq)
+	h.Write(be[:])
+	binary.BigEndian.PutUint64(be[:], uint64(count))
+	h.Write(be[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// signedPayload is the byte string the checkpoint signature covers.
+func signedPayload(chainRoot [32]byte, sealedMs int64) []byte {
+	buf := make([]byte, 0, 40)
+	buf = append(buf, chainRoot[:]...)
+	return binary.BigEndian.AppendUint64(buf, uint64(sealedMs))
+}
+
+// Verify checks the checkpoint's internal consistency: the chain hash
+// recomputed from its fields must match ChainRoot, and the signature
+// must verify under PublicKey. It does not check linkage to a
+// predecessor — that is VerifyChain / the anchor replay's job.
+func (c *Checkpoint) Verify() error {
+	prev, err := parseHash(c.PrevChainRoot)
+	if err != nil {
+		return fmt.Errorf("ledger: checkpoint %d: bad prevChainRoot: %w", c.BatchSeq, err)
+	}
+	root, err := parseHash(c.BatchRoot)
+	if err != nil {
+		return fmt.Errorf("ledger: checkpoint %d: bad batchRoot: %w", c.BatchSeq, err)
+	}
+	want := chainHash(prev, root, c.BatchSeq, c.FirstSeq, c.Count)
+	got, err := parseHash(c.ChainRoot)
+	if err != nil {
+		return fmt.Errorf("ledger: checkpoint %d: bad chainRoot: %w", c.BatchSeq, err)
+	}
+	if subtle.ConstantTimeCompare(want[:], got[:]) != 1 {
+		return fmt.Errorf("ledger: checkpoint %d: chain root mismatch (chain broken or fields mutated)", c.BatchSeq)
+	}
+	pub, err := hex.DecodeString(c.PublicKey)
+	if err != nil || len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("ledger: checkpoint %d: bad public key", c.BatchSeq)
+	}
+	sig, err := hex.DecodeString(c.Signature)
+	if err != nil || len(sig) != ed25519.SignatureSize {
+		return fmt.Errorf("ledger: checkpoint %d: bad signature encoding", c.BatchSeq)
+	}
+	if !ed25519.Verify(ed25519.PublicKey(pub), signedPayload(got, c.SealedMs), sig) {
+		return fmt.Errorf("ledger: checkpoint %d: signature verification failed", c.BatchSeq)
+	}
+	return nil
+}
+
+// SealedBatch is one sealed batch as handed to an Anchor: the checkpoint
+// plus the events it commits (the anchor is the replayable record).
+type SealedBatch struct {
+	Checkpoint Checkpoint `json:"checkpoint"`
+	Events     []Event    `json:"events"`
+}
+
+// Anchor durably records sealed batches. Implementations must be safe
+// for use from the ledger's sealer goroutine; Seal is never called
+// concurrently.
+type Anchor interface {
+	// Seal records one sealed batch. An error fails the ledger's seal —
+	// the batch stays pending and is retried on the next flush.
+	Seal(b *SealedBatch) error
+	// Last returns the most recently anchored checkpoint, allowing a
+	// restarted ledger to resume its chain.
+	Last() (Checkpoint, bool)
+}
+
+// Default batching parameters.
+const (
+	DefaultMaxBatch      = 256
+	DefaultFlushInterval = 2 * time.Second
+	DefaultRetain        = 64
+)
+
+// Options configures a Ledger.
+type Options struct {
+	// MaxBatch seals a batch as soon as it holds this many events
+	// (DefaultMaxBatch when <= 0).
+	MaxBatch int
+	// FlushInterval bounds how long an appended event stays unsealed
+	// (DefaultFlushInterval when 0; negative disables the timer — tests
+	// and benchmarks then control sealing via Seal).
+	FlushInterval time.Duration
+	// Retain is how many sealed batches are kept in memory for Prove
+	// (DefaultRetain when <= 0). Evicted batches remain in the anchor
+	// and are still verifiable offline.
+	Retain int
+	// Key signs checkpoints; nil generates an ephemeral key. Persist the
+	// key (see LoadOrCreateKey) for chains that must survive restarts.
+	Key ed25519.PrivateKey
+	// Registry receives the ledger_* metric families (nil for none).
+	Registry *metrics.Registry
+	// Logger receives structured seal/recovery records (nil for none).
+	Logger *slog.Logger
+	// BaseContext is the context for timer-driven seals (obs tracer
+	// threading); context.Background() when nil.
+	BaseContext context.Context
+}
+
+// Sentinel errors of Prove.
+var (
+	// ErrPending means the event is appended but not yet sealed; retry
+	// after the next flush (or call Seal).
+	ErrPending = errors.New("ledger: event not yet sealed")
+	// ErrEvicted means the batch is sealed but no longer retained in
+	// memory; the anchor still holds it for offline verification.
+	ErrEvicted = errors.New("ledger: batch evicted from proof retention")
+	// ErrUnknownSeq means no such event was ever appended.
+	ErrUnknownSeq = errors.New("ledger: unknown event sequence")
+)
+
+// sealedBatch is the in-memory form retained for proof serving.
+type sealedBatch struct {
+	cp     Checkpoint
+	events []Event
+	levels [][][32]byte // full Merkle tree for path extraction
+}
+
+// Stats is a point-in-time view of the ledger's accounting.
+type Stats struct {
+	Events    uint64 `json:"events"`  // appended (sealed + pending)
+	Sealed    uint64 `json:"sealed"`  // events committed in sealed batches
+	Pending   int    `json:"pending"` // events awaiting the next seal
+	Batches   uint64 `json:"batches"`
+	ChainRoot string `json:"chainRoot,omitempty"` // latest sealed root
+	PublicKey string `json:"publicKey"`
+}
+
+// Ledger is the append-only Merkle-batched hash chain. Create with New;
+// all methods are safe for concurrent use.
+type Ledger struct {
+	opts   Options
+	anchor Anchor
+	key    ed25519.PrivateKey
+	pub    ed25519.PublicKey
+	reg    *metrics.Registry
+	logger *slog.Logger
+	base   context.Context
+
+	// mu protects the pending batch and sequence counter only, so the
+	// serving-path Append never waits behind a seal's anchor fsync.
+	mu       sync.Mutex
+	pending  []Event
+	pendingH [][32]byte
+	nextSeq  uint64
+
+	// sealMu serializes seals and protects the chain state.
+	sealMu    sync.Mutex
+	batchSeq  uint64
+	chainRoot [32]byte
+	lastCp    Checkpoint
+	hasCp     bool
+	sealed    []*sealedBatch // retained, ascending FirstSeq
+
+	kick   chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New returns a ledger writing sealed batches into anchor. When the
+// anchor already holds checkpoints (a restarted file anchor), the chain
+// resumes after its last one: sequence numbers continue and the new
+// chain roots link onto the recovered root.
+func New(anchor Anchor, opts Options) (*Ledger, error) {
+	if anchor == nil {
+		return nil, fmt.Errorf("ledger: nil anchor")
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.FlushInterval == 0 {
+		opts.FlushInterval = DefaultFlushInterval
+	}
+	if opts.Retain <= 0 {
+		opts.Retain = DefaultRetain
+	}
+	key := opts.Key
+	if key == nil {
+		var err error
+		_, key, err = ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: key generation: %w", err)
+		}
+	}
+	if len(key) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("ledger: key has %d bytes, want %d", len(key), ed25519.PrivateKeySize)
+	}
+	base := opts.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	l := &Ledger{
+		opts:    opts,
+		anchor:  anchor,
+		key:     key,
+		pub:     key.Public().(ed25519.PublicKey),
+		reg:     opts.Registry,
+		logger:  opts.Logger,
+		base:    base,
+		nextSeq: 1,
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	if cp, ok := anchor.Last(); ok {
+		root, err := parseHash(cp.ChainRoot)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: recovered checkpoint has bad chain root: %w", err)
+		}
+		l.batchSeq = cp.BatchSeq
+		l.chainRoot = root
+		l.lastCp = cp
+		l.hasCp = true
+		l.nextSeq = cp.FirstSeq + uint64(cp.Count)
+		if l.logger != nil {
+			l.logger.Info("ledger: chain resumed",
+				"batchSeq", cp.BatchSeq, "nextSeq", l.nextSeq, "root", rootPrefix(cp.ChainRoot))
+		}
+	}
+	l.wg.Add(1)
+	go l.sealLoop()
+	return l, nil
+}
+
+// PublicKey returns the checkpoint-signing public key.
+func (l *Ledger) PublicKey() ed25519.PublicKey {
+	return append(ed25519.PublicKey(nil), l.pub...)
+}
+
+// Append commits one event to the pending batch: it assigns the next
+// sequence number, stamps the wall clock, and hashes the event. The
+// batch is sealed asynchronously by the sealer goroutine (immediately
+// when MaxBatch is reached, otherwise within FlushInterval), so the
+// caller never pays the Merkle build or the anchor fsync.
+func (l *Ledger) Append(ctx context.Context, kind Kind, engine, rid, detail string) (uint64, error) {
+	ctx, sp := obs.Start(ctx, "ledger.append")
+	defer sp.End()
+	_ = ctx
+	e := Event{TimeMs: time.Now().UnixMilli(), Kind: kind, Engine: engine, RID: rid, Detail: detail}
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("ledger: closed")
+	}
+	e.Seq = l.nextSeq
+	l.nextSeq++
+	l.pending = append(l.pending, e)
+	l.pendingH = append(l.pendingH, e.LeafHash())
+	depth := len(l.pending)
+	l.mu.Unlock()
+
+	if l.reg != nil {
+		l.reg.Counter("ledger_events").Inc()
+		l.reg.Counter("ledger_events:" + string(kind)).Inc()
+		l.reg.Gauge("ledger_queue_depth").Set(int64(depth))
+	}
+	sp.SetInt("seq", int64(e.Seq))
+	sp.SetAttr("kind", string(kind))
+	if depth >= l.opts.MaxBatch {
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+	return e.Seq, nil
+}
+
+// sealLoop is the background sealer: it flushes the pending batch when
+// kicked (batch full, Close) or when the flush interval elapses.
+func (l *Ledger) sealLoop() {
+	defer l.wg.Done()
+	var tick <-chan time.Time
+	if l.opts.FlushInterval > 0 {
+		t := time.NewTicker(l.opts.FlushInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-l.kick:
+		case <-tick:
+		}
+		if _, err := l.Seal(l.base); err != nil && l.logger != nil {
+			l.logger.Error("ledger: seal failed", "err", err)
+		}
+	}
+}
+
+// Seal flushes the pending batch into a signed checkpoint now. It is a
+// no-op returning the latest checkpoint (nil before the first seal)
+// when nothing is pending. Benchmarks and tests call it directly; the
+// serving stack relies on the background sealer.
+func (l *Ledger) Seal(ctx context.Context) (*Checkpoint, error) {
+	l.sealMu.Lock()
+	defer l.sealMu.Unlock()
+
+	l.mu.Lock()
+	events := l.pending
+	leaves := l.pendingH
+	l.pending = nil
+	l.pendingH = nil
+	l.mu.Unlock()
+
+	if len(events) == 0 {
+		if l.hasCp {
+			cp := l.lastCp
+			return &cp, nil
+		}
+		return nil, nil
+	}
+
+	ctx, sp := obs.Start(ctx, "ledger.seal")
+	defer sp.End()
+	start := time.Now()
+
+	levels := buildLevels(leaves)
+	root := levels[len(levels)-1][0]
+	batchSeq := l.batchSeq + 1
+	firstSeq := events[0].Seq
+	chain := chainHash(l.chainRoot, root, batchSeq, firstSeq, len(events))
+	sealedMs := start.UnixMilli()
+	cp := Checkpoint{
+		BatchSeq:      batchSeq,
+		FirstSeq:      firstSeq,
+		Count:         len(events),
+		SealedMs:      sealedMs,
+		BatchRoot:     hexHash(root),
+		PrevChainRoot: hexHash(l.chainRoot),
+		ChainRoot:     hexHash(chain),
+		PublicKey:     hex.EncodeToString(l.pub),
+		Signature:     hex.EncodeToString(ed25519.Sign(l.key, signedPayload(chain, sealedMs))),
+	}
+	if err := l.anchor.Seal(&SealedBatch{Checkpoint: cp, Events: events}); err != nil {
+		// Put the batch back so no accepted event is lost; newer appends
+		// stay behind it in order.
+		l.mu.Lock()
+		l.pending = append(events, l.pending...)
+		l.pendingH = append(leaves, l.pendingH...)
+		l.mu.Unlock()
+		return nil, fmt.Errorf("ledger: anchor seal: %w", err)
+	}
+	l.batchSeq = batchSeq
+	l.chainRoot = chain
+	l.lastCp = cp
+	l.hasCp = true
+	l.sealed = append(l.sealed, &sealedBatch{cp: cp, events: events, levels: levels})
+	if over := len(l.sealed) - l.opts.Retain; over > 0 {
+		l.sealed = append([]*sealedBatch(nil), l.sealed[over:]...)
+	}
+	elapsed := time.Since(start)
+	if l.reg != nil {
+		l.reg.Counter("ledger_batches").Inc()
+		l.reg.Histogram("ledger_seal").Observe(elapsed)
+		l.mu.Lock()
+		depth := len(l.pending)
+		l.mu.Unlock()
+		l.reg.Gauge("ledger_queue_depth").Set(int64(depth))
+	}
+	sp.SetInt("batchSeq", int64(batchSeq))
+	sp.SetInt("events", int64(len(events)))
+	sp.SetAttr("root", rootPrefix(cp.ChainRoot))
+	if l.logger != nil {
+		l.logger.LogAttrs(ctx, slog.LevelDebug, "ledger: batch sealed",
+			slog.Uint64("batchSeq", batchSeq),
+			slog.Uint64("firstSeq", firstSeq),
+			slog.Int("events", len(events)),
+			slog.String("root", rootPrefix(cp.ChainRoot)),
+			slog.Float64("ms", float64(elapsed.Microseconds())/1000),
+		)
+	}
+	return &cp, nil
+}
+
+// Latest returns the most recent sealed checkpoint.
+func (l *Ledger) Latest() (Checkpoint, bool) {
+	l.sealMu.Lock()
+	defer l.sealMu.Unlock()
+	return l.lastCp, l.hasCp
+}
+
+// Stats returns the ledger's accounting.
+func (l *Ledger) Stats() Stats {
+	l.sealMu.Lock()
+	batches, hasCp, cp := l.batchSeq, l.hasCp, l.lastCp
+	l.sealMu.Unlock()
+	l.mu.Lock()
+	pending := len(l.pending)
+	next := l.nextSeq
+	l.mu.Unlock()
+	st := Stats{
+		Events:    next - 1,
+		Pending:   pending,
+		Batches:   batches,
+		PublicKey: hex.EncodeToString(l.pub),
+	}
+	st.Sealed = st.Events - uint64(pending)
+	if hasCp {
+		st.ChainRoot = cp.ChainRoot
+	}
+	return st
+}
+
+// Prove builds the inclusion proof for the event with sequence seq:
+// the event, its audit path to the batch root, and the batch's signed
+// chain position. Returns ErrPending for appended-but-unsealed events,
+// ErrEvicted for batches aged out of retention (the anchor still holds
+// them), and ErrUnknownSeq for never-assigned sequence numbers.
+func (l *Ledger) Prove(ctx context.Context, seq uint64) (*Proof, error) {
+	_, sp := obs.Start(ctx, "ledger.prove")
+	defer sp.End()
+	sp.SetInt("seq", int64(seq))
+
+	l.sealMu.Lock()
+	var b *sealedBatch
+	for _, sb := range l.sealed {
+		if seq >= sb.cp.FirstSeq && seq < sb.cp.FirstSeq+uint64(sb.cp.Count) {
+			b = sb
+			break
+		}
+	}
+	var sealedThrough uint64
+	if l.hasCp {
+		sealedThrough = l.lastCp.FirstSeq + uint64(l.lastCp.Count)
+	}
+	l.sealMu.Unlock()
+
+	if b == nil {
+		l.mu.Lock()
+		next := l.nextSeq
+		l.mu.Unlock()
+		switch {
+		case seq == 0 || seq >= next:
+			return nil, fmt.Errorf("%w: %d", ErrUnknownSeq, seq)
+		case seq >= sealedThrough:
+			return nil, fmt.Errorf("%w: seq %d", ErrPending, seq)
+		default:
+			return nil, fmt.Errorf("%w: seq %d", ErrEvicted, seq)
+		}
+	}
+	idx := int(seq - b.cp.FirstSeq)
+	p := &Proof{
+		Seq:        seq,
+		Event:      b.events[idx],
+		LeafHash:   hexHash(b.levels[0][idx]),
+		Index:      idx,
+		Path:       auditPath(b.levels, idx),
+		Checkpoint: b.cp,
+	}
+	sp.SetInt("batchSeq", int64(b.cp.BatchSeq))
+	return p, nil
+}
+
+// Close seals any pending events and stops the background sealer. The
+// ledger rejects appends afterwards. ctx bounds the final seal only
+// insofar as the anchor respects it; the Merkle build itself is fast.
+func (l *Ledger) Close(ctx context.Context) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.done)
+	l.wg.Wait()
+	_, err := l.Seal(ctx)
+	return err
+}
+
+// hexHash renders a hash as lowercase hex.
+func hexHash(h [32]byte) string { return hex.EncodeToString(h[:]) }
+
+// parseHash decodes a 32-byte lowercase-hex hash.
+func parseHash(s string) ([32]byte, error) {
+	var out [32]byte
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return out, err
+	}
+	if len(b) != 32 {
+		return out, fmt.Errorf("hash has %d bytes, want 32", len(b))
+	}
+	copy(out[:], b)
+	return out, nil
+}
+
+// rootPrefix abbreviates a chain root for log lines (full roots are in
+// the anchor; logs only need enough to correlate).
+func rootPrefix(hexRoot string) string {
+	if len(hexRoot) > 12 {
+		return hexRoot[:12]
+	}
+	return hexRoot
+}

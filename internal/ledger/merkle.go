@@ -1,0 +1,95 @@
+package ledger
+
+import "crypto/sha256"
+
+// Merkle tree construction over event leaf hashes, RFC 6962 style with
+// domain separation: leaf hashes are H(0x00 || canonical event bytes)
+// (computed in Event.LeafHash), interior nodes H(0x01 || left || right).
+// A level with an odd node count promotes its last node unchanged, so a
+// batch of one event has root == leaf hash and every proof path length
+// is at most ceil(log2(count)).
+
+const (
+	domainLeaf  = 0x00
+	domainNode  = 0x01
+	domainChain = 0x02
+)
+
+// hashNode combines two child hashes into their parent.
+func hashNode(left, right [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{domainNode})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// buildLevels constructs the full tree bottom-up: levels[0] is the
+// leaves, levels[len-1] is the single root. Empty input returns nil.
+func buildLevels(leaves [][32]byte) [][][32]byte {
+	if len(leaves) == 0 {
+		return nil
+	}
+	levels := [][][32]byte{leaves}
+	for cur := leaves; len(cur) > 1; {
+		next := make([][32]byte, 0, (len(cur)+1)/2)
+		for i := 0; i < len(cur); i += 2 {
+			if i+1 < len(cur) {
+				next = append(next, hashNode(cur[i], cur[i+1]))
+			} else {
+				next = append(next, cur[i]) // odd node promotes
+			}
+		}
+		levels = append(levels, next)
+		cur = next
+	}
+	return levels
+}
+
+// merkleRoot returns the root of the tree over leaves.
+func merkleRoot(leaves [][32]byte) [32]byte {
+	levels := buildLevels(leaves)
+	if levels == nil {
+		return [32]byte{}
+	}
+	return levels[len(levels)-1][0]
+}
+
+// auditPath extracts the inclusion proof for the leaf at index from
+// prebuilt levels: one sibling per level where the node is paired (a
+// promoted odd node contributes no step).
+func auditPath(levels [][][32]byte, index int) []ProofStep {
+	var path []ProofStep
+	for _, level := range levels[:len(levels)-1] {
+		if index%2 == 0 {
+			if index+1 < len(level) {
+				path = append(path, ProofStep{Sibling: hexHash(level[index+1]), Left: false})
+			}
+			// else: promoted — no sibling at this level
+		} else {
+			path = append(path, ProofStep{Sibling: hexHash(level[index-1]), Left: true})
+		}
+		index /= 2
+	}
+	return path
+}
+
+// foldPath recomputes the root implied by a leaf hash and its audit
+// path. It is the verification counterpart of auditPath.
+func foldPath(leaf [32]byte, path []ProofStep) ([32]byte, error) {
+	cur := leaf
+	for _, step := range path {
+		sib, err := parseHash(step.Sibling)
+		if err != nil {
+			return [32]byte{}, err
+		}
+		if step.Left {
+			cur = hashNode(sib, cur)
+		} else {
+			cur = hashNode(cur, sib)
+		}
+	}
+	return cur, nil
+}

@@ -1,0 +1,64 @@
+package ledger
+
+import (
+	"crypto/subtle"
+	"fmt"
+)
+
+// ProofStep is one level of an audit path: the sibling hash and which
+// side of the pair it sits on.
+type ProofStep struct {
+	Sibling string `json:"sibling"` // hex
+	Left    bool   `json:"left"`    // sibling is the left child
+}
+
+// Proof is the inclusion proof served at GET /v1/audit/proof?seq=N:
+// everything a verifier holding nothing but this document needs to check
+// that the event is committed under the signed chain root.
+type Proof struct {
+	Seq      uint64 `json:"seq"`
+	Event    Event  `json:"event"`
+	LeafHash string `json:"leafHash"`
+	// Index is the event's position within its batch
+	// (Seq - Checkpoint.FirstSeq).
+	Index int `json:"index"`
+	// Path folds LeafHash up to Checkpoint.BatchRoot.
+	Path []ProofStep `json:"path"`
+	// Checkpoint is the sealed batch's signed chain position.
+	Checkpoint Checkpoint `json:"checkpoint"`
+}
+
+// Verify checks the proof end to end: the event re-hashes to LeafHash,
+// the audit path folds to the batch root, the batch root chains to the
+// signed chain root, and the signature verifies. Any single-byte
+// mutation of the event, path, roots, or signature fails.
+func (p *Proof) Verify() error {
+	if p.Event.Seq != p.Seq {
+		return fmt.Errorf("ledger: proof seq %d does not match event seq %d", p.Seq, p.Event.Seq)
+	}
+	if uint64(p.Index) != p.Seq-p.Checkpoint.FirstSeq || p.Index < 0 || p.Index >= p.Checkpoint.Count {
+		return fmt.Errorf("ledger: proof index %d inconsistent with batch range [%d,%d)",
+			p.Index, p.Checkpoint.FirstSeq, p.Checkpoint.FirstSeq+uint64(p.Checkpoint.Count))
+	}
+	leaf := p.Event.LeafHash()
+	claimed, err := parseHash(p.LeafHash)
+	if err != nil {
+		return fmt.Errorf("ledger: bad leaf hash: %w", err)
+	}
+	if subtle.ConstantTimeCompare(leaf[:], claimed[:]) != 1 {
+		return fmt.Errorf("ledger: event seq %d does not hash to the proof leaf (event mutated)", p.Seq)
+	}
+	root, err := foldPath(leaf, p.Path)
+	if err != nil {
+		return fmt.Errorf("ledger: bad audit path: %w", err)
+	}
+	want, err := parseHash(p.Checkpoint.BatchRoot)
+	if err != nil {
+		return fmt.Errorf("ledger: bad batch root: %w", err)
+	}
+	if subtle.ConstantTimeCompare(root[:], want[:]) != 1 {
+		return fmt.Errorf("ledger: audit path folds to %s, batch root is %s (proof mutated)",
+			rootPrefix(hexHash(root)), rootPrefix(p.Checkpoint.BatchRoot))
+	}
+	return p.Checkpoint.Verify()
+}

@@ -1,0 +1,264 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"policyanon/internal/ledger"
+	"policyanon/internal/motion"
+)
+
+// newLedgerServer builds a server with a memory-anchored ledger whose
+// flush timer is disabled — tests drive sealing explicitly.
+func newLedgerServer(t *testing.T) (*Server, *ledger.Ledger, string) {
+	t.Helper()
+	srv := New()
+	l, err := ledger.New(ledger.NewMemAnchor(), ledger.Options{FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close(context.Background()) })
+	srv.EnableLedger(l)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, l, ts.URL
+}
+
+func TestLedgerEndpointsDisabled(t *testing.T) {
+	ts := newTestServer(t)
+	for _, path := range []string{"/v1/audit/root", "/v1/audit/proof?seq=1"} {
+		resp, body := get(t, ts.URL+path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without ledger: %d %v, want 404", path, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestLedgerRootAndProofEndpoints(t *testing.T) {
+	_, l, base := newLedgerServer(t)
+
+	// Before any seal the root endpoint answers 404.
+	resp, body := get(t, base+"/v1/audit/root")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("root before seal: %d %v", resp.StatusCode, body)
+	}
+
+	// Installing a snapshot produces a policy-audit ledger event (the
+	// engine middleware audits every install at rate 1).
+	installSnapshot(t, base, 5)
+	if st := l.Stats(); st.Events == 0 {
+		t.Fatal("snapshot install appended no ledger events")
+	}
+
+	// An appended-but-unsealed event is 409 (retry after flush).
+	resp, body = get(t, base+"/v1/audit/proof?seq=1")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("pending proof: %d %v, want 409", resp.StatusCode, body)
+	}
+
+	if _, err := l.Seal(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = get(t, base+"/v1/audit/root")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("root after seal: %d %v", resp.StatusCode, body)
+	}
+	cp := body["checkpoint"].(map[string]any)
+	if cp["batchSeq"].(float64) != 1 || cp["chainRoot"].(string) == "" {
+		t.Fatalf("root checkpoint %v", cp)
+	}
+
+	// The served proof verifies offline from its wire form alone.
+	raw, err := http.Get(base + "/v1/audit/proof?seq=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Body.Close()
+	if raw.StatusCode != http.StatusOK {
+		t.Fatalf("proof after seal: %d", raw.StatusCode)
+	}
+	var proof ledger.Proof
+	if err := json.NewDecoder(raw.Body).Decode(&proof); err != nil {
+		t.Fatal(err)
+	}
+	if err := proof.Verify(); err != nil {
+		t.Fatalf("served proof failed offline verification: %v", err)
+	}
+	if proof.Event.Kind != ledger.KindPolicyAudit {
+		t.Fatalf("event kind = %s, want %s", proof.Event.Kind, ledger.KindPolicyAudit)
+	}
+	if proof.Checkpoint.ChainRoot != cp["chainRoot"].(string) {
+		t.Fatal("proof chain root does not match the served root")
+	}
+
+	// A tampered proof must fail verification (acceptance criterion: the
+	// proof path rejects mutation just like the offline verifier).
+	forged := proof
+	forged.Event.Detail = strings.Replace(proof.Event.Detail, "1", "2", 1)
+	if err := forged.Verify(); err == nil {
+		t.Fatal("tampered proof still verifies")
+	}
+
+	// Unknown seq → 404.
+	resp, body = get(t, base+"/v1/audit/proof?seq=99999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown seq: %d %v", resp.StatusCode, body)
+	}
+	// Malformed seq → 400.
+	resp, body = get(t, base+"/v1/audit/proof?seq=bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad seq: %d %v", resp.StatusCode, body)
+	}
+	resp, body = get(t, base+"/v1/audit/proof")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing seq: %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestAuditReportCarriesLedgerRoot(t *testing.T) {
+	_, l, base := newLedgerServer(t)
+	installSnapshot(t, base, 5)
+	if _, err := l.Seal(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := get(t, base+"/v1/audit")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("audit report: %d %v", resp.StatusCode, body)
+	}
+	roots, ok := body["ledgerRoots"].([]any)
+	if !ok || len(roots) != 1 {
+		t.Fatalf("report ledgerRoots = %v, want one entry", body["ledgerRoots"])
+	}
+	root := roots[0].(map[string]any)
+	last, _ := l.Latest()
+	if root["chainRoot"].(string) != last.ChainRoot {
+		t.Fatalf("report root %v != ledger head %s", root["chainRoot"], last.ChainRoot)
+	}
+}
+
+func TestMotionSwapAppendsLedgerEvent(t *testing.T) {
+	srv := New()
+	l, err := ledger.New(ledger.NewMemAnchor(), ledger.Options{FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close(context.Background()) })
+	srv.EnableLedger(l)
+	srv.EnableMotion(motion.Config{MaxBatch: 1, FlushInterval: time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	installSnapshot(t, ts.URL, 5)
+	x, y := seedLoc(7)
+	resp, body := post(t, ts.URL+"/v1/moves", StreamMovesRequest{Moves: []MoveUpdateJSON{
+		{ID: "u07", X: float64(x + 1), Y: float64(y)},
+	}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("move: %d %v", resp.StatusCode, body)
+	}
+	waitEpoch(t, ts.URL, 2)
+
+	if _, err := l.Seal(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Find a snapshot_swap event among the sealed batch.
+	found := false
+	for seq := uint64(1); ; seq++ {
+		p, err := l.Prove(context.Background(), seq)
+		if err != nil {
+			break
+		}
+		if p.Event.Kind == ledger.KindSnapshotSwap {
+			found = true
+			if !strings.Contains(p.Event.Detail, `"strategy"`) {
+				t.Fatalf("swap event detail %q lacks strategy", p.Event.Detail)
+			}
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no snapshot_swap event sealed after a motion swap")
+	}
+}
+
+// syncWriter serializes writes: the motion pipeline and the request
+// handler log from different goroutines.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func TestMotionRejectedLogCarriesRequestID(t *testing.T) {
+	var logSink syncWriter
+	srv, base := newMotionServer(t, motion.Config{
+		MaxBatch:      8,
+		FlushInterval: time.Millisecond,
+	})
+	srv.SetLogger(slog.New(slog.NewJSONHandler(&logSink, &slog.HandlerOptions{Level: slog.LevelDebug})))
+	installSnapshot(t, base, 5)
+
+	payload, _ := json.Marshal(StreamMovesRequest{Moves: []MoveUpdateJSON{
+		{ID: "ghost", X: 1, Y: 1},
+	}})
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/moves", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "rid-reject-test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reject status = %d, want 400", resp.StatusCode)
+	}
+	// The client's request ID is echoed on the response...
+	if got := resp.Header.Get("X-Request-ID"); got != "rid-reject-test" {
+		t.Fatalf("echoed X-Request-ID = %q", got)
+	}
+	// ...and stamped on the motion_rejected log line.
+	logged := logSink.String()
+	line := ""
+	for _, l := range strings.Split(logged, "\n") {
+		if strings.Contains(l, "motion_rejected") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("no motion_rejected log line in %q", logged)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["rid"] != "rid-reject-test" {
+		t.Fatalf("motion_rejected rid = %v, want rid-reject-test", rec["rid"])
+	}
+	if rec["user"] != "ghost" || rec["reason"] != motion.ReasonUnknownUser {
+		t.Fatalf("motion_rejected fields %v", rec)
+	}
+}

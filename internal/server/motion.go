@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
+	"policyanon/internal/audit"
 	"policyanon/internal/lbs"
+	"policyanon/internal/ledger"
 	"policyanon/internal/motion"
 	"policyanon/internal/obs"
 )
@@ -81,6 +84,15 @@ func (s *Server) startMotionLocked() error {
 		// already audited by the install path.
 		if snap.Strategy != "initial" {
 			s.aud.ObservePolicy(baseCtx, name, snap.Policy, k)
+		}
+		if l := s.led.Load(); l != nil {
+			detail, _ := json.Marshal(map[string]any{
+				"epoch":    snap.Epoch,
+				"strategy": snap.Strategy,
+				"users":    snap.Policy.Len(),
+				"cost":     snap.Policy.Cost(),
+			})
+			l.Append(baseCtx, ledger.KindSnapshotSwap, name, "", string(detail))
 		}
 		if userSwap != nil {
 			userSwap(snap)
@@ -192,6 +204,18 @@ func (s *Server) handleMovesStreaming(w http.ResponseWriter, r *http.Request, p 
 		var rej *motion.RejectError
 		switch {
 		case errors.As(err, &rej):
+			if l := s.Logger(); l != nil {
+				// The request ID minted/echoed by instrument() rides the
+				// context, so a rejected move correlates with the client's
+				// X-Request-ID across log, trace, and response header.
+				l.LogAttrs(r.Context(), slog.LevelWarn, "motion_rejected",
+					slog.String("rid", audit.RequestID(r.Context())),
+					slog.String("user", m.ID),
+					slog.String("reason", string(rej.Reason)),
+					slog.Int("move", i),
+					slog.String("err", rej.Error()),
+				)
+			}
 			writeJSON(w, http.StatusBadRequest, map[string]any{
 				"error":  rej.Error(),
 				"reason": rej.Reason,

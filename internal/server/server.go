@@ -20,6 +20,14 @@
 //	POST /v1/request           anonymize a service request and answer it
 //	GET  /v1/audit             rolling privacy report: achieved anonymity
 //	                           under both attacker classes, breach totals
+//	GET  /v1/audit/root        latest sealed ledger checkpoint: the signed
+//	                           Merkle chain root over all audit events
+//	                           (404 until the ledger is enabled and has
+//	                           sealed a batch)
+//	GET  /v1/audit/proof?seq=N Merkle inclusion proof for audit event N,
+//	                           verifiable offline against the chain root
+//	                           (409 while the event is pending a seal,
+//	                           410 when its batch aged out of retention)
 //	GET  /v1/stats             snapshot, policy and cache statistics
 //
 // /healthz is a readiness probe: it answers 503 until the first snapshot
@@ -52,6 +60,7 @@ import (
 	"policyanon/internal/engine"
 	"policyanon/internal/geo"
 	"policyanon/internal/lbs"
+	"policyanon/internal/ledger"
 	"policyanon/internal/location"
 	"policyanon/internal/metrics"
 	"policyanon/internal/motion"
@@ -94,6 +103,11 @@ type Server struct {
 	motionCfg *motion.Config
 	pipeline  *motion.Pipeline
 	lastEpoch atomic.Int64
+
+	// led, when set via EnableLedger, is the tamper-evident audit ledger
+	// behind /v1/audit/root and /v1/audit/proof. Atomic: the serving path
+	// reads it without touching s.mu.
+	led atomic.Pointer[ledger.Ledger]
 }
 
 // Stats reports the server's state.
@@ -202,6 +216,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/audit", s.handleAudit)
+	mux.HandleFunc("GET /v1/audit/root", s.handleAuditRoot)
+	mux.HandleFunc("GET /v1/audit/proof", s.handleAuditProof)
 	mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/moves", s.handleMoves)
