@@ -106,6 +106,7 @@ func main() {
 		motionPolicy    = flag.String("motion-policy", "block", "backpressure when the ingest queue is full: block or drop")
 		motionStrategy  = flag.String("motion-strategy", "auto", "maintenance strategy: auto, incremental, or rebuild")
 		motionCkptEvery = flag.Int("motion-checkpoint-every", 0, "checkpoint -state every N applied batches (0 disables periodic checkpoints)")
+		motionVerEvery  = flag.Int("motion-verify-every", 0, "full-verification cadence for delta publishes: full verify every Nth publish, delta-scoped verify otherwise (0 or 1 = always full)")
 	)
 	flag.Parse()
 
@@ -190,6 +191,7 @@ func main() {
 			FlushInterval: *motionFlush,
 			Policy:        bp,
 			Strategy:      strategy,
+			VerifyEvery:   *motionVerEvery,
 		}
 		if *state != "" && *motionCkptEvery > 0 {
 			// Periodic persistence from the live loop. The callback runs on
@@ -204,7 +206,7 @@ func main() {
 		}
 		srv.EnableMotion(cfg)
 		logger.Info("motion enabled", "policy", *motionPolicy, "strategy", *motionStrategy,
-			"checkpointEvery", *motionCkptEvery)
+			"checkpointEvery", *motionCkptEvery, "verifyEvery", *motionVerEvery)
 	}
 	if *state != "" {
 		if f, err := os.Open(*state); err == nil {

@@ -150,11 +150,15 @@ type Auditor struct {
 	breachUnaware int64
 
 	// Per-cloak candidate-set sizes, memoized per assignment. Assignments
-	// are immutable once built (policy changes produce a new one), so the
-	// pointer keys the cache generation; cloaks repeat across requests, so
-	// after the first sample per cloak the request-path audit is O(1).
+	// are immutable once built (policy changes produce a new one), so
+	// their monotonic Version keys the cache generation; cloaks repeat
+	// across requests, so after the first sample per cloak the
+	// request-path audit is O(1). When a new assignment is a delta of the
+	// cached one, only the entries its delta could have invalidated are
+	// evicted, so the memo survives delta publishes instead of restarting
+	// cold every batch.
 	kmu    sync.Mutex
-	kPol   *lbs.Assignment
+	kVer   uint64
 	kCache map[geo.Rect][2]int
 }
 
@@ -323,10 +327,15 @@ type RequestSample struct {
 // a cloak pays two O(|D|) attacker.Candidates scans, repeats are a map
 // lookup. The cache resets when a different assignment comes in.
 func (a *Auditor) candidateSizes(pol *lbs.Assignment, cloak geo.Rect) (aware, unaware int) {
+	ver := pol.Version()
 	a.kmu.Lock()
-	if a.kPol != pol {
-		a.kPol = pol
-		a.kCache = make(map[geo.Rect][2]int)
+	if a.kVer != ver || a.kCache == nil {
+		if d := pol.Delta(); d != nil && d.ParentVersion == a.kVer && a.kCache != nil {
+			a.evictDeltaLocked(d)
+		} else {
+			a.kCache = make(map[geo.Rect][2]int)
+		}
+		a.kVer = ver
 	}
 	if v, ok := a.kCache[cloak]; ok {
 		a.kmu.Unlock()
@@ -336,11 +345,35 @@ func (a *Auditor) candidateSizes(pol *lbs.Assignment, cloak geo.Rect) (aware, un
 	aware = len(attacker.Candidates(pol, cloak, attacker.PolicyAware))
 	unaware = len(attacker.Candidates(pol, cloak, attacker.PolicyUnaware))
 	a.kmu.Lock()
-	if a.kPol == pol {
+	if a.kVer == ver {
 		a.kCache[cloak] = [2]int{aware, unaware}
 	}
 	a.kmu.Unlock()
 	return aware, unaware
+}
+
+// evictDeltaLocked drops exactly the memo entries a delta publish could
+// have invalidated: a cloak's policy-aware candidate set (users assigned
+// that cloak verbatim) changes only for the Old/New rectangles of a cloak
+// rewrite, and its policy-unaware set (users geometrically inside it)
+// changes only for cloaks containing a move's From or To point — the same
+// soundness argument as verify.Delta. Everything else stays cached.
+func (a *Auditor) evictDeltaLocked(d *lbs.Delta) {
+	for _, c := range d.Cloaks {
+		delete(a.kCache, c.Old)
+		delete(a.kCache, c.New)
+	}
+	if len(d.Moves) == 0 {
+		return
+	}
+	for rect := range a.kCache {
+		for _, mv := range d.Moves {
+			if rect.ContainsClosed(mv.From) || rect.ContainsClosed(mv.To) {
+				delete(a.kCache, rect)
+				break
+			}
+		}
+	}
 }
 
 // ObserveRequest audits one served anonymized request unconditionally:

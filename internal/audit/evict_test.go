@@ -1,0 +1,99 @@
+package audit
+
+// White-box test of the per-cloak candidate memo's delta eviction (the
+// public-surface tests live in package audit_test).
+
+import (
+	"strconv"
+	"testing"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+	"policyanon/internal/metrics"
+)
+
+func TestCandidateMemoDeltaEviction(t *testing.T) {
+	const k = 2
+	// Three well-separated pair-cloaks.
+	var recs []location.Record
+	var cloaks []geo.Rect
+	for g := int32(0); g < 3; g++ {
+		base := geo.Point{X: 100 * g, Y: 100 * g}
+		recs = append(recs,
+			location.Record{UserID: "u" + strconv.Itoa(int(2*g)), Loc: base},
+			location.Record{UserID: "u" + strconv.Itoa(int(2*g+1)), Loc: geo.Point{X: base.X, Y: base.Y + 1}},
+		)
+		cloaks = append(cloaks, geo.NewRect(base.X, base.Y, base.X, base.Y+1))
+	}
+	db, err := location.FromRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := lbs.NewAssignment(db, []geo.Rect{
+		cloaks[0], cloaks[0], cloaks[1], cloaks[1], cloaks[2], cloaks[2],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := New(metrics.NewRegistry(), Options{})
+	for _, c := range cloaks {
+		if aw, un := a.candidateSizes(parent, c); aw != k || un != k {
+			t.Fatalf("cloak %v: %d/%d candidates, want %d/%d", c, aw, un, k, k)
+		}
+	}
+	if a.kVer != parent.Version() || len(a.kCache) != 3 {
+		t.Fatalf("memo after warm-up: ver %d (want %d), %d entries", a.kVer, parent.Version(), len(a.kCache))
+	}
+
+	// Delta: group 1 widens its cloak by one row (both users), group 2
+	// user 4 moves within her cloak. Group 0 is untouched.
+	wide := geo.NewRect(100, 100, 100, 102)
+	moveTo := geo.Point{X: 200, Y: 201}
+	child, err := parent.ApplyDelta(
+		[]lbs.Move{{Index: 4, From: recs[4].Loc, To: moveTo}},
+		[]lbs.CloakChange{
+			{Index: 2, Old: cloaks[1], New: wide},
+			{Index: 3, Old: cloaks[1], New: wide},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison the untouched entry: if the next lookup recomputes instead of
+	// hitting the memo, we'll see the true value instead of the sentinel.
+	a.kCache[cloaks[0]] = [2]int{99, 99}
+	if aw, un := a.candidateSizes(child, cloaks[0]); aw != 99 || un != 99 {
+		t.Fatalf("untouched cloak was recomputed (%d/%d) — partial eviction not engaged", aw, un)
+	}
+	if a.kVer != child.Version() {
+		t.Fatalf("memo generation %d, want %d", a.kVer, child.Version())
+	}
+	// The rewritten cloak (Old) and the move-touched cloak were evicted.
+	if _, ok := a.kCache[cloaks[1]]; ok {
+		t.Fatal("rewritten cloak survived eviction")
+	}
+	if _, ok := a.kCache[cloaks[2]]; ok {
+		t.Fatal("cloak containing the move's endpoints survived eviction")
+	}
+	// Fresh lookups against the child recompute correct values.
+	if aw, un := a.candidateSizes(child, wide); aw != k || un != k {
+		t.Fatalf("new cloak: %d/%d, want %d/%d", aw, un, k, k)
+	}
+	if aw, un := a.candidateSizes(child, cloaks[2]); aw != k || un != k {
+		t.Fatalf("move-touched cloak: %d/%d, want %d/%d", aw, un, k, k)
+	}
+
+	// A non-delta assignment (or a delta whose parent isn't the cached
+	// generation) resets the whole memo.
+	fresh, err := lbs.NewAssignment(child.DB().Clone(), child.Cloaks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.kCache[wide] = [2]int{88, 88}
+	if aw, un := a.candidateSizes(fresh, wide); aw != k || un != k {
+		t.Fatalf("stale memo survived a full reset: %d/%d", aw, un)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"policyanon/internal/geo"
@@ -11,39 +12,108 @@ import (
 	"policyanon/internal/tree"
 )
 
+// ErrNoDeltaBaseline reports that the matrix has no realized assignment to
+// diff against: no Extract succeeded since construction or since the last
+// full Recompute. Callers fall back to Extract, which (re-)establishes the
+// baseline.
+var ErrNoDeltaBaseline = errors.New("core: no delta baseline (run Extract first)")
+
 // Extract materializes one minimum-cost policy from the optimum
 // configuration matrix: a per-point cloak, point i receiving the rectangle
 // of the tree node that cloaks it. This is the linear-time policy
 // exhibition step described after Definition 7 (within each node, which
 // particular locations it cloaks is immaterial by Lemma 1 and is chosen
-// arbitrarily).
+// arbitrarily). The pass also records the realized configuration — the
+// target chosen and the points passed up per node — as the baseline
+// ExtractDelta diffs against.
 func (m *Matrix) Extract() ([]geo.Rect, error) {
-	if _, err := m.OptimalCost(); err != nil {
-		return nil, err
-	}
 	_, sp := obs.Start(m.octx(), "bulkdp.extract")
 	if sp != nil {
 		sp.SetInt("users", int64(m.t.Len()))
 		defer sp.End()
 	}
-	cloaks := make([]geo.Rect, m.t.Len())
-	if m.t.Len() == 0 {
-		return cloaks, nil
-	}
-	leftover, err := m.assign(m.t.Root(), 0, cloaks)
-	if err != nil {
+	if err := m.extract(&assignPass{}); err != nil {
 		return nil, err
 	}
-	if len(leftover) != 0 {
-		return nil, fmt.Errorf("core: %d locations left uncloaked at the root (internal error)", len(leftover))
+	return append([]geo.Rect(nil), m.cloaks...), nil
+}
+
+// ExtractDelta re-runs the policy exhibition only over subtrees that can
+// realize a different configuration than the last extraction: a node is
+// descended when any row in its subtree was recomputed since (the stale
+// set, ancestor-closed because Update recomputes every ancestor of a dirty
+// node) or when its parent chose a different pass-up target for it;
+// everything else reuses the memoized pass-up list. It returns the cloak
+// changes against the previously extracted assignment — the maintained
+// assignment stays byte-identical to a from-scratch Extract (the parity
+// oracle) — plus the number of nodes re-assigned. The work is
+// O(re-assigned subtrees), not O(|D|).
+func (m *Matrix) ExtractDelta() (changes []lbs.CloakChange, visited int, err error) {
+	if !m.haveBase || len(m.cloaks) != m.t.Len() {
+		return nil, 0, ErrNoDeltaBaseline
 	}
-	return cloaks, nil
+	_, sp := obs.Start(m.octx(), "bulkdp.extract_delta")
+	st := assignPass{delta: true}
+	if err := m.extract(&st); err != nil {
+		if sp != nil {
+			sp.End()
+		}
+		return nil, 0, err
+	}
+	if sp != nil {
+		sp.SetInt("visited", int64(st.visited))
+		sp.SetInt("changes", int64(len(st.changes)))
+		sp.End()
+	}
+	return st.changes, st.visited, nil
+}
+
+// extract runs one exhibition pass (full or delta) into the matrix's
+// baseline state.
+func (m *Matrix) extract(st *assignPass) error {
+	if _, err := m.OptimalCost(); err != nil {
+		return err
+	}
+	m.ensureAssignState()
+	m.cs.pass = m.cs.pass[:0]
+	// A failed pass leaves the baseline partially overwritten; drop it
+	// until a pass completes.
+	m.haveBase = false
+	if m.t.Len() > 0 {
+		leftover, err := m.assign(m.t.Root(), 0, st)
+		if err != nil {
+			return err
+		}
+		if len(leftover) != 0 {
+			return fmt.Errorf("core: %d locations left uncloaked at the root (internal error)", len(leftover))
+		}
+	}
+	m.clearStale()
+	m.haveBase = true
+	return nil
+}
+
+// assignPass carries one exhibition pass's mode and accumulators.
+type assignPass struct {
+	// delta reuses per-node memos where the configuration cannot have
+	// changed and records cloak rewrites into changes.
+	delta   bool
+	changes []lbs.CloakChange
+	visited int
 }
 
 // assign recursively realizes the configuration chosen by the matrix for
-// the subtree at id with pass-up target u. It writes cloaks for the points
-// cloaked inside the subtree and returns the point indices passed up.
-func (m *Matrix) assign(id tree.NodeID, u int32, cloaks []geo.Rect) ([]int32, error) {
+// the subtree at id with pass-up target u, writing cloaks into the
+// baseline and returning the point indices passed up (the returned slice
+// is the node's memo: callers must not mutate or retain it across passes).
+func (m *Matrix) assign(id tree.NodeID, u int32, st *assignPass) ([]int32, error) {
+	if st.delta && !m.stale[id] && m.chosen[id] == u {
+		// No row in this subtree changed (ancestor-closure of the stale
+		// set) and the parent chose the same target, so the realized
+		// configuration — hence every cloak inside — is unchanged.
+		return m.passUp[id], nil
+	}
+	st.visited++
 	r := &m.rows[id]
 	want := r.at(u)
 	if want >= inf {
@@ -54,50 +124,124 @@ func (m *Matrix) assign(id tree.NodeID, u int32, cloaks []geo.Rect) ([]int32, er
 		pts := m.t.LeafPoints(id)
 		cloakN := int(r.d - u)
 		for _, p := range pts[:cloakN] {
-			cloaks[p] = rect
+			m.setCloak(p, rect, st)
 		}
-		return pts[cloakN:], nil
+		m.chosen[id] = u
+		m.passUp[id] = append(m.passUp[id][:0], pts[cloakN:]...)
+		return m.passUp[id], nil
 	}
 	children := m.t.Children(id)
-	j, pick, err := m.chooseCombine(id, u, want)
+	var pickBuf [4]int32
+	j, pick, err := m.chooseCombine(id, u, want, pickBuf[:0])
 	if err != nil {
 		return nil, err
 	}
-	var passed []int32
+	// The children's pass-ups accumulate in a stack-discipline arena frame
+	// (each recursive visit pops its own frame before returning, so this
+	// frame stays contiguous across the recursion).
+	mark := len(m.cs.pass)
 	for ci, ch := range children {
-		sub, err := m.assign(ch, pick[ci], cloaks)
+		sub, err := m.assign(ch, pick[ci], st)
 		if err != nil {
 			return nil, err
 		}
-		passed = append(passed, sub...)
+		m.cs.pass = append(m.cs.pass, sub...)
 	}
+	passed := m.cs.pass[mark:]
 	if int32(len(passed)) != j {
 		return nil, fmt.Errorf("core: node %d received %d points, expected j=%d (internal error)", id, len(passed), j)
 	}
 	cloakN := int(j - u)
 	for _, p := range passed[:cloakN] {
-		cloaks[p] = rect
+		m.setCloak(p, rect, st)
 	}
-	return passed[cloakN:], nil
+	m.chosen[id] = u
+	m.passUp[id] = append(m.passUp[id][:0], passed[cloakN:]...)
+	m.cs.pass = m.cs.pass[:mark]
+	return m.passUp[id], nil
 }
 
-// chooseCombine re-derives, for internal node id and target pass-up u, a
+// setCloak writes one baseline cloak, recording the rewrite when a delta
+// pass actually changes it.
+func (m *Matrix) setCloak(p int32, rect geo.Rect, st *assignPass) {
+	if st.delta {
+		if old := m.cloaks[p]; old != rect {
+			st.changes = append(st.changes, lbs.CloakChange{Index: int(p), Old: old, New: rect})
+			m.cloaks[p] = rect
+		}
+		return
+	}
+	m.cloaks[p] = rect
+}
+
+// chooseCombine derives, for internal node id and target pass-up u, a
 // children pass-up vector and total j achieving the stored optimum
-// M[id][u]. Recomputing instead of storing back-pointers keeps the matrix
-// rows cost-only, halving its memory; extraction visits each node once so
-// the total work matches one forward pass.
-func (m *Matrix) chooseCombine(id tree.NodeID, u int32, want int64) (int32, []int32, error) {
+// M[id][u]. Binary nodes take the fast path: the combine recorded its
+// argmin total in the row's jpick, so only the split of j across the two
+// children remains — a scan linear in the first child's row. Nodes
+// without a recorded pick (quad combines, NaiveCombine rows) re-derive
+// the total with the from-scratch resolver.
+func (m *Matrix) chooseCombine(id tree.NodeID, u int32, want int64, buf []int32) (int32, []int32, error) {
 	children := m.t.Children(id)
+	r := &m.rows[id]
+	if len(children) == 2 && u >= 0 && u <= r.bound && int(u) < len(r.jpick) {
+		j := r.jpick[u]
+		base := want
+		if j != u {
+			// The node cloaked j-u of the passed-up points; the remainder
+			// is what the children's rows had to sum to.
+			base -= int64(j-u) * m.t.Area(id)
+		}
+		if u0, u1, ok := splitPair(&m.rows[children[0]], &m.rows[children[1]], j, base); ok {
+			return j, append(buf, u0, u1), nil
+		}
+		// No split reproduces the recorded pick — fall through to the
+		// from-scratch resolver rather than fail the extraction.
+	}
 	rows := m.cs.rows[:0]
 	for _, ch := range children {
 		rows = append(rows, &m.rows[ch])
 	}
 	m.cs.rows = rows
-	j, picks, err := resolveCombine(m.cs, rows, u, want, m.t.Area(id), m.k, m.rows[id].d)
+	j, picks, err := resolveCombine(m.cs, rows, u, want, m.t.Area(id), m.k, r.d)
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: node %d: %w", id, err)
 	}
-	return j, picks, nil
+	return j, append(buf, picks...), nil
+}
+
+// splitPair finds child pass-up counts (u0, u1) with u0 + u1 = j whose
+// row costs sum to base — the decomposition the fold realized when it
+// scored total j at cost base. The scan order (spike first, then the
+// dense range in increasing u0) is fixed so repeated extractions of an
+// unchanged subtree realize the identical configuration.
+func splitPair(r0, r1 *row, j int32, base int64) (int32, int32, bool) {
+	if u1 := j - r0.d; u1 == r1.d || (u1 >= 0 && u1 <= r1.bound) {
+		if r1.at(u1) == base {
+			return r0.d, u1, true
+		}
+	}
+	hi := j
+	if hi > r0.bound {
+		hi = r0.bound
+	}
+	for u0 := int32(0); u0 <= hi; u0++ {
+		c0 := r0.costs[u0]
+		if c0 > base {
+			continue
+		}
+		u1 := j - u0
+		if u1 == r1.d {
+			if c0 == base {
+				return u0, u1, true
+			}
+			continue
+		}
+		if u1 >= 0 && u1 <= r1.bound && c0+r1.costs[u1] == base {
+			return u0, u1, true
+		}
+	}
+	return 0, 0, false
 }
 
 // Anonymizer bundles a cloaking tree and its optimum configuration matrix

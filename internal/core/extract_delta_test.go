@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+	"policyanon/internal/tree"
+)
+
+// TestExtractDeltaParityRandomized is the delta-publication parity oracle:
+// across random move sequences, tree kinds, and rebuild/incremental
+// interleavings, an assignment maintained purely through ExtractDelta's
+// cloak changes must stay byte-identical to a from-scratch Extract over
+// the same snapshot (the canonical-tree guarantee makes the from-scratch
+// result unique, so equality is exact, not just cost-equal).
+func TestExtractDeltaParityRandomized(t *testing.T) {
+	const side = int32(1 << 10)
+	bounds := geo.NewRect(0, 0, side, side)
+	for _, kind := range []tree.Kind{tree.Binary, tree.Quad} {
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(9100 + seed))
+			n := 60 + rng.Intn(120)
+			k := 2 + rng.Intn(4)
+			db := dbFor(t, randPts(rng, n, side))
+			anon, err := NewAnonymizer(db, bounds, AnonymizerOptions{K: k, Kind: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur, err := anon.Matrix().Extract()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 12; round++ {
+				for j := 1 + rng.Intn(8); j > 0; j-- {
+					i := rng.Intn(n)
+					to := geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}
+					if err := anon.Move(i, to); err != nil {
+						t.Fatal(err)
+					}
+				}
+				anon.Refresh()
+				switch rng.Intn(6) {
+				case 0:
+					// Interleave a from-scratch extraction: it must agree
+					// with the maintained copy's future and re-anchor the
+					// baseline.
+					full, err := anon.Matrix().Extract()
+					if err != nil {
+						t.Fatal(err)
+					}
+					cur = full
+				case 1:
+					// Interleave a full matrix rebuild: the baseline is
+					// dropped, ExtractDelta must refuse, Extract recovers.
+					anon.Matrix().Recompute()
+					if _, _, err := anon.Matrix().ExtractDelta(); !errors.Is(err, ErrNoDeltaBaseline) {
+						t.Fatalf("kind %v seed %d round %d: ExtractDelta after Recompute: %v, want ErrNoDeltaBaseline",
+							kind, seed, round, err)
+					}
+					full, err := anon.Matrix().Extract()
+					if err != nil {
+						t.Fatal(err)
+					}
+					cur = full
+				default:
+					changes, visited, err := anon.Matrix().ExtractDelta()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(changes) > 0 && visited < 1 {
+						t.Fatalf("kind %v seed %d round %d: %d changes from %d visited nodes",
+							kind, seed, round, len(changes), visited)
+					}
+					for _, c := range changes {
+						if cur[c.Index] != c.Old {
+							t.Fatalf("kind %v seed %d round %d: change at %d claims old %v, maintained copy has %v",
+								kind, seed, round, c.Index, c.Old, cur[c.Index])
+						}
+						if c.Old == c.New {
+							t.Fatalf("kind %v seed %d round %d: no-op change at %d (%v)",
+								kind, seed, round, c.Index, c.Old)
+						}
+						cur[c.Index] = c.New
+					}
+				}
+				// Oracle: a brand-new anonymizer over the current snapshot.
+				fresh, err := NewAnonymizer(db.Clone(), bounds, AnonymizerOptions{K: k, Kind: kind})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := fresh.Matrix().Extract()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(cur) != len(want) {
+					t.Fatalf("kind %v seed %d round %d: %d cloaks, want %d", kind, seed, round, len(cur), len(want))
+				}
+				for i := range want {
+					if cur[i] != want[i] {
+						t.Fatalf("kind %v seed %d round %d: cloak %d = %v, from-scratch %v",
+							kind, seed, round, i, cur[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExtractDeltaNoMoves pins the trivial delta: with no matrix changes
+// since the last extraction, ExtractDelta touches nothing.
+func TestExtractDeltaNoMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(9200))
+	side := int32(256)
+	db := dbFor(t, randPts(rng, 80, side))
+	anon, err := NewAnonymizer(db, geo.NewRect(0, 0, side, side), AnonymizerOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := anon.Matrix().Extract(); err != nil {
+		t.Fatal(err)
+	}
+	changes, visited, err := anon.Matrix().ExtractDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 || visited != 0 {
+		t.Fatalf("idle delta: %d changes, %d visited, want 0/0", len(changes), visited)
+	}
+}
+
+// TestExtractDeltaRequiresBaseline pins the no-baseline error before any
+// extraction.
+func TestExtractDeltaRequiresBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(9300))
+	side := int32(256)
+	db := dbFor(t, randPts(rng, 40, side))
+	anon, err := NewAnonymizer(db, geo.NewRect(0, 0, side, side), AnonymizerOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := anon.Matrix().ExtractDelta(); !errors.Is(err, ErrNoDeltaBaseline) {
+		t.Fatalf("ExtractDelta before Extract: %v, want ErrNoDeltaBaseline", err)
+	}
+}
+
+func benchAnonymizer(b *testing.B, n int) (*Anonymizer, *location.DB, int32) {
+	b.Helper()
+	side := int32(1 << 13)
+	rng := rand.New(rand.NewSource(77))
+	db := location.New(n)
+	for i := 0; i < n; i++ {
+		if err := db.Add("u"+itoa(i), geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	anon, err := NewAnonymizer(db, geo.NewRect(0, 0, side, side), AnonymizerOptions{K: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := anon.Matrix().Extract(); err != nil {
+		b.Fatal(err)
+	}
+	return anon, db, side
+}
+
+// BenchmarkExtractFullAfterMoves is the old publish path: a small move
+// batch still pays a full O(|D|) policy exhibition.
+func BenchmarkExtractFullAfterMoves(b *testing.B) {
+	anon, _, side := benchAnonymizer(b, 20000)
+	rng := rand.New(rand.NewSource(78))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 8; j++ {
+			if err := anon.Move(rng.Intn(20000), geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		anon.Refresh()
+		b.StartTimer()
+		if _, err := anon.Matrix().Extract(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtractDeltaAfterMoves is the delta publish path over the same
+// workload: only dirty subtrees are re-assigned.
+func BenchmarkExtractDeltaAfterMoves(b *testing.B) {
+	anon, _, side := benchAnonymizer(b, 20000)
+	rng := rand.New(rand.NewSource(78))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 8; j++ {
+			if err := anon.Move(rng.Intn(20000), geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		anon.Refresh()
+		b.StartTimer()
+		if _, _, err := anon.Matrix().ExtractDelta(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"slices"
 	"sort"
 
+	"policyanon/internal/geo"
 	"policyanon/internal/obs"
 	"policyanon/internal/tree"
 )
@@ -79,6 +80,13 @@ type row struct {
 	d     int32
 	bound int32 // -1 when the dense part is empty (d(m) < k)
 	costs []int64
+	// jpick[u] is the children pass-up total j whose combine realized
+	// costs[u] (the argmin of the Section V merge). Storing it lets
+	// extraction backtracking split j across two children in O(|row|)
+	// instead of re-running the O(|row|²) fold at every visited node.
+	// Leaves and the NaiveCombine path leave it empty; chooseCombine then
+	// falls back to the from-scratch resolver.
+	jpick []int32
 }
 
 // each iterates the finite entries of the row's feasible set F(m).
@@ -124,6 +132,22 @@ type Matrix struct {
 	// bottom-up pass, incremental updates, and extraction backtracking.
 	// Parallel passes draw additional per-worker scratch from the pool.
 	cs *combineScratch
+
+	// Delta-extraction state (see ExtractDelta): the last realized
+	// assignment and, per node, the pass-up target chosen and the point
+	// list passed up when it was extracted. A subtree whose rows were all
+	// untouched since the last extraction realizes the same configuration
+	// for the same target, so ExtractDelta reuses the memo instead of
+	// descending. stale marks rows recomputed since the last extraction
+	// (Update keeps the set ancestor-closed by construction: it recomputes
+	// every ancestor of a dirty node); haveBase gates the whole mechanism
+	// and is dropped by Recompute, which rewrites rows without marking.
+	cloaks    []geo.Rect
+	chosen    []int32
+	passUp    [][]int32
+	stale     []bool
+	staleList []tree.NodeID
+	haveBase  bool
 }
 
 // NewMatrix runs the bottom-up dynamic program over the whole tree.
@@ -149,6 +173,9 @@ func NewMatrixContext(ctx context.Context, t *tree.Tree, k int, opt Options) (*M
 // performs no allocations on the sequential path; with Options.Workers > 1
 // the pass runs on the work-stealing pool and produces bit-identical rows.
 func (m *Matrix) Recompute() {
+	// A full pass rewrites every row without per-row stale marking, so any
+	// previously extracted assignment stops being a usable delta baseline.
+	m.haveBase = false
 	_, sp := obs.Start(m.octx(), "bulkdp.combine")
 	var stats []workerStats
 	if nw := m.opt.workerCount(m.t.NumNodes()); nw > 1 {
@@ -262,6 +289,7 @@ func (m *Matrix) computeRow(cs *combineScratch, id tree.NodeID) {
 	r.bound = m.bound(id)
 	if r.bound < 0 {
 		r.costs = r.costs[:0]
+		r.jpick = r.jpick[:0]
 		return
 	}
 	if cap(r.costs) < int(r.bound)+1 {
@@ -272,12 +300,14 @@ func (m *Matrix) computeRow(cs *combineScratch, id tree.NodeID) {
 	area := m.t.Area(id)
 	if m.t.IsLeaf(id) {
 		// Lines 7-10 of Algorithm 1: cloak d(m)-u locations at the leaf.
+		r.jpick = r.jpick[:0]
 		for u := int32(0); u <= r.bound; u++ {
 			r.costs[u] = int64(r.d-u) * area
 		}
 		return
 	}
 	if m.opt.NaiveCombine {
+		r.jpick = r.jpick[:0]
 		m.combineNaive(id, r, area)
 		return
 	}
@@ -324,6 +354,9 @@ func (m *Matrix) fold(cs *combineScratch, children []tree.NodeID, prefixes *[]pr
 // intermediate (and the final) profile is freshly allocated, because
 // extraction retains them across the backtrack.
 func foldRows(cs *combineScratch, rows []*row, prefixes *[]profile) profile {
+	if prefixes == nil && len(rows) == 2 {
+		return foldPair(cs, rows[0], rows[1])
+	}
 	fresh := prefixes != nil
 	js, costs := cs.jsA[:0], cs.costsA[:0]
 	if fresh {
@@ -380,23 +413,88 @@ func foldRows(cs *combineScratch, rows []*row, prefixes *[]profile) profile {
 	return profile{js: js, costs: costs}
 }
 
+// foldPair is the two-child combine specialized to the rows' dense+spike
+// shape: each row is a dense cost range [0..bound] plus the implicit
+// zero-cost entry at u = d. Their merge therefore decomposes into a dense
+// min-plus convolution over [0..b0+b1], two shifted copies of the dense
+// parts (the other child passing everything up for free), and the
+// all-pass-up point at d0+d1 — contiguous array loops with no sparse
+// accumulator bookkeeping, no touched-index sort, and no per-entry
+// closure calls. The result is identical to the generic foldRows merge
+// and lives in the scratch's profile arena until the next combine.
+func foldPair(cs *combineScratch, r0, r1 *row) profile {
+	maxJ := int(r0.d) + int(r1.d)
+	cs.ensureFold(maxJ + 1)
+	fold := cs.fold
+	c0s, c1s := r0.costs, r1.costs
+	for u0 := 0; u0 < len(c0s); u0++ {
+		c0 := c0s[u0]
+		if c0 >= inf {
+			continue
+		}
+		out := fold[u0 : u0+len(c1s)]
+		// No inf guard on c1: inf is MaxInt64/4, so c0+inf cannot
+		// overflow and never undercuts an entry that is at most inf.
+		for u1, c1 := range c1s {
+			if s := c0 + c1; s < out[u1] {
+				out[u1] = s
+			}
+		}
+	}
+	for u0, c0 := range c0s {
+		if j := int(r1.d) + u0; c0 < fold[j] {
+			fold[j] = c0
+		}
+	}
+	for u1, c1 := range c1s {
+		if j := int(r0.d) + u1; c1 < fold[j] {
+			fold[j] = c1
+		}
+	}
+	if fold[maxJ] > 0 {
+		fold[maxJ] = 0
+	}
+	js, costs := cs.jsA[:0], cs.costsA[:0]
+	for j := 0; j <= maxJ; j++ {
+		if c := fold[j]; c < inf {
+			js = append(js, int32(j))
+			costs = append(costs, c)
+			fold[j] = inf
+		}
+	}
+	cs.jsA, cs.costsA = js, costs
+	return profile{js: js, costs: costs}
+}
+
 // rowFromProfile is the second stage of the Section V combine: from the
 // temp profile it derives M[m][u] = min( temp[u],
 // min_{j >= u+k} temp[j] + (j-u)*area ) for each u in the dense range,
-// using suffix minima of temp[j] + j*area for O(1) work per u.
+// using suffix minima of temp[j] + j*area for O(1) work per u. Alongside
+// each cost it records the argmin j into r.jpick (ties resolve to the
+// exact entry, then the leftmost suffix witness, so repeated computations
+// of the same row pick the same configuration).
 func rowFromProfile(cs *combineScratch, r *row, js []int32, costs []int64, area int64, k int) {
 	n := len(js)
 	if cap(cs.sfx) < n+1 {
 		cs.sfx = make([]int64, n+1)
 	}
+	if cap(cs.sfxJ) < n+1 {
+		cs.sfxJ = make([]int32, n+1)
+	}
 	sfx := cs.sfx[:n+1]
-	sfx[n] = inf
+	sfxJ := cs.sfxJ[:n+1]
+	sfx[n], sfxJ[n] = inf, -1
 	for i := n - 1; i >= 0; i-- {
-		v := costs[i] + int64(js[i])*area
-		if v > sfx[i+1] {
-			v = sfx[i+1]
+		if v := costs[i] + int64(js[i])*area; v <= sfx[i+1] {
+			sfx[i], sfxJ[i] = v, js[i]
+		} else {
+			sfx[i], sfxJ[i] = sfx[i+1], sfxJ[i+1]
 		}
-		sfx[i] = v
+	}
+	if cap(r.jpick) < int(r.bound)+1 {
+		r.jpick = make([]int32, r.bound+1)
+	} else {
+		r.jpick = r.jpick[:r.bound+1]
 	}
 	exact := 0 // first index with js[exact] >= u
 	thresh := 0
@@ -404,7 +502,7 @@ func rowFromProfile(cs *combineScratch, r *row, js []int32, costs []int64, area 
 		for exact < n && js[exact] < u {
 			exact++
 		}
-		best := inf
+		best, bestJ := inf, u
 		if exact < n && js[exact] == u {
 			best = costs[exact]
 		}
@@ -413,10 +511,11 @@ func rowFromProfile(cs *combineScratch, r *row, js []int32, costs []int64, area 
 		}
 		if sfx[thresh] < inf {
 			if v := sfx[thresh] - int64(u)*area; v < best {
-				best = v
+				best, bestJ = v, sfxJ[thresh]
 			}
 		}
 		r.costs[u] = best
+		r.jpick[u] = bestJ
 	}
 }
 
@@ -464,7 +563,10 @@ func (m *Matrix) Update() int {
 	}
 	_, sp := obs.Start(m.octx(), "bulkdp.update")
 	m.cs.ensureFold(m.t.Len() + 1)
-	affected := make(map[tree.NodeID]struct{})
+	if m.cs.affected == nil {
+		m.cs.affected = make(map[tree.NodeID]struct{})
+	}
+	affected := m.cs.affected
 	for _, id := range dirty {
 		for n := id; n != tree.None; n = m.t.Parent(n) {
 			if _, ok := affected[n]; ok {
@@ -473,7 +575,7 @@ func (m *Matrix) Update() int {
 			affected[n] = struct{}{}
 		}
 	}
-	order := make([]tree.NodeID, 0, len(affected))
+	order := m.cs.order[:0]
 	for id := range affected {
 		order = append(order, id)
 	}
@@ -482,11 +584,59 @@ func (m *Matrix) Update() int {
 	})
 	for _, id := range order {
 		m.computeRow(m.cs, id)
+		m.markStale(id)
 	}
+	clear(affected)
+	m.cs.order = order
 	if sp != nil {
 		sp.SetInt("dirty", int64(len(dirty)))
 		sp.SetInt("rows", int64(len(order)))
 		sp.End()
 	}
 	return len(order)
+}
+
+// markStale records that node id's row was recomputed since the last
+// extraction. Entries are cleared wholesale by the next successful
+// extraction (clearStale), so ids that die in a later collapse merely
+// force a visit if the id is ever reused — never a wrong skip.
+func (m *Matrix) markStale(id tree.NodeID) {
+	for len(m.stale) <= int(id) {
+		m.stale = append(m.stale, false)
+	}
+	if !m.stale[id] {
+		m.stale[id] = true
+		m.staleList = append(m.staleList, id)
+	}
+}
+
+// clearStale resets the recomputed-row set after an extraction pass has
+// consumed it.
+func (m *Matrix) clearStale() {
+	for _, id := range m.staleList {
+		if int(id) < len(m.stale) {
+			m.stale[id] = false
+		}
+	}
+	m.staleList = m.staleList[:0]
+}
+
+// ensureAssignState sizes the delta-extraction memo for the current tree.
+func (m *Matrix) ensureAssignState() {
+	n := m.t.Len()
+	if cap(m.cloaks) < n {
+		m.cloaks = make([]geo.Rect, n)
+	} else {
+		m.cloaks = m.cloaks[:n]
+	}
+	nc := m.t.NodeCap()
+	for len(m.chosen) < nc {
+		m.chosen = append(m.chosen, -1)
+	}
+	for len(m.passUp) < nc {
+		m.passUp = append(m.passUp, nil)
+	}
+	for len(m.stale) < nc {
+		m.stale = append(m.stale, false)
+	}
 }

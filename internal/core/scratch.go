@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"policyanon/internal/tree"
+)
 
 // combineScratch bundles every reusable buffer one combine pass needs, so
 // that steady-state computeRow performs no allocations: the inf-filled
@@ -25,8 +29,21 @@ type combineScratch struct {
 	// prefixes) are allocated fresh.
 	jsA, jsB       []int32
 	costsA, costsB []int64
-	// sfx is the suffix-minimum buffer of rowFromProfile.
-	sfx []int64
+	// sfx and sfxJ are the suffix-minimum buffers of rowFromProfile: the
+	// running minimum of temp[j] + j*area and the j witnessing it.
+	sfx  []int64
+	sfxJ []int32
+	// affected and order are Matrix.Update's dirty-closure buffers: the
+	// ancestor-closed set of rows to recompute and its height-sorted walk
+	// list. Update clears affected before returning, so a pooled scratch
+	// always hands the next batch an empty map.
+	affected map[tree.NodeID]struct{}
+	order    []tree.NodeID
+	// pass is the extraction pass-up arena: assign appends the points its
+	// children hand up into stack-discipline frames (each visit truncates
+	// back to its mark before returning), so visiting a node allocates
+	// nothing once the arena is warm.
+	pass []int32
 }
 
 // ensureFold grows the fold accumulator to at least n inf-filled entries.

@@ -89,11 +89,12 @@ func mbcRect(c geo.FCircle) geo.Rect {
 
 func init() {
 	MustRegister(Info{
-		Name:        DefaultName,
-		Description: "optimal policy-aware Bulk_dp over the binary semi-quadrant tree (Section V)",
-		PolicyAware: true,
-		Incremental: true,
-		Parallel:    true,
+		Name:             DefaultName,
+		Description:      "optimal policy-aware Bulk_dp over the binary semi-quadrant tree (Section V)",
+		PolicyAware:      true,
+		Incremental:      true,
+		DeltaIncremental: true,
+		Parallel:         true,
 	}, New(DefaultName, bulkDP(DefaultName, tree.Binary, false)))
 
 	MustRegister(Info{

@@ -31,6 +31,11 @@ type Info struct {
 	// maintenance of Section V). Non-incremental engines are recomputed
 	// from scratch on each snapshot.
 	Incremental bool `json:"incremental"`
+	// DeltaIncremental reports whether the engine additionally supports
+	// delta publication: extracting only changed cloaks (ExtractDelta) and
+	// deriving published assignments copy-on-write (ApplyDelta), so a
+	// publish costs O(changes) instead of O(|D|). Implies Incremental.
+	DeltaIncremental bool `json:"deltaIncremental"`
 	// Parallel reports whether the engine honours the "workers" option:
 	// intra-tree parallel computation of the configuration matrix on a
 	// work-stealing pool (core.Options.Workers). Serving surfaces use the

@@ -150,6 +150,12 @@ func TestDefaultRegistryTaxonomy(t *testing.T) {
 		if info.Incremental != (name == engine.DefaultName) {
 			t.Errorf("%s: Incremental = %t", name, info.Incremental)
 		}
+		if info.DeltaIncremental != (name == engine.DefaultName) {
+			t.Errorf("%s: DeltaIncremental = %t", name, info.DeltaIncremental)
+		}
+		if info.DeltaIncremental && !info.Incremental {
+			t.Errorf("%s: DeltaIncremental without Incremental", name)
+		}
 		e, err := engine.Get(name)
 		if err != nil {
 			t.Errorf("Get(%q): %v", name, err)

@@ -38,9 +38,15 @@ func TestChurnSweepShape(t *testing.T) {
 		t.Fatalf("incremental recomputed %d rows, rebuild %d — no maintenance advantage measured",
 			b.Incremental.Rows, b.Rebuild.Rows)
 	}
+	// The incremental row must have gone through the delta publish path:
+	// far fewer cloaks rewritten than a full republish per batch.
+	if b.Incremental.CloaksChanged >= b.Incremental.Batches*int64(b.Users) {
+		t.Fatalf("incremental published %d cloak rewrites over %d batches — delta path not engaged",
+			b.Incremental.CloaksChanged, b.Incremental.Batches)
+	}
 	// Round-trip through the document loader (without the speedup gate:
 	// a 20ms measurement is noise, so synthesize a passing ratio).
-	b.IncrementalSpeedup = 2
+	b.IncrementalSpeedup = ChurnSpeedupGate + 1
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(b); err != nil {
@@ -56,12 +62,14 @@ func TestLoadChurnBenchGates(t *testing.T) {
 		Bench: "churn", Dataset: "small", Users: 1000, K: 10, Engine: "bulkdp-binary", Batch: 64,
 		GOMAXPROCS: 4, NumCPU: 4, GoVersion: "go1.23",
 		Incremental: ChurnBenchRow{
-			Strategy: "incremental", Batches: 10, Moves: 640, Rows: 900, UpdatesPerSec: 5000, NsPerBatch: 1e6,
+			Strategy: "incremental", Batches: 10, Moves: 640, Rows: 900,
+			RowsExtracted: 1200, CloaksChanged: 800, UpdatesPerSec: 15000, NsPerBatch: 1e6,
 		},
 		Rebuild: ChurnBenchRow{
-			Strategy: "rebuild", Batches: 5, Moves: 320, Rows: 5000, UpdatesPerSec: 2000, NsPerBatch: 3e6,
+			Strategy: "rebuild", Batches: 5, Moves: 320, Rows: 5000,
+			RowsExtracted: 5000, CloaksChanged: 5000, UpdatesPerSec: 2000, NsPerBatch: 3e6,
 		},
-		IncrementalSpeedup: 2.5,
+		IncrementalSpeedup: 7.5,
 	}
 	mustFail := func(name string, mutate func(*ChurnBench), wantErr string) {
 		t.Helper()
@@ -89,7 +97,8 @@ func TestLoadChurnBenchGates(t *testing.T) {
 	mustFail("no machine", func(b *ChurnBench) { b.GoVersion = "" }, "machine metadata")
 	mustFail("empty row", func(b *ChurnBench) { b.Rebuild.Batches = 0 }, "row invalid")
 	mustFail("mislabelled", func(b *ChurnBench) { b.Incremental.Strategy = "rebuild" }, "mislabelled")
-	mustFail("regressed", func(b *ChurnBench) { b.IncrementalSpeedup = 0.9 }, "does not beat")
+	mustFail("regressed", func(b *ChurnBench) { b.IncrementalSpeedup = 0.9 }, "delta-publication gate")
+	mustFail("below gate", func(b *ChurnBench) { b.IncrementalSpeedup = 4.9 }, "delta-publication gate")
 	if _, err := LoadChurnBench(strings.NewReader(`{"bench":"churn","bogus":1}`)); err == nil {
 		t.Fatal("unknown field accepted")
 	}

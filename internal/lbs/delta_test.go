@@ -1,0 +1,172 @@
+package lbs
+
+import (
+	"errors"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/location"
+)
+
+// deltaAssignment builds an n-user assignment whose cloaks are 4x4 squares
+// around each user — big enough that small moves stay masked, small enough
+// that every cloak is distinct.
+func deltaAssignment(t testing.TB, n int) *Assignment {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	recs := make([]location.Record, n)
+	cloaks := make([]geo.Rect, n)
+	for i := range recs {
+		p := geo.Point{X: 2 + rng.Int31n(1 << 12), Y: 2 + rng.Int31n(1 << 12)}
+		recs[i] = location.Record{UserID: "u" + strconv.Itoa(i), Loc: p}
+		cloaks[i] = geo.NewRect(p.X-2, p.Y-2, p.X+2, p.Y+2)
+	}
+	db, err := location.FromRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAssignment(db, cloaks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestApplyDeltaCOWIsolation(t *testing.T) {
+	// 1100 users: three cloak pages, so page-boundary indices are real.
+	parent := deltaAssignment(t, 1100)
+	beforeLoc := parent.DB().At(600).Loc
+	beforeCloak := parent.CloakAt(600)
+	parentCloaks := append([]geo.Rect(nil), parent.Cloaks()...)
+
+	to := geo.Point{X: beforeLoc.X + 1, Y: beforeLoc.Y + 1}
+	newCloak := geo.NewRect(to.X-3, to.Y-3, to.X+3, to.Y+3)
+	child, err := parent.ApplyDelta(
+		[]Move{{Index: 600, From: beforeLoc, To: to}},
+		[]CloakChange{{Index: 600, Old: beforeCloak, New: newCloak}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parent is untouched in both layers.
+	if got := parent.DB().At(600).Loc; got != beforeLoc {
+		t.Fatalf("parent record mutated: %v, want %v", got, beforeLoc)
+	}
+	if got := parent.CloakAt(600); got != beforeCloak {
+		t.Fatalf("parent cloak mutated: %v, want %v", got, beforeCloak)
+	}
+	// Child sees the new state at 600 and the parent's everywhere else.
+	if got := child.DB().At(600).Loc; got != to {
+		t.Fatalf("child record = %v, want %v", got, to)
+	}
+	if got := child.CloakAt(600); got != newCloak {
+		t.Fatalf("child cloak = %v, want %v", got, newCloak)
+	}
+	for _, i := range []int{0, 511, 512, 599, 601, 1023, 1024, 1099} {
+		if got := child.CloakAt(i); got != parentCloaks[i] {
+			t.Fatalf("untouched cloak %d = %v, want %v", i, got, parentCloaks[i])
+		}
+	}
+	// Cloaks() on the paged child matches element-wise CloakAt.
+	mat := child.Cloaks()
+	if len(mat) != child.Len() {
+		t.Fatalf("Cloaks() len %d, want %d", len(mat), child.Len())
+	}
+	for i, c := range mat {
+		if c != child.CloakAt(i) {
+			t.Fatalf("Cloaks()[%d] = %v, CloakAt = %v", i, c, child.CloakAt(i))
+		}
+	}
+	// Versions are strictly increasing and the delta is recorded.
+	if child.Version() <= parent.Version() {
+		t.Fatalf("child version %d not after parent %d", child.Version(), parent.Version())
+	}
+	d := child.Delta()
+	if d == nil || d.ParentVersion != parent.Version() {
+		t.Fatalf("delta = %+v, want parent version %d", d, parent.Version())
+	}
+	if len(d.Moves) != 1 || len(d.Cloaks) != 1 || d.Moves[0].Index != 600 || d.Cloaks[0].New != newCloak {
+		t.Fatalf("delta contents: %+v", d)
+	}
+	if parent.Delta() != nil {
+		t.Fatal("from-scratch parent reports a delta")
+	}
+}
+
+func TestApplyDeltaChained(t *testing.T) {
+	a := deltaAssignment(t, 1100)
+	cur := a
+	// Walk a chain of deltas across page boundaries; each link must verify
+	// against its immediate parent and preserve all earlier rewrites.
+	want := append([]geo.Rect(nil), a.Cloaks()...)
+	for step, idx := range []int{0, 511, 512, 1023, 1024, 1099, 512} {
+		from := cur.DB().At(idx).Loc
+		to := geo.Point{X: from.X + 1, Y: from.Y}
+		nc := geo.NewRect(to.X-4-int32(step), to.Y-4, to.X+4, to.Y+4)
+		next, err := cur.ApplyDelta(
+			[]Move{{Index: idx, From: from, To: to}},
+			[]CloakChange{{Index: idx, Old: cur.CloakAt(idx), New: nc}},
+		)
+		if err != nil {
+			t.Fatalf("step %d (index %d): %v", step, idx, err)
+		}
+		if next.Version() <= cur.Version() {
+			t.Fatalf("step %d: version %d not after %d", step, next.Version(), cur.Version())
+		}
+		want[idx] = nc
+		cur = next
+	}
+	for i := range want {
+		if got := cur.CloakAt(i); got != want[i] {
+			t.Fatalf("after chain, cloak %d = %v, want %v", i, got, want[i])
+		}
+	}
+	// The original root never moved.
+	if got := a.CloakAt(512); got == cur.CloakAt(512) {
+		t.Fatal("root cloak 512 equals chain tip — COW broken")
+	}
+}
+
+func TestApplyDeltaRejectsMismatch(t *testing.T) {
+	a := deltaAssignment(t, 600)
+	loc := a.DB().At(10).Loc
+	cloak := a.CloakAt(10)
+	ok := geo.Point{X: loc.X + 1, Y: loc.Y}
+
+	// Wrong From: the delta was computed against different record state.
+	_, err := a.ApplyDelta([]Move{{Index: 10, From: geo.Point{X: loc.X + 9, Y: loc.Y}, To: ok}}, nil)
+	if !errors.Is(err, ErrDeltaMismatch) {
+		t.Fatalf("wrong From: %v, want ErrDeltaMismatch", err)
+	}
+	// Wrong Old: the delta was computed against different cloak state.
+	bad := geo.NewRect(cloak.MinX-1, cloak.MinY, cloak.MaxX, cloak.MaxY)
+	_, err = a.ApplyDelta(nil, []CloakChange{{Index: 10, Old: bad, New: cloak}})
+	if !errors.Is(err, ErrDeltaMismatch) {
+		t.Fatalf("wrong Old: %v, want ErrDeltaMismatch", err)
+	}
+	// Out-of-range indices.
+	if _, err := a.ApplyDelta([]Move{{Index: 600, From: loc, To: ok}}, nil); err == nil {
+		t.Fatal("out-of-range move index accepted")
+	}
+	if _, err := a.ApplyDelta(nil, []CloakChange{{Index: -1, Old: cloak, New: cloak}}); err == nil {
+		t.Fatal("negative cloak index accepted")
+	}
+	// New cloak that does not mask the (unmoved) user.
+	far := geo.NewRect(loc.X+100, loc.Y+100, loc.X+104, loc.Y+104)
+	_, err = a.ApplyDelta(nil, []CloakChange{{Index: 10, Old: cloak, New: far}})
+	if !errors.Is(err, ErrNotMasking) {
+		t.Fatalf("non-masking New: %v, want ErrNotMasking", err)
+	}
+	// Move out from under the cloak without a matching cloak change.
+	out := geo.Point{X: loc.X + 50, Y: loc.Y}
+	_, err = a.ApplyDelta([]Move{{Index: 10, From: loc, To: out}}, nil)
+	if !errors.Is(err, ErrNotMasking) {
+		t.Fatalf("move without re-cloak: %v, want ErrNotMasking", err)
+	}
+	// The failed attempts must not have corrupted the parent.
+	if a.DB().At(10).Loc != loc || a.CloakAt(10) != cloak {
+		t.Fatal("failed ApplyDelta mutated the parent")
+	}
+}

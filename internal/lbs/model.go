@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"policyanon/internal/geo"
 	"policyanon/internal/location"
@@ -69,14 +70,76 @@ func ParamsEqual(a, b []Param) bool {
 // the snapshot is mapped to a cloak. Together with the convention that the
 // policy is deterministic and depends only on the snapshot, an Assignment
 // fully determines the Definition-4 policy on this snapshot.
+//
+// Assignments are immutable once built and versioned: a policy change
+// produces a new value, either from scratch (NewAssignment, flat cloak
+// storage) or derived from a predecessor (ApplyDelta, paged copy-on-write
+// storage sharing every unchanged page with the parent). Version()
+// increases monotonically across both paths, so consumers can memoize
+// per-assignment results and, via Delta(), invalidate only what a delta
+// publish actually touched.
 type Assignment struct {
-	db     *location.DB
+	db *location.DB
+	// cloaks is the flat storage of from-scratch assignments (nil iff
+	// paged); pages is the copy-on-write storage of delta-derived ones.
 	cloaks []geo.Rect // indexed like db records
+	pages  [][]geo.Rect
+	n      int
+
+	version uint64
+	delta   *Delta
+}
+
+// Cloak pages hold 128 entries: small enough that rewriting one cloak
+// copies ~2 KiB (cloak-delta batches touch pages roughly one per changed
+// user, so page size sets the COW traffic per publish almost linearly),
+// large enough that the page table of the paper's 1.75M Master set stays
+// around fourteen thousand entries.
+const (
+	cloakPageShift = 7
+	cloakPageSize  = 1 << cloakPageShift
+	cloakPageMask  = cloakPageSize - 1
+)
+
+// assignVersion mints globally monotonic assignment versions.
+var assignVersion atomic.Uint64
+
+// Move is one record relocation between a parent assignment's snapshot and
+// its delta-derived successor.
+type Move struct {
+	Index    int
+	From, To geo.Point
+}
+
+// CloakChange is one record's cloak rewrite between a parent assignment
+// and its delta-derived successor.
+type CloakChange struct {
+	Index    int
+	Old, New geo.Rect
+}
+
+// Delta records how a delta-derived assignment differs from its parent.
+// Consumers (the auditor's per-cloak memo, delta-scoped verification) use
+// it to bound their work by what actually changed.
+type Delta struct {
+	// ParentVersion is the Version() of the assignment ApplyDelta derived
+	// this one from.
+	ParentVersion uint64
+	// Moves are the record relocations applied to the snapshot.
+	Moves []Move
+	// Cloaks are the cloak rewrites applied to the policy.
+	Cloaks []CloakChange
 }
 
 // ErrNotMasking is returned when an assignment would not be a masking
 // policy (Definition 4).
 var ErrNotMasking = errors.New("lbs: cloak does not contain the user location")
+
+// ErrDeltaMismatch is returned by ApplyDelta when a move's From location
+// or a change's Old cloak disagrees with the parent assignment — the delta
+// was computed against different state, and applying it would publish a
+// corrupt policy. Callers recover by publishing from scratch.
+var ErrDeltaMismatch = errors.New("lbs: delta does not match the parent assignment")
 
 // NewAssignment wraps per-record cloaks over a snapshot, verifying the
 // masking property. The cloaks slice is copied, so later mutation of the
@@ -91,22 +154,126 @@ func NewAssignment(db *location.DB, cloaks []geo.Rect) (*Assignment, error) {
 				ErrNotMasking, db.At(i).UserID, db.At(i).Loc, c)
 		}
 	}
-	return &Assignment{db: db, cloaks: append([]geo.Rect(nil), cloaks...)}, nil
+	return &Assignment{
+		db:      db,
+		cloaks:  append([]geo.Rect(nil), cloaks...),
+		n:       db.Len(),
+		version: assignVersion.Add(1),
+	}, nil
 }
+
+// ApplyDelta derives the successor assignment: the parent's snapshot with
+// moves applied (through location.DB's copy-on-write clone) and the
+// parent's cloaks with changes applied (copying only the touched cloak
+// pages). The cost is O(moves + changes), not O(|D|): unchanged record and
+// cloak pages are shared with the parent, which stays fully usable.
+//
+// Every move's From and every change's Old is checked against the parent —
+// a mismatch returns ErrDeltaMismatch — and masking is re-verified for
+// exactly the records the delta touched. ApplyDelta takes ownership of
+// both slices (they are retained in Delta()); callers must not reuse them.
+func (a *Assignment) ApplyDelta(moves []Move, changes []CloakChange) (*Assignment, error) {
+	n := a.Len()
+	mm := make(map[int]geo.Point, len(moves))
+	for _, mv := range moves {
+		if mv.Index < 0 || mv.Index >= n {
+			return nil, fmt.Errorf("lbs: delta move index %d out of range [0,%d)", mv.Index, n)
+		}
+		if got := a.db.At(mv.Index).Loc; got != mv.From {
+			return nil, fmt.Errorf("%w: move %d from %v, parent has %v", ErrDeltaMismatch, mv.Index, mv.From, got)
+		}
+		mm[mv.Index] = mv.To
+	}
+	next := &Assignment{
+		db:      a.db.CloneWithMoves(mm),
+		n:       n,
+		version: assignVersion.Add(1),
+		delta:   &Delta{ParentVersion: a.version, Moves: moves, Cloaks: changes},
+	}
+	// Page table: adopt the parent's pages, or pageify flat storage with
+	// zero copying (the parent is immutable, so subslicing is safe — a
+	// rewrite below replaces the whole page, never writes through).
+	if a.pages != nil {
+		next.pages = append(make([][]geo.Rect, 0, len(a.pages)), a.pages...)
+	} else {
+		next.pages = make([][]geo.Rect, (n+cloakPageSize-1)/cloakPageSize)
+		for p := range next.pages {
+			lo := p << cloakPageShift
+			hi := lo + cloakPageSize
+			if hi > n {
+				hi = n
+			}
+			next.pages[p] = a.cloaks[lo:hi:hi]
+		}
+	}
+	copied := make(map[int]struct{}, len(changes)>>4+1)
+	for _, c := range changes {
+		if c.Index < 0 || c.Index >= n {
+			return nil, fmt.Errorf("lbs: delta cloak index %d out of range [0,%d)", c.Index, n)
+		}
+		p := c.Index >> cloakPageShift
+		if _, ok := copied[p]; !ok {
+			next.pages[p] = append([]geo.Rect(nil), next.pages[p]...)
+			copied[p] = struct{}{}
+		}
+		if got := next.pages[p][c.Index&cloakPageMask]; got != c.Old {
+			return nil, fmt.Errorf("%w: cloak %d old %v, parent has %v", ErrDeltaMismatch, c.Index, c.Old, got)
+		}
+		next.pages[p][c.Index&cloakPageMask] = c.New
+	}
+	// Masking, re-verified for exactly what the delta touched (NewAssignment
+	// verifies all of |D|; everything untouched was verified when the
+	// ancestor was built).
+	for _, c := range changes {
+		if loc := next.db.At(c.Index).Loc; !c.New.ContainsClosed(loc) {
+			return nil, fmt.Errorf("%w: user %q at %v, cloak %v",
+				ErrNotMasking, next.db.At(c.Index).UserID, loc, c.New)
+		}
+	}
+	for _, mv := range moves {
+		if cl := next.CloakAt(mv.Index); !cl.ContainsClosed(mv.To) {
+			return nil, fmt.Errorf("%w: user %q moved to %v, cloak %v",
+				ErrNotMasking, next.db.At(mv.Index).UserID, mv.To, cl)
+		}
+	}
+	return next, nil
+}
+
+// Version returns the assignment's globally monotonic version: later-built
+// assignments always have larger versions, and two assignments never share
+// one. It keys per-assignment memoization.
+func (a *Assignment) Version() uint64 { return a.version }
+
+// Delta returns how this assignment differs from its parent, or nil for
+// assignments built from scratch. The returned value is shared, not a
+// copy; callers must not mutate it.
+func (a *Assignment) Delta() *Delta { return a.delta }
 
 // DB returns the snapshot the assignment covers.
 func (a *Assignment) DB() *location.DB { return a.db }
 
 // Len returns the number of users covered.
-func (a *Assignment) Len() int { return a.db.Len() }
+func (a *Assignment) Len() int { return a.n }
 
 // CloakAt returns the cloak of the i-th record.
-func (a *Assignment) CloakAt(i int) geo.Rect { return a.cloaks[i] }
+func (a *Assignment) CloakAt(i int) geo.Rect {
+	if a.cloaks != nil {
+		return a.cloaks[i]
+	}
+	return a.pages[i>>cloakPageShift][i&cloakPageMask]
+}
 
 // Cloaks returns a freshly allocated copy of the per-record cloaks in
 // record order; mutating it does not affect the assignment.
 func (a *Assignment) Cloaks() []geo.Rect {
-	return append([]geo.Rect(nil), a.cloaks...)
+	if a.cloaks != nil {
+		return append([]geo.Rect(nil), a.cloaks...)
+	}
+	out := make([]geo.Rect, 0, a.n)
+	for _, pg := range a.pages {
+		out = append(out, pg...)
+	}
+	return out
 }
 
 // CloakOf returns the cloak assigned to a user.
@@ -115,7 +282,7 @@ func (a *Assignment) CloakOf(userID string) (geo.Rect, error) {
 	if i < 0 {
 		return geo.Rect{}, fmt.Errorf("%w: %q", location.ErrUnknownUser, userID)
 	}
-	return a.cloaks[i], nil
+	return a.CloakAt(i), nil
 }
 
 // Anonymize applies the policy to a service request (Definition 4),
@@ -135,8 +302,8 @@ func (a *Assignment) Anonymize(rid uint64, sr ServiceRequest) (AnonymizedRequest
 // user issues exactly one request.
 func (a *Assignment) Cost() int64 {
 	var c int64
-	for _, r := range a.cloaks {
-		c += r.Area()
+	for i := 0; i < a.n; i++ {
+		c += a.CloakAt(i).Area()
 	}
 	return c
 }
@@ -154,8 +321,8 @@ func (a *Assignment) AvgArea() float64 {
 // ordered deterministically.
 func (a *Assignment) Groups() []Group {
 	byRect := make(map[geo.Rect][]int)
-	for i, r := range a.cloaks {
-		byRect[r] = append(byRect[r], i)
+	for i := 0; i < a.n; i++ {
+		byRect[a.CloakAt(i)] = append(byRect[a.CloakAt(i)], i)
 	}
 	groups := make([]Group, 0, len(byRect))
 	for r, members := range byRect {

@@ -25,11 +25,36 @@ type Record struct {
 
 // DB is a snapshot of the location database. The zero value is an empty
 // snapshot ready for use.
+//
+// A snapshot has one of two storage forms. Directly built snapshots are
+// flat (one record slice). CloneWithMoves produces paged copy-on-write
+// snapshots that share every unchanged record page — and the user index —
+// with their parent, so deriving the next published snapshot from a small
+// move batch costs O(moves), not O(|D|). Both forms serve reads
+// identically; in-place mutation of a paged snapshot transparently
+// flattens it first (see ensureMutable).
 type DB struct {
-	records []Record
+	records []Record       // flat storage; nil iff paged
+	pages   [][]Record     // copy-on-write storage; nil iff flat
+	n       int            // record count when paged
 	byUser  map[string]int // user id -> index in records
-	version uint64         // bumped on every mutation; see Version
+	// sharedIndex marks byUser as shared with a COW relative; Add copies
+	// it before inserting (Move/MoveAt never mutate the index, so location
+	// updates keep sharing it).
+	sharedIndex bool
+	version     uint64 // bumped on every mutation; see Version
 }
+
+// Record pages hold 128 entries, matching the published-assignment cloak
+// pages: batched random moves touch roughly one page per move, so page
+// size sets the COW copy traffic per batch almost linearly (~3 KiB per
+// rewritten record), while the page table of the paper's 1.75M Master
+// set stays around fourteen thousand entries.
+const (
+	recPageShift = 7
+	recPageSize  = 1 << recPageShift
+	recPageMask  = recPageSize - 1
+)
 
 // ErrDuplicateUser is returned when inserting a user id already present in
 // the snapshot.
@@ -56,16 +81,41 @@ func FromRecords(recs []Record) (*DB, error) {
 
 // Add inserts a user at the given location.
 func (db *DB) Add(userID string, loc geo.Point) error {
+	db.ensureMutable()
 	if db.byUser == nil {
 		db.byUser = make(map[string]int)
 	}
 	if _, ok := db.byUser[userID]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateUser, userID)
 	}
+	if db.sharedIndex {
+		idx := make(map[string]int, len(db.byUser)+1)
+		for k, v := range db.byUser {
+			idx[k] = v
+		}
+		db.byUser = idx
+		db.sharedIndex = false
+	}
 	db.byUser[userID] = len(db.records)
 	db.records = append(db.records, Record{UserID: userID, Loc: loc})
 	db.version++
 	return nil
+}
+
+// ensureMutable flattens a paged snapshot into flat storage before an
+// in-place write, so mutation never writes through pages shared with a
+// copy-on-write relative.
+func (db *DB) ensureMutable() {
+	if db.pages == nil {
+		return
+	}
+	flat := make([]Record, 0, db.n)
+	for _, pg := range db.pages {
+		flat = append(flat, pg...)
+	}
+	db.records = flat
+	db.pages = nil
+	db.n = 0
 }
 
 // Version returns a counter incremented on every mutation (Add, Move,
@@ -75,21 +125,58 @@ func (db *DB) Add(userID string, loc geo.Point) error {
 func (db *DB) Version() uint64 { return db.version }
 
 // Len returns the number of users in the snapshot (|D| in the paper).
-func (db *DB) Len() int { return len(db.records) }
+func (db *DB) Len() int {
+	if db.pages != nil {
+		return db.n
+	}
+	return len(db.records)
+}
 
 // At returns the i-th record in insertion order.
-func (db *DB) At(i int) Record { return db.records[i] }
+func (db *DB) At(i int) Record {
+	if db.records != nil {
+		return db.records[i]
+	}
+	return db.pages[i>>recPageShift][i&recPageMask]
+}
 
-// Records returns the backing record slice. Callers must not mutate it.
-func (db *DB) Records() []Record { return db.records }
+// forEach visits every record in insertion order.
+func (db *DB) forEach(f func(i int, r Record)) {
+	if db.records != nil {
+		for i := range db.records {
+			f(i, db.records[i])
+		}
+		return
+	}
+	i := 0
+	for _, pg := range db.pages {
+		for j := range pg {
+			f(i, pg[j])
+			i++
+		}
+	}
+}
+
+// Records returns the records in insertion order. For flat snapshots this
+// is the backing slice — callers must not mutate it; for paged
+// (CloneWithMoves-derived) snapshots each call materializes a fresh copy,
+// so concurrent readers never share a lazily built buffer.
+func (db *DB) Records() []Record {
+	if db.records != nil {
+		return db.records
+	}
+	out := make([]Record, 0, db.n)
+	for _, pg := range db.pages {
+		out = append(out, pg...)
+	}
+	return out
+}
 
 // Points returns a freshly allocated slice of all user locations in
 // insertion order.
 func (db *DB) Points() []geo.Point {
-	pts := make([]geo.Point, len(db.records))
-	for i, r := range db.records {
-		pts[i] = r.Loc
-	}
+	pts := make([]geo.Point, db.Len())
+	db.forEach(func(i int, r Record) { pts[i] = r.Loc })
 	return pts
 }
 
@@ -99,7 +186,7 @@ func (db *DB) Lookup(userID string) (geo.Point, error) {
 	if !ok {
 		return geo.Point{}, fmt.Errorf("%w: %q", ErrUnknownUser, userID)
 	}
-	return db.records[i].Loc, nil
+	return db.At(i).Loc, nil
 }
 
 // Index returns the record index of a user, or -1 if absent.
@@ -118,6 +205,7 @@ func (db *DB) Move(userID string, to geo.Point) (geo.Point, error) {
 	if !ok {
 		return geo.Point{}, fmt.Errorf("%w: %q", ErrUnknownUser, userID)
 	}
+	db.ensureMutable()
 	prev := db.records[i].Loc
 	db.records[i].Loc = to
 	db.version++
@@ -126,6 +214,7 @@ func (db *DB) Move(userID string, to geo.Point) (geo.Point, error) {
 
 // MoveAt updates the i-th record's location and returns the previous one.
 func (db *DB) MoveAt(i int, to geo.Point) geo.Point {
+	db.ensureMutable()
 	prev := db.records[i].Loc
 	db.records[i].Loc = to
 	db.version++
@@ -134,8 +223,10 @@ func (db *DB) MoveAt(i int, to geo.Point) geo.Point {
 
 // Clone returns a deep copy of the snapshot.
 func (db *DB) Clone() *DB {
+	recs := make([]Record, 0, db.Len())
+	db.forEach(func(_ int, r Record) { recs = append(recs, r) })
 	out := &DB{
-		records: append([]Record(nil), db.records...),
+		records: recs,
 		byUser:  make(map[string]int, len(db.byUser)),
 		version: db.version,
 	}
@@ -145,17 +236,65 @@ func (db *DB) Clone() *DB {
 	return out
 }
 
+// CloneWithMoves derives the snapshot that results from applying moves
+// (record index -> new location) without copying the database: the derived
+// snapshot shares every untouched record page and the user index with db,
+// copying only the pages a move lands on, so it costs O(moves) instead of
+// the O(|D|) of Clone. Both snapshots remain fully usable; a later
+// in-place mutation of either transparently un-shares the touched state.
+//
+// The version advances by len(moves) — the same count of bumps MoveAt
+// would have produced — so a chain of CloneWithMoves snapshots tracks the
+// version of a live DB receiving the same moves.
+func (db *DB) CloneWithMoves(moves map[int]geo.Point) *DB {
+	n := db.Len()
+	out := &DB{
+		n:           n,
+		byUser:      db.byUser,
+		sharedIndex: true,
+		version:     db.version + uint64(len(moves)),
+	}
+	db.sharedIndex = true
+	if db.pages != nil {
+		out.pages = append(make([][]Record, 0, len(db.pages)), db.pages...)
+	} else {
+		// Pageify the flat parent by subslicing: no record is copied, and
+		// the full-capacity cap keeps an append from ever growing into a
+		// neighbouring page. Writes below replace whole pages, so the
+		// parent's storage is never written through.
+		out.pages = make([][]Record, (n+recPageSize-1)/recPageSize)
+		for p := range out.pages {
+			lo := p << recPageShift
+			hi := lo + recPageSize
+			if hi > n {
+				hi = n
+			}
+			out.pages[p] = db.records[lo:hi:hi]
+		}
+	}
+	copied := make(map[int]struct{}, len(moves)>>4+1)
+	for i, to := range moves {
+		p := i >> recPageShift
+		if _, ok := copied[p]; !ok {
+			out.pages[p] = append([]Record(nil), out.pages[p]...)
+			copied[p] = struct{}{}
+		}
+		out.pages[p][i&recPageMask].Loc = to
+	}
+	return out
+}
+
 // Sample draws a uniform random sample of n distinct users using rng,
 // mirroring the paper's sampling of the 1.75M Master set into smaller
 // location databases. It fails if n exceeds the snapshot size.
 func (db *DB) Sample(rng *rand.Rand, n int) (*DB, error) {
-	if n > len(db.records) {
-		return nil, fmt.Errorf("location: sample size %d exceeds population %d", n, len(db.records))
+	if n > db.Len() {
+		return nil, fmt.Errorf("location: sample size %d exceeds population %d", n, db.Len())
 	}
-	perm := rng.Perm(len(db.records))
+	perm := rng.Perm(db.Len())
 	out := New(n)
 	for _, idx := range perm[:n] {
-		r := db.records[idx]
+		r := db.At(idx)
 		if err := out.Add(r.UserID, r.Loc); err != nil {
 			return nil, err
 		}
@@ -167,9 +306,7 @@ func (db *DB) Sample(rng *rand.Rand, n int) (*DB, error) {
 // or an empty rectangle for an empty snapshot.
 func (db *DB) Bounds() geo.Rect {
 	var b geo.Rect
-	for _, r := range db.records {
-		b = b.ExpandToPoint(r.Loc)
-	}
+	db.forEach(func(_ int, r Record) { b = b.ExpandToPoint(r.Loc) })
 	return b
 }
 
@@ -177,11 +314,11 @@ func (db *DB) Bounds() geo.Rect {
 // i.e. d(m) of Definition 7 for the quadrant r.
 func (db *DB) CountIn(r geo.Rect) int {
 	n := 0
-	for _, rec := range db.records {
+	db.forEach(func(_ int, rec Record) {
 		if r.Contains(rec.Loc) {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -189,11 +326,11 @@ func (db *DB) CountIn(r geo.Rect) int {
 // insertion order.
 func (db *DB) UsersIn(r geo.Rect) []string {
 	var out []string
-	for _, rec := range db.records {
+	db.forEach(func(_ int, rec Record) {
 		if r.Contains(rec.Loc) {
 			out = append(out, rec.UserID)
 		}
-	}
+	})
 	return out
 }
 
@@ -202,16 +339,17 @@ func (db *DB) UsersIn(r geo.Rect) []string {
 // order (users only move between snapshots; arrivals and departures are
 // modelled as separate snapshots in this reproduction).
 func (db *DB) Diff(next *DB) ([]int, error) {
-	if len(db.records) != len(next.records) {
-		return nil, fmt.Errorf("location: diff size mismatch %d vs %d", len(db.records), len(next.records))
+	if db.Len() != next.Len() {
+		return nil, fmt.Errorf("location: diff size mismatch %d vs %d", db.Len(), next.Len())
 	}
 	var moved []int
-	for i := range db.records {
-		if db.records[i].UserID != next.records[i].UserID {
+	for i := 0; i < db.Len(); i++ {
+		a, b := db.At(i), next.At(i)
+		if a.UserID != b.UserID {
 			return nil, fmt.Errorf("location: diff user mismatch at %d: %q vs %q",
-				i, db.records[i].UserID, next.records[i].UserID)
+				i, a.UserID, b.UserID)
 		}
-		if db.records[i].Loc != next.records[i].Loc {
+		if a.Loc != b.Loc {
 			moved = append(moved, i)
 		}
 	}
@@ -221,11 +359,18 @@ func (db *DB) Diff(next *DB) ([]int, error) {
 // WriteCSV writes the snapshot as "userid,locx,locy" rows.
 func (db *DB) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	for _, r := range db.records {
+	var werr error
+	db.forEach(func(_ int, r Record) {
+		if werr != nil {
+			return
+		}
 		rec := []string{r.UserID, strconv.FormatInt(int64(r.Loc.X), 10), strconv.FormatInt(int64(r.Loc.Y), 10)}
 		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("location: write csv: %w", err)
+			werr = fmt.Errorf("location: write csv: %w", err)
 		}
+	})
+	if werr != nil {
+		return werr
 	}
 	cw.Flush()
 	return cw.Error()
@@ -261,10 +406,8 @@ func ReadCSV(r io.Reader) (*DB, error) {
 // SortedUserIDs returns all user ids in lexicographic order; useful for
 // deterministic iteration in tests and reports.
 func (db *DB) SortedUserIDs() []string {
-	ids := make([]string, 0, len(db.records))
-	for _, r := range db.records {
-		ids = append(ids, r.UserID)
-	}
+	ids := make([]string, 0, db.Len())
+	db.forEach(func(_ int, r Record) { ids = append(ids, r.UserID) })
 	sort.Strings(ids)
 	return ids
 }

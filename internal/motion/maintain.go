@@ -2,6 +2,7 @@ package motion
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"policyanon/internal/core"
@@ -28,7 +29,27 @@ type maintainer struct {
 	// Incremental-capable engines once a matrix has been built. Rebuilds
 	// replace it so later batches can go back to incremental maintenance.
 	anon *core.Anonymizer
+
+	// lastPub is the most recently published assignment when the delta
+	// chain is intact: the next delta publish derives from it via
+	// ApplyDelta, sharing all unchanged storage. It is nil whenever the
+	// matrix baseline and the published assignment may disagree (before the
+	// first publish, after a failed publish, after a rebuild starts) —
+	// then the next publish goes from scratch and re-anchors the chain.
+	lastPub *lbs.Assignment
+	// publishes counts successful publishes, driving the VerifyEvery
+	// full-verification cadence.
+	publishes int64
 }
+
+// verifyError wraps a failure of the publish-gate verification. apply
+// distinguishes it from maintenance failures: a policy that fails
+// verification must surface (rebuilding would re-derive the same policy),
+// while a mid-batch maintenance failure is recovered by a rebuild.
+type verifyError struct{ err error }
+
+func (e *verifyError) Error() string { return e.err.Error() }
+func (e *verifyError) Unwrap() error { return e.err }
 
 func newMaintainer(db *location.DB, bounds geo.Rect, cfg Config) (*maintainer, error) {
 	eng, err := engine.Get(cfg.Engine)
@@ -68,49 +89,183 @@ func (m *maintainer) choose(moves int) Strategy {
 	return StrategyIncremental
 }
 
+// applyResult describes one successful batch apply, ready to publish.
+type applyResult struct {
+	policy   *lbs.Assignment
+	strategy Strategy
+	// rows is the number of configuration-matrix rows recomputed
+	// (incremental) or the snapshot size (rebuild).
+	rows int
+	// rowsExtracted is the number of tree nodes the policy-exhibition pass
+	// re-assigned: O(dirty subtrees) on the delta path, the full node walk
+	// otherwise (reported as |D|).
+	rowsExtracted int
+	// cloaksChanged is the number of cloak rewrites a delta publish
+	// carried; full publishes rewrite everything and report |D|.
+	cloaksChanged int
+	// delta marks a publish through the copy-on-write ApplyDelta path.
+	delta bool
+	// fallback marks a batch whose incremental maintenance failed mid-way
+	// and was recovered by a full rebuild.
+	fallback bool
+}
+
 // apply performs one coalesced batch against the live state and returns
-// the next policy rebound to an immutable snapshot clone, verified and
-// ready to publish.
-func (m *maintainer) apply(ctx context.Context, moves map[int]geo.Point) (*lbs.Assignment, Strategy, int, error) {
-	strategy := m.choose(len(moves))
-	var (
-		policy *lbs.Assignment
-		rows   int
-		err    error
-	)
-	switch strategy {
-	case StrategyIncremental:
-		if m.anon == nil {
-			// Forced-incremental pipeline adopted a policy without a
-			// matrix: build one over the pre-move state, then maintain it.
-			if _, _, err = m.rebuild(ctx); err != nil {
-				return nil, strategy, 0, err
+// the next policy bound to an immutable snapshot (a copy-on-write delta of
+// the previous one when possible, a full clone otherwise), verified and
+// ready to publish. A mid-batch incremental maintenance failure — which
+// leaves the matrix inconsistent with the live DB — is recovered by
+// falling back to a full rebuild instead of failing the batch.
+func (m *maintainer) apply(ctx context.Context, moves map[int]geo.Point) (applyResult, error) {
+	if m.choose(len(moves)) == StrategyIncremental {
+		res, err := m.applyIncremental(ctx, moves)
+		if err == nil {
+			return res, nil
+		}
+		var ve *verifyError
+		if errors.As(err, &ve) {
+			// The extracted policy itself failed the publish gate; a
+			// rebuild would re-derive it, so surface instead of masking.
+			return applyResult{}, ve.err
+		}
+		res, ferr := m.applyRebuild(ctx, moves)
+		if ferr != nil {
+			var fve *verifyError
+			if errors.As(ferr, &fve) {
+				ferr = fve.err
 			}
+			return applyResult{}, fmt.Errorf(
+				"motion: incremental maintenance failed (%v); rebuild fallback: %w", err, ferr)
 		}
-		for idx, to := range moves {
-			if err = m.anon.Move(idx, to); err != nil {
-				return nil, strategy, 0, err
-			}
-		}
-		rows = m.anon.Refresh()
-		policy, err = m.anon.Policy()
-	default:
-		for idx, to := range moves {
-			m.db.MoveAt(idx, to)
-		}
-		policy, rows, err = m.rebuild(ctx)
+		res.fallback = true
+		return res, nil
 	}
+	res, err := m.applyRebuild(ctx, moves)
 	if err != nil {
-		return nil, strategy, 0, err
+		var ve *verifyError
+		if errors.As(err, &ve) {
+			err = ve.err
+		}
+		return applyResult{}, err
+	}
+	return res, nil
+}
+
+// applyIncremental maintains the live matrix through the batch and
+// publishes a delta when the chain allows it: ExtractDelta re-assigns only
+// dirty subtrees and ApplyDelta derives the next published assignment from
+// the previous one without cloning the DB or the cloaks. Any break in the
+// chain (no baseline, stale parent, adoption mismatch) degrades to the
+// full extract-rebind path within the same batch.
+func (m *maintainer) applyIncremental(ctx context.Context, moves map[int]geo.Point) (applyResult, error) {
+	if m.anon == nil {
+		// Forced-incremental pipeline adopted a policy without a
+		// matrix: build one over the pre-move state, then maintain it.
+		if _, _, err := m.rebuild(ctx); err != nil {
+			return applyResult{}, err
+		}
+	}
+	// Capture From locations before mutating: ApplyDelta validates them
+	// against the parent assignment, whose contents match the live DB
+	// exactly while the chain is intact.
+	var mvs []lbs.Move
+	if m.lastPub != nil {
+		mvs = make([]lbs.Move, 0, len(moves))
+		for idx, to := range moves {
+			mvs = append(mvs, lbs.Move{Index: idx, From: m.db.At(idx).Loc, To: to})
+		}
+	}
+	for idx, to := range moves {
+		if err := m.anon.Move(idx, to); err != nil {
+			return applyResult{}, err
+		}
+	}
+	rows := m.anon.Refresh()
+	res := applyResult{strategy: StrategyIncremental, rows: rows}
+	if m.lastPub != nil {
+		changes, visited, err := m.anon.Matrix().ExtractDelta()
+		if err == nil {
+			pub, aerr := m.lastPub.ApplyDelta(mvs, changes)
+			if aerr == nil {
+				res.policy = pub
+				res.rowsExtracted = visited
+				res.cloaksChanged = len(changes)
+				res.delta = true
+				if verr := m.verifyPub(pub); verr != nil {
+					// The matrix baseline advanced past lastPub when
+					// ExtractDelta succeeded; the chain is broken.
+					m.lastPub = nil
+					return applyResult{}, &verifyError{verr}
+				}
+				m.notePublished(pub)
+				return res, nil
+			}
+			// The delta does not match the published parent (e.g. an
+			// adopted policy differing from the matrix baseline). The
+			// matrix has already absorbed the changes, so drop the chain
+			// and publish from scratch; ApplyDelta's validation makes this
+			// self-healing rather than silently corrupting.
+			m.lastPub = nil
+		}
+		// ErrNoDeltaBaseline (fresh matrix) falls through likewise; other
+		// extraction errors will recur below and surface there.
+	}
+	policy, err := m.anon.Policy()
+	if err != nil {
+		return applyResult{}, err
 	}
 	pub, err := m.rebind(policy)
 	if err != nil {
-		return nil, strategy, 0, err
+		m.lastPub = nil
+		return applyResult{}, err
 	}
-	if err := m.verify(pub); err != nil {
-		return nil, strategy, 0, err
+	res.policy = pub
+	res.rowsExtracted = pub.Len()
+	res.cloaksChanged = pub.Len()
+	if verr := m.verifyPub(pub); verr != nil {
+		m.lastPub = nil
+		return applyResult{}, &verifyError{verr}
 	}
-	return pub, strategy, rows, nil
+	m.notePublished(pub)
+	return res, nil
+}
+
+// applyRebuild applies the batch straight to the live DB and recomputes
+// the policy from scratch. Re-applying moves some of which an aborted
+// incremental attempt already performed is safe: MoveAt is idempotent on
+// contents, and the rebuild re-derives tree and matrix from the DB alone.
+func (m *maintainer) applyRebuild(ctx context.Context, moves map[int]geo.Point) (applyResult, error) {
+	m.lastPub = nil // chain is broken until this publish lands
+	for idx, to := range moves {
+		m.db.MoveAt(idx, to)
+	}
+	policy, rows, err := m.rebuild(ctx)
+	if err != nil {
+		return applyResult{}, err
+	}
+	pub, err := m.rebind(policy)
+	if err != nil {
+		return applyResult{}, err
+	}
+	res := applyResult{
+		policy:        pub,
+		strategy:      StrategyRebuild,
+		rows:          rows,
+		rowsExtracted: pub.Len(),
+		cloaksChanged: pub.Len(),
+	}
+	if verr := m.verifyPub(pub); verr != nil {
+		return applyResult{}, &verifyError{verr}
+	}
+	m.notePublished(pub)
+	return res, nil
+}
+
+// notePublished re-anchors the delta chain on a successfully verified
+// publish and advances the VerifyEvery cadence.
+func (m *maintainer) notePublished(pub *lbs.Assignment) {
+	m.lastPub = pub
+	m.publishes++
 }
 
 // rebuild recomputes the policy from scratch over the live DB. For
@@ -162,4 +317,22 @@ func (m *maintainer) verify(policy *lbs.Assignment) error {
 		return fmt.Errorf("motion: refusing to publish: %s", rep.Problems[0])
 	}
 	return nil
+}
+
+// verifyPub gates one batch publish. Delta-derived policies are verified
+// delta-scoped (O(touched), sound relative to the last fully verified
+// ancestor) except every VerifyEvery-th publish, which re-runs the full
+// first-principles verification as the anchor; VerifyEvery <= 1 verifies
+// every publish in full. Full publishes always verify in full.
+func (m *maintainer) verifyPub(pub *lbs.Assignment) error {
+	if m.cfg.SkipVerify {
+		return nil
+	}
+	if pub.Delta() != nil && m.cfg.VerifyEvery > 1 && (m.publishes+1)%int64(m.cfg.VerifyEvery) != 0 {
+		if rep := verify.Delta(pub, m.cfg.K); !rep.OK() {
+			return fmt.Errorf("motion: refusing to publish: %s", rep.Problems[0])
+		}
+		return nil
+	}
+	return m.verify(pub)
 }

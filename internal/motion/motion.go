@@ -177,6 +177,12 @@ type Config struct {
 	// each snapshot swap. Verification re-derives masking and k-anonymity
 	// from first principles (internal/verify); leave it on in production.
 	SkipVerify bool
+	// VerifyEvery sets the full-verification cadence for delta publishes:
+	// every VerifyEvery-th publish is verified in full (verify.Policy,
+	// including the Definition 6 witness), the others delta-scoped
+	// (verify.Delta, O(touched cloaks)). 0 or 1 verifies every publish in
+	// full. Full (non-delta) publishes are always verified in full.
+	VerifyEvery int
 
 	// CheckpointEvery persists state every N applied batches through
 	// Checkpoint (0 disables periodic persistence; the final drain always
@@ -246,6 +252,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxMoveMeters == 0 {
 		c.MaxMoveMeters = 200
 	}
+	if c.VerifyEvery < 0 {
+		return c, fmt.Errorf("motion: VerifyEvery must be >= 0, got %d", c.VerifyEvery)
+	}
 	if c.CheckpointEvery < 0 {
 		return c, fmt.Errorf("motion: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
 	}
@@ -279,6 +288,18 @@ type Snapshot struct {
 	// Rows is the number of configuration-matrix rows recomputed
 	// (incremental) or the full snapshot size (rebuild).
 	Rows int
+	// RowsExtracted is the number of tree nodes the policy-exhibition pass
+	// re-assigned: O(dirty subtrees) for delta publishes, |D| otherwise.
+	RowsExtracted int
+	// CloaksChanged is the number of per-user cloak rewrites this snapshot
+	// carries relative to its predecessor (|D| for full publishes).
+	CloaksChanged int
+	// Delta marks a snapshot published through the copy-on-write
+	// ApplyDelta path, sharing unchanged storage with its predecessor.
+	Delta bool
+	// Fallback marks a snapshot produced by the full-rebuild recovery of a
+	// failed incremental batch.
+	Fallback bool
 	// AppliedAt is when the snapshot was published.
 	AppliedAt time.Time
 	// ApplyTime is the wall time of the producing apply (maintenance +
@@ -306,6 +327,10 @@ type Stats struct {
 	Rows           int64   `json:"rowsRecomputed"`
 	Incremental    int64   `json:"incrementalApplies"`
 	Rebuilds       int64   `json:"rebuildApplies"`
+	RowsExtracted  int64   `json:"rowsExtracted"`
+	CloaksChanged  int64   `json:"cloaksChanged"`
+	DeltaPublishes int64   `json:"deltaPublishes"`
+	Fallbacks      int64   `json:"fallbacks"`
 	VerifyFailures int64   `json:"verifyFailures"`
 	Checkpoints    int64   `json:"checkpoints"`
 	LastBatch      int     `json:"lastBatch"`
@@ -339,6 +364,10 @@ type Pipeline struct {
 	rows           atomic.Int64
 	incremental    atomic.Int64
 	rebuilds       atomic.Int64
+	rowsExtracted  atomic.Int64
+	cloaksChanged  atomic.Int64
+	deltaPublishes atomic.Int64
+	fallbacks      atomic.Int64
 	verifyFailures atomic.Int64
 	checkpoints    atomic.Int64
 	lastBatch      atomic.Int64
@@ -404,15 +433,20 @@ func (p *Pipeline) initialSnapshot(policy *lbs.Assignment) (*Snapshot, error) {
 	if err := p.m.verify(pub); err != nil {
 		return nil, err
 	}
+	// Anchor the delta chain: subsequent incremental batches derive their
+	// published assignments from this one via ApplyDelta.
+	p.m.notePublished(pub)
 	return &Snapshot{
-		Policy:    pub,
-		K:         p.cfg.K,
-		Bounds:    p.m.bounds,
-		Epoch:     1,
-		Strategy:  "initial",
-		Rows:      pub.Len(),
-		AppliedAt: start,
-		ApplyTime: time.Since(start),
+		Policy:        pub,
+		K:             p.cfg.K,
+		Bounds:        p.m.bounds,
+		Epoch:         1,
+		Strategy:      "initial",
+		Rows:          pub.Len(),
+		RowsExtracted: pub.Len(),
+		CloaksChanged: pub.Len(),
+		AppliedAt:     start,
+		ApplyTime:     time.Since(start),
 	}, nil
 }
 
@@ -442,6 +476,10 @@ func (p *Pipeline) Stats() Stats {
 		Rows:           p.rows.Load(),
 		Incremental:    p.incremental.Load(),
 		Rebuilds:       p.rebuilds.Load(),
+		RowsExtracted:  p.rowsExtracted.Load(),
+		CloaksChanged:  p.cloaksChanged.Load(),
+		DeltaPublishes: p.deltaPublishes.Load(),
+		Fallbacks:      p.fallbacks.Load(),
 		VerifyFailures: p.verifyFailures.Load(),
 		Checkpoints:    p.checkpoints.Load(),
 		LastBatch:      int(p.lastBatch.Load()),
@@ -593,7 +631,7 @@ func (p *Pipeline) apply(batch []queued) {
 		coalesced[it.idx] = it.to
 	}
 	start := time.Now()
-	policy, strategy, rows, err := p.m.apply(ctx, coalesced)
+	res, err := p.m.apply(ctx, coalesced)
 	if err != nil {
 		// An apply error leaves the previous snapshot published; moves of
 		// the failed batch stay applied to the live DB and are re-covered
@@ -609,22 +647,34 @@ func (p *Pipeline) apply(batch []queued) {
 	elapsed := time.Since(start)
 	prev := p.front.Load()
 	next := &Snapshot{
-		Policy:    policy,
-		K:         p.cfg.K,
-		Bounds:    p.m.bounds,
-		Epoch:     prev.Epoch + 1,
-		Strategy:  string(strategy),
-		Moves:     len(coalesced),
-		Rows:      rows,
-		AppliedAt: time.Now(),
-		ApplyTime: elapsed,
+		Policy:        res.policy,
+		K:             p.cfg.K,
+		Bounds:        p.m.bounds,
+		Epoch:         prev.Epoch + 1,
+		Strategy:      string(res.strategy),
+		Moves:         len(coalesced),
+		Rows:          res.rows,
+		RowsExtracted: res.rowsExtracted,
+		CloaksChanged: res.cloaksChanged,
+		Delta:         res.delta,
+		Fallback:      res.fallback,
+		AppliedAt:     time.Now(),
+		ApplyTime:     elapsed,
 	}
 	// Account before publishing: anyone who observes the new epoch also
 	// observes counters that cover it (readers adopt snapshots keyed on
 	// the epoch and copy Stats at adoption time).
 	p.batches.Add(1)
 	p.moves.Add(int64(len(coalesced)))
-	p.rows.Add(int64(rows))
+	p.rows.Add(int64(res.rows))
+	p.rowsExtracted.Add(int64(res.rowsExtracted))
+	p.cloaksChanged.Add(int64(res.cloaksChanged))
+	if res.delta {
+		p.deltaPublishes.Add(1)
+	}
+	if res.fallback {
+		p.fallbacks.Add(1)
+	}
 	p.lastBatch.Store(int64(len(coalesced)))
 	p.lastApplyNs.Store(elapsed.Nanoseconds())
 	p.publish(next)
@@ -632,26 +682,44 @@ func (p *Pipeline) apply(batch []queued) {
 	reg := p.cfg.Registry
 	reg.Counter("motion_batches").Inc()
 	reg.Counter("motion_moves").Add(int64(len(coalesced)))
+	reg.Counter("motion_rows_extracted").Add(int64(res.rowsExtracted))
+	reg.Counter("motion_cloaks_changed").Add(int64(res.cloaksChanged))
 	reg.ValueHistogram("motion_batch_size").Observe(int64(len(coalesced)))
 	reg.Histogram("motion_apply_latency").Observe(elapsed)
 	reg.Gauge("motion_epoch").Set(next.Epoch)
 	reg.Gauge("motion_queue_depth").Set(int64(len(p.q)))
-	if strategy == StrategyIncremental {
+	if res.strategy == StrategyIncremental {
 		p.incremental.Add(1)
 		reg.Counter("motion_apply_incremental").Inc()
 	} else {
 		p.rebuilds.Add(1)
 		reg.Counter("motion_apply_rebuild").Inc()
 	}
+	if res.delta {
+		reg.Counter("motion_delta_publishes").Inc()
+	}
+	if res.fallback {
+		reg.Counter("motion_fallback_total").Inc()
+	}
 	if sp != nil {
-		sp.SetAttr("strategy", string(strategy))
+		sp.SetAttr("strategy", string(res.strategy))
 		sp.SetInt("moves", int64(len(coalesced)))
-		sp.SetInt("rows", int64(rows))
+		sp.SetInt("rows", int64(res.rows))
+		sp.SetInt("rows_extracted", int64(res.rowsExtracted))
+		sp.SetInt("cloaks_changed", int64(res.cloaksChanged))
+		if res.delta {
+			sp.SetAttr("publish", "delta")
+		} else {
+			sp.SetAttr("publish", "full")
+		}
 	}
 	if p.cfg.Logger != nil {
 		p.cfg.Logger.Debug("motion batch applied",
 			"epoch", next.Epoch, "strategy", next.Strategy,
-			"moves", next.Moves, "rows", rows, "ms", float64(elapsed.Microseconds())/1000)
+			"moves", next.Moves, "rows", res.rows,
+			"rowsExtracted", res.rowsExtracted, "cloaksChanged", res.cloaksChanged,
+			"delta", res.delta, "fallback", res.fallback,
+			"ms", float64(elapsed.Microseconds())/1000)
 	}
 	if n := p.cfg.CheckpointEvery; n > 0 && p.cfg.Checkpoint != nil && p.batches.Load()%int64(n) == 0 {
 		p.checkpoint(next)

@@ -1,0 +1,135 @@
+package rolling
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"policyanon/internal/core"
+	"policyanon/internal/geo"
+	"policyanon/internal/verify"
+)
+
+// TestCommitPublishesDelta pins the serving path's delta publication: after
+// the initial full publish, commits ride the copy-on-write chain, rewrite
+// only a few cloaks, and stay byte-identical to a from-scratch policy.
+func TestCommitPublishesDelta(t *testing.T) {
+	const (
+		k    = 5
+		n    = 150
+		side = int32(256)
+	)
+	r, err := New(makeDB(t, n, side, 9), geo.NewRect(0, 0, side, side), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for round := 0; round < 8; round++ {
+		for j := 0; j < 4; j++ {
+			id := fmt.Sprintf("u%04d", rng.Intn(n))
+			if err := r.Move(id, geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := r.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Delta {
+			t.Fatalf("round %d: commit did not publish a delta", round)
+		}
+		if st.CloaksChanged >= n {
+			t.Fatalf("round %d: delta publish rewrote %d of %d cloaks", round, st.CloaksChanged, n)
+		}
+		if r.Policy().Delta() == nil {
+			t.Fatalf("round %d: published policy carries no delta", round)
+		}
+	}
+	// Parity: the chain tip equals a from-scratch policy over the same
+	// snapshot, and survives the full verification.
+	pub := r.Policy()
+	fresh, err := core.NewAnonymizer(pub.DB().Clone(), geo.NewRect(0, 0, side, side), core.AnonymizerOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if pub.CloakAt(i) != want.CloakAt(i) {
+			t.Fatalf("cloak %d = %v, from-scratch %v", i, pub.CloakAt(i), want.CloakAt(i))
+		}
+	}
+	if rep := verify.Policy(pub, k); !rep.OK() {
+		t.Fatalf("chain tip failed full verification: %v", rep.Problems)
+	}
+}
+
+// TestCommitDeltaChainBreaksOnBadMove pins the chain-hygiene rule: a failed
+// Move (half-updated live state) forces the next publish to go from
+// scratch rather than trust the delta chain.
+func TestCommitDeltaChainBreaksOnBadMove(t *testing.T) {
+	const (
+		k    = 4
+		n    = 80
+		side = int32(256)
+	)
+	r, err := New(makeDB(t, n, side, 11), geo.NewRect(0, 0, side, side), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out of tree bounds: Move fails after the live DB may have been
+	// touched, so the chain must not be trusted.
+	if err := r.Move("u0001", geo.Point{X: side * 4, Y: side * 4}); err == nil {
+		t.Fatal("out-of-bounds move accepted")
+	}
+	// Re-sync the half-updated record with a valid move.
+	if err := r.Move("u0001", geo.Point{X: 10, Y: 10}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delta {
+		t.Fatal("publish after a failed Move rode the delta chain")
+	}
+	// The chain re-anchors on the full publish.
+	if err := r.Move("u0003", geo.Point{X: 20, Y: 20}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = r.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Delta {
+		t.Fatal("chain did not re-anchor after the full publish")
+	}
+}
+
+// BenchmarkCommitSingleMove measures the serving-path publish cost of one
+// user's move — the operation delta publication turns from O(|D|) into
+// O(dirty subtree).
+func BenchmarkCommitSingleMove(b *testing.B) {
+	const (
+		k    = 10
+		n    = 20000
+		side = int32(1 << 12)
+	)
+	rng := rand.New(rand.NewSource(12))
+	r, err := New(makeDB(b, n, side, 12), geo.NewRect(0, 0, side, side), k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("u%04d", rng.Intn(n))
+		if err := r.Move(id, geo.Point{X: rng.Int31n(side), Y: rng.Int31n(side)}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,14 @@
 // snapshot, so readers always observe a consistent (snapshot, policy)
 // pair: requests racing a snapshot boundary get either the old pair or
 // the new pair, never a partial one.
+//
+// Publication is delta-native: while the chain from the last published
+// policy is intact, Commit extracts only the cloaks that changed
+// (Matrix.ExtractDelta) and derives the next published assignment by
+// copy-on-write (Assignment.ApplyDelta), so committing a single user's
+// move costs O(dirty subtree) instead of O(|D|). Any break in the chain —
+// first publish, failed publish, delta mismatch — falls back to the full
+// extract-clone-verify path and re-anchors it.
 package rolling
 
 import (
@@ -24,6 +32,11 @@ import (
 	"policyanon/internal/verify"
 )
 
+// DefaultVerifyEvery is the default full-verification cadence of delta
+// publishes: every Nth publish re-runs the full first-principles
+// verification; the others are verified delta-scoped.
+const DefaultVerifyEvery = 16
+
 // Anonymizer is the rolling-policy server. Create with New, which takes
 // ownership of db (callers must not mutate it afterwards).
 type Anonymizer struct {
@@ -34,11 +47,27 @@ type Anonymizer struct {
 	current atomic.Pointer[lbs.Assignment]
 	epoch   atomic.Int64
 
-	// mu serializes writers (Move/Commit) and guards db/anon/pending.
+	// mu serializes writers (Move/Commit) and guards everything below.
 	mu      sync.Mutex
 	db      *location.DB // live snapshot, owned by this Anonymizer
 	anon    *core.Anonymizer
 	pending int
+	// pendingMv coalesces staged moves per record index, capturing each
+	// record's From at its first move since the last successful publish —
+	// exactly the parent state ApplyDelta validates against. Entries are
+	// kept until a publish succeeds, so a failed Commit retries with the
+	// full move set.
+	pendingMv map[int]lbs.Move
+	// lastPub is the published assignment matching the matrix's extraction
+	// baseline; nil whenever the two may disagree, forcing a full publish.
+	lastPub     *lbs.Assignment
+	publishes   int64
+	verifyEvery int
+
+	// last*, set by publishLocked, feed Commit's Stats.
+	lastRowsExtracted int
+	lastCloaksChanged int
+	lastDelta         bool
 }
 
 // New computes, verifies and publishes the initial policy.
@@ -47,31 +76,98 @@ func New(db *location.DB, bounds geo.Rect, k int) (*Anonymizer, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Anonymizer{k: k, db: db, anon: anon}
+	r := &Anonymizer{
+		k:           k,
+		db:          db,
+		anon:        anon,
+		pendingMv:   make(map[int]lbs.Move),
+		verifyEvery: DefaultVerifyEvery,
+	}
 	if err := r.publishLocked(); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
+// SetVerifyEvery sets the full-verification cadence for delta publishes
+// (n <= 1 verifies every publish in full).
+func (r *Anonymizer) SetVerifyEvery(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.verifyEvery = n
+}
+
 // publishLocked extracts, verifies and atomically publishes the current
-// policy over an immutable snapshot clone. Callers hold mu (or are in New
-// before the value escapes).
+// policy: through the copy-on-write delta chain while it is intact, from
+// scratch over an immutable snapshot clone otherwise. Callers hold mu (or
+// are in New before the value escapes).
 func (r *Anonymizer) publishLocked() error {
+	if r.lastPub != nil {
+		changes, visited, err := r.anon.Matrix().ExtractDelta()
+		if err == nil {
+			mvs := make([]lbs.Move, 0, len(r.pendingMv))
+			for _, mv := range r.pendingMv {
+				mvs = append(mvs, mv)
+			}
+			pub, aerr := r.lastPub.ApplyDelta(mvs, changes)
+			if aerr == nil {
+				if verr := r.verifyLocked(pub); verr != nil {
+					// The matrix baseline advanced past the published
+					// policy when ExtractDelta succeeded.
+					r.lastPub = nil
+					return verr
+				}
+				r.storeLocked(pub, visited, len(changes), true)
+				return nil
+			}
+			// Delta mismatch against the published parent: the matrix has
+			// absorbed the changes, so drop the chain and publish in full.
+			r.lastPub = nil
+		}
+		// ErrNoDeltaBaseline falls through likewise.
+	}
 	cloaks, err := r.anon.Matrix().Extract()
 	if err != nil {
 		return err
 	}
 	policy, err := lbs.NewAssignment(r.db.Clone(), cloaks)
 	if err != nil {
+		r.lastPub = nil
 		return err
 	}
 	if rep := verify.Policy(policy, r.k); !rep.OK() {
+		r.lastPub = nil
 		return fmt.Errorf("rolling: refusing to publish: %s", rep.Problems[0])
 	}
-	r.current.Store(policy)
-	r.epoch.Add(1)
+	r.storeLocked(policy, policy.Len(), policy.Len(), false)
 	return nil
+}
+
+// verifyLocked gates one delta publish: delta-scoped except every
+// verifyEvery-th publish, which re-anchors with the full verification.
+func (r *Anonymizer) verifyLocked(pub *lbs.Assignment) error {
+	var rep *verify.Report
+	if pub.Delta() != nil && r.verifyEvery > 1 && (r.publishes+1)%int64(r.verifyEvery) != 0 {
+		rep = verify.Delta(pub, r.k)
+	} else {
+		rep = verify.Policy(pub, r.k)
+	}
+	if !rep.OK() {
+		return fmt.Errorf("rolling: refusing to publish: %s", rep.Problems[0])
+	}
+	return nil
+}
+
+// storeLocked swaps the published policy and re-anchors the delta chain.
+func (r *Anonymizer) storeLocked(pub *lbs.Assignment, rowsExtracted, cloaksChanged int, delta bool) {
+	r.current.Store(pub)
+	r.epoch.Add(1)
+	r.lastPub = pub
+	r.publishes++
+	clear(r.pendingMv)
+	r.lastRowsExtracted = rowsExtracted
+	r.lastCloaksChanged = cloaksChanged
+	r.lastDelta = delta
 }
 
 // CloakOf returns the user's cloak under the currently published policy.
@@ -95,9 +191,18 @@ func (r *Anonymizer) Move(userID string, to geo.Point) error {
 	if i < 0 {
 		return fmt.Errorf("rolling: unknown user %q", userID)
 	}
+	mv, ok := r.pendingMv[i]
+	if !ok {
+		mv = lbs.Move{Index: i, From: r.db.At(i).Loc}
+	}
 	if err := r.anon.Move(i, to); err != nil {
+		// The live state may be half-updated; force the next publish to go
+		// from scratch rather than trust the chain.
+		r.lastPub = nil
 		return err
 	}
+	mv.To = to
+	r.pendingMv[i] = mv
 	r.pending++
 	return nil
 }
@@ -108,10 +213,19 @@ type Stats struct {
 	PendingMoves int
 	PolicyCost   int64
 	CommitTime   time.Duration
+	// RowsExtracted is the number of tree nodes the policy-exhibition pass
+	// re-assigned (|D| for full publishes).
+	RowsExtracted int
+	// CloaksChanged is the number of per-user cloak rewrites this publish
+	// carried (|D| for full publishes).
+	CloaksChanged int
+	// Delta marks a publish through the copy-on-write delta path.
+	Delta bool
 }
 
 // Commit refreshes the configuration matrix incrementally, extracts and
-// verifies the next policy, and publishes it atomically.
+// verifies the next policy, and publishes it atomically — by delta while
+// the chain from the previous publish is intact.
 func (r *Anonymizer) Commit() (Stats, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -123,9 +237,12 @@ func (r *Anonymizer) Commit() (Stats, error) {
 	}
 	r.pending = 0
 	return Stats{
-		Epoch:        r.epoch.Load(),
-		PendingMoves: pending,
-		PolicyCost:   r.current.Load().Cost(),
-		CommitTime:   time.Since(start),
+		Epoch:         r.epoch.Load(),
+		PendingMoves:  pending,
+		PolicyCost:    r.current.Load().Cost(),
+		CommitTime:    time.Since(start),
+		RowsExtracted: r.lastRowsExtracted,
+		CloaksChanged: r.lastCloaksChanged,
+		Delta:         r.lastDelta,
 	}, nil
 }

@@ -11,7 +11,7 @@ import (
 	"policyanon/internal/location"
 )
 
-func makeDB(t *testing.T, n int, side int32, seed int64) *location.DB {
+func makeDB(t testing.TB, n int, side int32, seed int64) *location.DB {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	db := location.New(n)

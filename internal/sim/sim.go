@@ -101,6 +101,13 @@ type SnapshotReport struct {
 	Snapshot        int
 	MaintenanceTime time.Duration
 	RowsRecomputed  int
+	// RowsExtracted counts tree nodes the policy-exhibition pass
+	// re-assigned (|D| for full publishes); CloaksChanged counts per-user
+	// cloak rewrites; Delta marks a copy-on-write delta publish (the
+	// continuous-trajectory mode's steady state).
+	RowsExtracted int
+	CloaksChanged int
+	Delta         bool
 	PolicyCost      int64
 	AvgCloakArea    float64
 	Requests        int
@@ -187,10 +194,16 @@ func Run(cfg Config) (*Report, error) {
 		stream = workload.NewMoveStream(cfg.Seed+2, db, cfg.MaxMoveMeters, cfg.MapSide)
 	}
 	report := &Report{Config: cfg}
+	// lastPub anchors the continuous mode's delta-publication chain: while
+	// it is intact, each snapshot extracts only the changed cloaks and
+	// derives the next published policy copy-on-write, so a small batch of
+	// trajectory moves costs O(dirty subtrees) instead of O(|D|).
+	var lastPub *lbs.Assignment
 	for s := 0; s < cfg.Snapshots; s++ {
 		// 1. Movement + incremental maintenance.
 		start := time.Now()
 		rows := 0
+		var mvs []lbs.Move
 		if s > 0 {
 			if agents != nil {
 				agents.Step(cfg.SnapshotSeconds)
@@ -208,7 +221,25 @@ func Run(cfg Config) (*Report, error) {
 				if n < 1 {
 					n = 1
 				}
-				for _, mv := range stream.NextBatch(n) {
+				batch := stream.NextBatch(n)
+				if lastPub != nil {
+					// Coalesce per user, keeping the first From: that is
+					// the location the published parent still holds.
+					coalesced := make(map[int]lbs.Move, len(batch))
+					for _, mv := range batch {
+						c, ok := coalesced[mv.Index]
+						if !ok {
+							c = lbs.Move{Index: mv.Index, From: db.At(mv.Index).Loc}
+						}
+						c.To = mv.To
+						coalesced[mv.Index] = c
+					}
+					mvs = make([]lbs.Move, 0, len(coalesced))
+					for _, mv := range coalesced {
+						mvs = append(mvs, mv)
+					}
+				}
+				for _, mv := range batch {
 					if err := anon.Move(mv.Index, mv.To); err != nil {
 						return nil, err
 					}
@@ -223,13 +254,52 @@ func Run(cfg Config) (*Report, error) {
 			}
 			rows = anon.Refresh()
 		}
-		policy, err := anon.Policy()
-		if err != nil {
-			return nil, err
+		var (
+			policy        *lbs.Assignment
+			rowsExtracted int
+			cloaksChanged int
+			isDelta       bool
+		)
+		if lastPub != nil && s > 0 {
+			if changes, visited, derr := anon.Matrix().ExtractDelta(); derr == nil {
+				if pub, aerr := lastPub.ApplyDelta(mvs, changes); aerr == nil {
+					policy, rowsExtracted, cloaksChanged, isDelta = pub, visited, len(changes), true
+				} else {
+					lastPub = nil // chain mismatch: republish from scratch
+				}
+			}
+		}
+		if policy == nil {
+			full, err := anon.Policy()
+			if err != nil {
+				return nil, err
+			}
+			policy = full
+			if stream != nil {
+				// Rebind to an immutable clone so the next snapshot can
+				// derive from this one while the live DB keeps mutating.
+				pub, err := lbs.NewAssignment(db.Clone(), full.Cloaks())
+				if err != nil {
+					return nil, err
+				}
+				policy = pub
+			}
+			rowsExtracted, cloaksChanged = policy.Len(), policy.Len()
+		}
+		if stream != nil {
+			lastPub = policy
 		}
 		maintenance := time.Since(start)
-		// Verify rather than trust before installing the policy.
-		if rep := verify.Policy(policy, cfg.K); !rep.OK() {
+		// Verify rather than trust before installing the policy. Delta
+		// publishes are verified delta-scoped with a periodic full anchor
+		// (every 16th snapshot); everything else is verified in full.
+		var rep *verify.Report
+		if isDelta && s%16 != 0 {
+			rep = verify.Delta(policy, cfg.K)
+		} else {
+			rep = verify.Policy(policy, cfg.K)
+		}
+		if !rep.OK() {
 			return nil, fmt.Errorf("sim: snapshot %d policy failed verification: %s", s, rep.Problems[0])
 		}
 
@@ -278,6 +348,9 @@ func Run(cfg Config) (*Report, error) {
 			Snapshot:        s,
 			MaintenanceTime: maintenance,
 			RowsRecomputed:  rows,
+			RowsExtracted:   rowsExtracted,
+			CloaksChanged:   cloaksChanged,
+			Delta:           isDelta,
 			PolicyCost:      policy.Cost(),
 			AvgCloakArea:    policy.AvgArea(),
 			Requests:        requests,
