@@ -1,5 +1,24 @@
-// Command anonserver runs the anonymizing CSP as an HTTP service; see
-// internal/server for the endpoint list.
+// Command anonserver runs the anonymizing CSP as an HTTP service.
+//
+// Endpoints (also printed by -h):
+//
+//	GET  /healthz           readiness (200 once a snapshot is loaded) vs liveness
+//	POST /v1/snapshot       install a user snapshot and compute its policy
+//	POST /v1/moves          apply user moves (queued when -motion is set)
+//	POST /v1/pois           install the POI database served to requests
+//	GET  /v1/cloak          cloak lookup for one user (?user=U&engine=NAME)
+//	POST /v1/request        full LBS round: cloak + candidate POIs
+//	POST /v1/request/batch  many LBS rounds in one call (amortized hot path)
+//	GET  /v1/stats          CSP serving counters (cache, coalescing, POIs)
+//	GET  /v1/engines        the anonymization-engine registry
+//	GET  /v1/checkpoint     serialize current state to the response
+//	POST /v1/restore        restore state from a checkpoint body
+//	GET  /v1/motion         streaming-ingest loop statistics (-motion)
+//	GET  /v1/metrics        metrics registry (JSON or ?format=prometheus)
+//	GET  /v1/audit          privacy observatory rolling report
+//	GET  /v1/audit/root     latest signed ledger checkpoint (-ledger)
+//	GET  /v1/audit/proof    Merkle inclusion proof for one event (-ledger)
+//	GET  /debug/pprof/      Go profiling endpoints (unless -pprof=false)
 //
 // Usage:
 //
@@ -66,6 +85,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -82,6 +102,28 @@ import (
 	_ "policyanon/internal/parallel" // register the "parallel" engine
 	"policyanon/internal/server"
 )
+
+// endpointList is the HTTP surface printed by -h. It must match the
+// routes internal/server registers and the table in the package doc
+// above; TestEndpointListMatchesHandler pins the correspondence.
+const endpointList = `  GET  /healthz           readiness (200 once a snapshot is loaded) vs liveness
+  POST /v1/snapshot       install a user snapshot and compute its policy
+  POST /v1/moves          apply user moves (queued when -motion is set)
+  POST /v1/pois           install the POI database served to requests
+  GET  /v1/cloak          cloak lookup for one user (?user=U&engine=NAME)
+  POST /v1/request        full LBS round: cloak + candidate POIs
+  POST /v1/request/batch  many LBS rounds in one call (amortized hot path)
+  GET  /v1/stats          CSP serving counters (cache, coalescing, POIs)
+  GET  /v1/engines        the anonymization-engine registry
+  GET  /v1/checkpoint     serialize current state to the response
+  POST /v1/restore        restore state from a checkpoint body
+  GET  /v1/motion         streaming-ingest loop statistics (-motion)
+  GET  /v1/metrics        metrics registry (JSON or ?format=prometheus)
+  GET  /v1/audit          privacy observatory rolling report
+  GET  /v1/audit/root     latest signed ledger checkpoint (-ledger)
+  GET  /v1/audit/proof    Merkle inclusion proof for one event (-ledger)
+  GET  /debug/pprof/      Go profiling endpoints (unless -pprof=false)
+`
 
 func main() {
 	var (
@@ -108,6 +150,13 @@ func main() {
 		motionCkptEvery = flag.Int("motion-checkpoint-every", 0, "checkpoint -state every N applied batches (0 disables periodic checkpoints)")
 		motionVerEvery  = flag.Int("motion-verify-every", 0, "full-verification cadence for delta publishes: full verify every Nth publish, delta-scoped verify otherwise (0 or 1 = always full)")
 	)
+	// -h prints the endpoint set alongside the flags so the CLI surface and
+	// the README stay in sync (the list mirrors internal/server's mux).
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage: anonserver [flags]\n\nEndpoints:\n%s\nFlags:\n", endpointList)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	level, err := audit.ParseLevel(*logLevel)

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"policyanon/internal/server"
@@ -52,6 +53,38 @@ func TestWriteCheckpointAtomic(t *testing.T) {
 	fresh := server.New()
 	if err := fresh.RestoreFrom(f); err != nil {
 		t.Fatalf("restore of written checkpoint failed: %v", err)
+	}
+}
+
+// TestEndpointListMatchesHandler pins the -h endpoint table to the mux
+// internal/server actually registers: every listed route must resolve to
+// a handler (a 404 or 405-on-listed-method means the table drifted).
+// /debug/pprof/ is mounted by main, not the server handler, so it is
+// exempt here.
+func TestEndpointListMatchesHandler(t *testing.T) {
+	srv := server.New()
+	installTestSnapshot(t, srv)
+	for _, line := range strings.Split(strings.TrimSpace(endpointList), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("malformed endpoint line: %q", line)
+		}
+		method, path := fields[0], fields[1]
+		if path == "/debug/pprof/" {
+			continue
+		}
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(method, path, bytes.NewReader(nil))
+		srv.Handler().ServeHTTP(rec, req)
+		// An unregistered route draws the mux's plain-text default page
+		// ("404 page not found" / "Method Not Allowed"); registered
+		// handlers answer JSON even when they refuse (e.g. the ledger
+		// endpoints 404 until -ledger enables them).
+		body := rec.Body.String()
+		if (rec.Code == 404 || rec.Code == 405) &&
+			(strings.Contains(body, "page not found") || strings.Contains(body, "Method Not Allowed")) {
+			t.Errorf("%s %s: listed in -h but not routed (%d: %q)", method, path, rec.Code, body)
+		}
 	}
 }
 

@@ -21,12 +21,15 @@
 // sampling off vs at -audit-rate; writes the tracked BENCH_audit.json —
 // see -audit-out), churn (live motion pipeline: streaming update
 // throughput under forced incremental maintenance vs rebuild-per-batch;
-// writes the tracked BENCH_churn.json — see -churn-out), all.
+// writes the tracked BENCH_churn.json — see -churn-out), serve (amortized
+// serving hot path: POST /v1/request/batch throughput and p50/p99 vs
+// sequential /v1/request, with CSP singleflight counters; writes the
+// tracked BENCH_serve.json — see -serve-out, -batch-size), all.
 //
 // -check-bench validates any tracked benchmark document: it sniffs the
 // "bench" discriminator field and dispatches to the matching loader, so
-// CI can gate BENCH_bulkdp.json, BENCH_audit.json, and BENCH_churn.json
-// with one mode. A negative measured overhead (the audited run out-ran
+// CI can gate BENCH_bulkdp.json, BENCH_audit.json, BENCH_churn.json, and
+// BENCH_serve.json with one mode. A negative measured overhead (the audited run out-ran
 // its baseline) passes with a note — it is measurement noise, not a
 // speedup. -check-bench-all validates every BENCH_*.json in the working
 // directory in a single pass, for the CI bench-smoke job.
@@ -66,7 +69,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|engines|workers|audit|churn|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|engines|workers|audit|churn|serve|all")
 		scale      = flag.String("scale", "small", "dataset scale: small (~50k users) or paper (1.75M users)")
 		k          = flag.Int("k", 50, "anonymity parameter k")
 		seed       = flag.Int64("seed", 42, "dataset seed")
@@ -80,7 +83,9 @@ func main() {
 		auditOut   = flag.String("audit-out", "BENCH_audit.json", "output file for the -exp audit overhead benchmark")
 		churnOut   = flag.String("churn-out", "BENCH_churn.json", "output file for the -exp churn streaming benchmark")
 		auditRate  = flag.Float64("audit-rate", audit.DefaultRate, "request sampling rate for -exp audit's sampled mode")
-		checkBench    = flag.String("check-bench", "", "validate an existing BENCH file (bulkdp, audit, or churn) and exit (CI gate)")
+		serveOut   = flag.String("serve-out", "BENCH_serve.json", "output file for the -exp serve throughput benchmark")
+		batchSize  = flag.Int("batch-size", 64, "requests per batch POST for -exp serve")
+		checkBench    = flag.String("check-bench", "", "validate an existing BENCH file (bulkdp, audit, churn, or serve) and exit (CI gate)")
 		checkBenchAll = flag.Bool("check-bench-all", false, "validate every tracked BENCH_*.json in the working directory in one pass and exit (CI gate)")
 	)
 	flag.Parse()
@@ -101,7 +106,8 @@ func main() {
 		return
 	}
 	if err := run(*exp, *scale, *k, *seed, *format, *engines, *traceOut, *phases,
-		*benchOut, *workerList, *benchTime, *auditOut, *auditRate, *churnOut); err != nil {
+		*benchOut, *workerList, *benchTime, *auditOut, *auditRate, *churnOut,
+		*serveOut, *batchSize); err != nil {
 		fmt.Fprintln(os.Stderr, "lbsbench:", err)
 		os.Exit(1)
 	}
@@ -140,8 +146,14 @@ func checkBenchFile(path string) (string, error) {
 		}
 	case "churn":
 		_, err = experiments.LoadChurnBench(bytes.NewReader(data))
+	case "serve":
+		_, err = experiments.LoadServeBench(bytes.NewReader(data))
 	case "":
-		_, err = experiments.LoadBulkDPBench(bytes.NewReader(data))
+		var b *experiments.BulkDPBench
+		b, err = experiments.LoadBulkDPBench(bytes.NewReader(data))
+		if err == nil {
+			note += b.SpeedupGateNote()
+		}
 	default:
 		err = fmt.Errorf("unknown bench kind %q", probe.Bench)
 	}
@@ -223,7 +235,7 @@ func sweepEngines(flagVal string) []string {
 
 func run(exp, scale string, k int, seed int64, format, engineList, traceOut string, phases bool,
 	benchOut, workerList string, benchTime time.Duration, auditOut string, auditRate float64,
-	churnOut string) error {
+	churnOut, serveOut string, batchSize int) error {
 	switch format {
 	case "table", "csv", "markdown":
 	default:
@@ -467,6 +479,24 @@ func run(exp, scale string, k int, seed int64, format, engineList, traceOut stri
 		}
 		fmt.Fprintln(os.Stderr, "lbsbench:", experiments.ChurnSpeedupSummary(bench))
 		fmt.Fprintf(os.Stderr, "lbsbench: churn benchmark written to %s\n", churnOut)
+	}
+	if want("serve") {
+		ran = true
+		banner(fmt.Sprintf("== Amortized serving: /v1/request/batch vs /v1/request, |D|=%d, k=%d, batch=%d ==",
+			sizes[0], k, batchSize))
+		bench, err := experiments.ServeSweep(d, sizes[0], k, batchSize, benchTime)
+		if err != nil {
+			return err
+		}
+		bench.Dataset = scale
+		if err := writeBench(serveOut, bench); err != nil {
+			return err
+		}
+		if err := emit(experiments.ServeBenchTable(bench), func() { experiments.PrintServeBench(os.Stdout, bench) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "lbsbench:", experiments.ServeSpeedupSummary(bench))
+		fmt.Fprintf(os.Stderr, "lbsbench: serve benchmark written to %s\n", serveOut)
 	}
 	if want("parallel") {
 		ran = true

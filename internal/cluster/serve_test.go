@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/lbs"
+	"policyanon/internal/location"
+)
+
+// seedTestPOIs drops one POI at every 40th user's location, so every
+// populated jurisdiction ends up with points of interest to serve.
+func seedTestPOIs(t *testing.T, db *location.DB) []lbs.POI {
+	t.Helper()
+	var pois []lbs.POI
+	for i := 0; i < db.Len(); i += 40 {
+		rec := db.At(i)
+		pois = append(pois, lbs.POI{
+			ID: fmt.Sprintf("p%d", i), Loc: rec.Loc, Category: "gas",
+		})
+	}
+	return pois
+}
+
+// TestClusterServeBatch is the distributed serving oracle: after
+// Anonymize and SeedPOIs, one ServeBatch call must return, per request
+// and in submission order, the master policy's cloak translated to
+// global coordinates, with candidates drawn from the seeded global POI
+// set. Run with -race: shard posts are concurrent.
+func TestClusterServeBatch(t *testing.T) {
+	db, bounds := testSnapshot(t, 2000)
+	const k = 15
+	coord, err := New(pool(t, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serving before a deployment exists must fail cleanly.
+	if _, err := coord.ServeBatch(context.Background(), []lbs.ServiceRequest{{UserID: "u"}}); err == nil {
+		t.Fatal("ServeBatch without a deployment succeeded")
+	}
+	if _, err := coord.SeedPOIs(context.Background(), nil); err == nil {
+		t.Fatal("SeedPOIs without a deployment succeeded")
+	}
+
+	pol, err := coord.Anonymize(context.Background(), db, bounds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois := seedTestPOIs(t, db)
+	installed, err := coord.SeedPOIs(context.Background(), pois)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if installed != len(pois) {
+		t.Fatalf("seeded %d of %d POIs", installed, len(pois))
+	}
+	poiByID := make(map[string]lbs.POI, len(pois))
+	for _, p := range pois {
+		poiByID[p.ID] = p
+	}
+
+	// Requests spread across the whole map, i.e. across jurisdictions.
+	var reqs []lbs.ServiceRequest
+	var idx []int
+	for i := 0; i < db.Len(); i += 97 {
+		rec := db.At(i)
+		reqs = append(reqs, lbs.ServiceRequest{
+			UserID: rec.UserID, Loc: rec.Loc,
+			Params: []lbs.Param{{Name: "cat", Value: "gas"}},
+		})
+		idx = append(idx, i)
+	}
+	results, err := coord.ServeBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+	}
+	workers := map[string]bool{}
+	for n, res := range results {
+		if res.Err != nil {
+			t.Fatalf("request %d (%s): %v", n, reqs[n].UserID, res.Err)
+		}
+		workers[res.Worker] = true
+		// Order-preserving merge + correct global translation: result n
+		// carries exactly the master policy's cloak for request n's user.
+		if want := pol.CloakAt(idx[n]); res.Cloak != want {
+			t.Fatalf("request %d (%s): cloak %v, master policy says %v", n, reqs[n].UserID, res.Cloak, want)
+		}
+		if !res.Cloak.Contains(reqs[n].Loc) {
+			t.Fatalf("request %d: cloak %v excludes the user at %v", n, res.Cloak, reqs[n].Loc)
+		}
+		if len(res.Candidates) == 0 {
+			t.Fatalf("request %d: no candidates", n)
+		}
+		for _, cand := range res.Candidates {
+			seeded, ok := poiByID[cand.ID]
+			if !ok {
+				t.Fatalf("request %d: candidate %q was never seeded", n, cand.ID)
+			}
+			if cand.Loc != seeded.Loc {
+				t.Fatalf("request %d: candidate %s at %v, seeded at %v (translation broken)", n, cand.ID, cand.Loc, seeded.Loc)
+			}
+		}
+	}
+	if len(workers) < 2 {
+		t.Fatalf("batch fanned out to %d workers, want >= 2", len(workers))
+	}
+	// The fan-out left per-worker serving metrics behind.
+	snap := coord.Metrics().Snapshot()
+	var batches int64
+	for w := range workers {
+		batches += snap.Counters["cluster_batches:"+w]
+		if h, ok := snap.Histograms["cluster_serve:"+w]; !ok || h.Count < 1 {
+			t.Errorf("no cluster_serve histogram for %s", w)
+		}
+	}
+	if batches < int64(len(workers)) {
+		t.Errorf("cluster_batches total %d, want >= %d", batches, len(workers))
+	}
+}
+
+// TestClusterServeBatchPerItemErrors: a request the workers reject
+// (spoofed location) fails alone; an unroutable request fails without a
+// worker round trip; valid neighbours still answer.
+func TestClusterServeBatchPerItemErrors(t *testing.T) {
+	db, bounds := testSnapshot(t, 800)
+	coord, err := New(pool(t, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Anonymize(context.Background(), db, bounds, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.SeedPOIs(context.Background(), seedTestPOIs(t, db)); err != nil {
+		t.Fatal(err)
+	}
+	good := db.At(0)
+	spoof := db.At(1)
+	reqs := []lbs.ServiceRequest{
+		{UserID: good.UserID, Loc: good.Loc},
+		{UserID: spoof.UserID, Loc: geo.Point{X: good.Loc.X, Y: good.Loc.Y}}, // wrong location
+		{UserID: "nobody", Loc: geo.Point{X: -5, Y: -5}},                     // outside every jurisdiction
+	}
+	results, err := coord.ServeBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("valid request failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("spoofed location served")
+	}
+	if results[2].Err == nil || results[2].Worker != "" {
+		t.Fatalf("unroutable request reached a worker: %+v", results[2])
+	}
+}

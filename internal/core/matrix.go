@@ -42,6 +42,13 @@ type Options struct {
 	// sequential path. Values above 1 request exactly that many workers
 	// even on small trees (capped at the node count).
 	Workers int
+	// TaskCutoff pins the fork/join sequential cutoff of the parallel
+	// pass: a subtree whose estimated combine work (node weight =
+	// |row| × children, summed over the subtree) is at or below the
+	// cutoff runs as one sequential task on a single worker. 0 auto-tunes
+	// from the tree's total weight and the worker count; see
+	// docs/PERFORMANCE.md for when to override.
+	TaskCutoff int64
 }
 
 // parallelMinNodes is the tree size below which automatic worker selection
@@ -130,8 +137,13 @@ type Matrix struct {
 
 	// cs is the matrix's own combine scratch, used by the sequential
 	// bottom-up pass, incremental updates, and extraction backtracking.
-	// Parallel passes draw additional per-worker scratch from the pool.
 	cs *combineScratch
+
+	// dp is the persistent parallel worker pool (nil until the first
+	// parallel pass): parked goroutines plus per-worker scratch arenas
+	// and scheduling buffers, reused so warm passes allocate nothing. A
+	// runtime.AddCleanup stops the goroutines when the Matrix dies.
+	dp *dpPool
 
 	// Delta-extraction state (see ExtractDelta): the last realized
 	// assignment and, per node, the pass-up target chosen and the point
@@ -186,6 +198,9 @@ func (m *Matrix) Recompute() {
 	if sp != nil {
 		sp.SetInt("nodes", int64(m.t.NumNodes()))
 		sp.SetInt("k", int64(m.k))
+		if stats != nil && m.dp != nil {
+			sp.SetInt("cutoff", m.dp.cutoff)
+		}
 		annotateWorkers(sp, stats)
 		sp.End()
 	}
@@ -198,13 +213,16 @@ func annotateWorkers(sp *obs.Span, stats []workerStats) {
 		return
 	}
 	sp.SetInt("workers", int64(len(stats)))
-	var steals int64
+	var steals, tasks int64
 	for i, ws := range stats {
 		sp.SetInt(fmt.Sprintf("w%d.nodes", i), ws.nodes)
+		sp.SetInt(fmt.Sprintf("w%d.tasks", i), ws.tasks)
 		sp.SetInt(fmt.Sprintf("w%d.steals", i), ws.steals)
 		steals += ws.steals
+		tasks += ws.tasks
 	}
 	sp.SetInt("steals", steals)
+	sp.SetInt("tasks", tasks)
 }
 
 // octx returns the construction-time observability context (Background

@@ -64,6 +64,42 @@ func (cs *combineScratch) ensureFold(n int) {
 	}
 }
 
+// ensurePass pre-sizes every buffer computeRow can touch, for scratches
+// owned by DP pool workers. Work stealing hands a worker different nodes
+// on every pass, so lazy growth inside computeRow would otherwise ratchet
+// capacity (and allocate) indefinitely across warm passes. Every buffer's
+// per-combine high-water mark is bounded by the fold length |D|+1: rows
+// hold at most bound(m)+1 ≤ foldLen entries, profiles and the suffix
+// buffers at most one more.
+func (cs *combineScratch) ensurePass(foldLen int) {
+	cs.ensureFold(foldLen)
+	n := foldLen + 2
+	if cap(cs.touched) < n {
+		cs.touched = make([]int32, 0, n)
+	}
+	if cap(cs.jsA) < n {
+		cs.jsA = make([]int32, 0, n)
+	}
+	if cap(cs.jsB) < n {
+		cs.jsB = make([]int32, 0, n)
+	}
+	if cap(cs.costsA) < n {
+		cs.costsA = make([]int64, 0, n)
+	}
+	if cap(cs.costsB) < n {
+		cs.costsB = make([]int64, 0, n)
+	}
+	if cap(cs.sfx) < n {
+		cs.sfx = make([]int64, n)
+	}
+	if cap(cs.sfxJ) < n {
+		cs.sfxJ = make([]int32, n)
+	}
+	if cap(cs.rows) < tree.MaxChildren {
+		cs.rows = make([]*row, 0, tree.MaxChildren)
+	}
+}
+
 // scratchPool recycles combine scratch across matrices and DP workers.
 var scratchPool = sync.Pool{New: func() any { return new(combineScratch) }}
 

@@ -199,6 +199,52 @@ func TestRecomputeAfterMoves(t *testing.T) {
 	rowsEqual(t, fresh, m)
 }
 
+// TestParallelZeroAllocs is the regression test for the persistent worker
+// pool: once the pool, its per-worker scratch arenas, and row storage are
+// warm, a full parallel Recompute must not allocate at any worker count —
+// the BENCH_bulkdp.json gate asserts the same property end to end.
+func TestParallelZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rng := rand.New(rand.NewSource(13))
+	pts := randPts(rng, 2000, 1<<11)
+	tr := buildTree(t, pts, 1<<11, tree.Binary, 5)
+	for _, nw := range []int{1, 2, 4, 8} {
+		m, err := NewMatrix(tr, 5, Options{Workers: nw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Recompute() // warm pool, deques, arenas
+		allocs := testing.AllocsPerRun(5, m.Recompute)
+		if allocs != 0 {
+			t.Errorf("workers=%d: steady-state Recompute allocates %.1f/op, want 0", nw, allocs)
+		}
+	}
+}
+
+// TestTaskCutoffParity pins the granularity knob: extreme cutoffs (every
+// node its own task; the whole tree one task) must still be bit-identical
+// to the sequential pass.
+func TestTaskCutoffParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts := randPts(rng, 300, 1<<9)
+	for _, kind := range []tree.Kind{tree.Binary, tree.Quad} {
+		tr := buildTree(t, pts, 1<<9, kind, 4)
+		seq, err := NewMatrix(tr, 4, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cutoff := range []int64{1, 64, 1 << 40} {
+			par, err := NewMatrix(tr, 4, Options{Workers: 4, TaskCutoff: cutoff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rowsEqual(t, seq, par)
+		}
+	}
+}
+
 // TestComputeRowZeroAllocs is the regression test for the combine scratch:
 // once row storage and scratch are warm, recomputing an interior node's
 // row must not allocate (the old code allocated rows/touched/profile/sfx

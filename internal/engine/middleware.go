@@ -197,9 +197,53 @@ type cacheKey struct {
 	params  string
 }
 
-// cacheLimit bounds the memo table; on overflow the table is dropped
-// wholesale (snapshot churn makes LRU bookkeeping not worth it).
+// cacheLimit bounds each shard's memo table; on overflow the shard is
+// dropped wholesale (snapshot churn makes LRU bookkeeping not worth it).
 const cacheLimit = 128
+
+// cacheShards is the shard count of the WithCache memo table; a power of
+// two so the key hash folds with a mask. Different map regions (the
+// per-jurisdiction bounds of a parallel deployment) hash to different
+// shards, so concurrent engine runs for different jurisdictions never
+// contend on one lock.
+const cacheShards = 8
+
+// cacheShard is one slice of the memo table plus its in-flight
+// computations: concurrent misses for the same key coalesce onto one
+// engine run instead of computing the same policy cacheShards times.
+type cacheShard struct {
+	mu     sync.Mutex
+	memo   map[cacheKey]*lbs.Assignment
+	flight map[cacheKey]*engineFlight
+}
+
+// engineFlight is one in-progress Anonymize run. The leader fills a/err
+// before closing done; waiters read after <-done.
+type engineFlight struct {
+	done chan struct{}
+	a    *lbs.Assignment
+	err  error
+}
+
+// shardOf hashes a cache key to its shard: FNV-1a over the snapshot
+// version, the bounds (jurisdiction), and the parameter encoding.
+func shardOf(key cacheKey) int {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime64
+			v >>= 8
+		}
+	}
+	mix(key.version)
+	mix(uint64(uint32(key.bounds.MinX)) | uint64(uint32(key.bounds.MinY))<<32)
+	mix(uint64(uint32(key.bounds.MaxX)) | uint64(uint32(key.bounds.MaxY))<<32)
+	for i := 0; i < len(key.params); i++ {
+		h = (h ^ uint64(key.params[i])) * prime64
+	}
+	return int(h & (cacheShards - 1))
+}
 
 // WithCache memoizes Anonymize by snapshot version: repeated calls with
 // the same *location.DB at the same Version, bounds, and Params return
@@ -208,31 +252,50 @@ const cacheLimit = 128
 // snapshot (the Definition 4 policy model) and location.DB bumps its
 // version on every mutation. The cache is per wrapped instance; callers
 // share one wrapped engine to share its memo table.
+//
+// The table is sharded by (version, bounds, params) hash — concurrent
+// lookups for different jurisdictions take different locks — and misses
+// for the SAME key coalesce: one caller runs the engine, the others wait
+// for its result, so a thundering herd on a fresh snapshot computes the
+// policy once. Engine errors propagate to every coalesced waiter and are
+// never cached.
 func WithCache() Middleware {
 	return func(next Engine) Engine {
-		var (
-			mu   sync.Mutex
-			memo = make(map[cacheKey]*lbs.Assignment)
-		)
+		var shards [cacheShards]cacheShard
+		for i := range shards {
+			shards[i].memo = make(map[cacheKey]*lbs.Assignment)
+			shards[i].flight = make(map[cacheKey]*engineFlight)
+		}
 		return New(next.Name(), func(ctx context.Context, db *location.DB, bounds geo.Rect, p Params) (*lbs.Assignment, error) {
 			key := cacheKey{db: db, version: db.Version(), bounds: bounds, params: p.Key()}
-			mu.Lock()
-			if a, ok := memo[key]; ok {
-				mu.Unlock()
+			sh := &shards[shardOf(key)]
+			sh.mu.Lock()
+			if a, ok := sh.memo[key]; ok {
+				sh.mu.Unlock()
 				return a, nil
 			}
-			mu.Unlock()
+			if f, ok := sh.flight[key]; ok {
+				sh.mu.Unlock()
+				<-f.done
+				return f.a, f.err
+			}
+			f := &engineFlight{done: make(chan struct{})}
+			sh.flight[key] = f
+			sh.mu.Unlock()
+
 			a, err := next.Anonymize(ctx, db, bounds, p)
-			if err != nil {
-				return nil, err
+			f.a, f.err = a, err
+			sh.mu.Lock()
+			delete(sh.flight, key)
+			if err == nil {
+				if len(sh.memo) >= cacheLimit {
+					sh.memo = make(map[cacheKey]*lbs.Assignment)
+				}
+				sh.memo[key] = a
 			}
-			mu.Lock()
-			if len(memo) >= cacheLimit {
-				memo = make(map[cacheKey]*lbs.Assignment)
-			}
-			memo[key] = a
-			mu.Unlock()
-			return a, nil
+			sh.mu.Unlock()
+			close(f.done)
+			return a, err
 		})
 	}
 }

@@ -55,3 +55,62 @@ func TestLoadBulkDPBenchRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadBulkDPBenchGates exercises the machine-aware performance gates:
+// the allocation budget holds everywhere, the ≥2× @ 4 workers speedup
+// gate applies only to documents recorded on ≥4-CPU boxes, 2–3 CPU boxes
+// get the relaxed floor, and single-core boxes skip with a note.
+func TestLoadBulkDPBenchGates(t *testing.T) {
+	doc := func(gmp, ncpu int, sweep string) string {
+		return `{"dataset":"small","users":100,"k":5,"treeKind":"binary","nodes":50,
+			"gomaxprocs":` + itoa(gmp) + `,"numCPU":` + itoa(ncpu) + `,"cpuModel":"x","goVersion":"go1.23",
+			"computeRowAllocsPerOp":0,"sweep":[` + sweep + `]}`
+	}
+	base := `{"workers":1,"nsPerOp":100,"nodesPerSec":5,"allocsPerOp":0,"speedup":1}`
+	fast4 := base + `,{"workers":4,"nsPerOp":40,"nodesPerSec":12,"allocsPerOp":0,"speedup":2.5}`
+	slow4 := base + `,{"workers":4,"nsPerOp":90,"nodesPerSec":6,"allocsPerOp":0,"speedup":1.1}`
+	alloc4 := base + `,{"workers":4,"nsPerOp":40,"nodesPerSec":12,"allocsPerOp":46,"speedup":2.5}`
+
+	if _, err := LoadBulkDPBench(strings.NewReader(doc(8, 8, fast4))); err != nil {
+		t.Errorf("multi-core 2.5x rejected: %v", err)
+	}
+	if _, err := LoadBulkDPBench(strings.NewReader(doc(8, 8, slow4))); err == nil {
+		t.Error("multi-core 1.1x @ 4 workers accepted, want speedup-gate failure")
+	}
+	if _, err := LoadBulkDPBench(strings.NewReader(doc(8, 8, alloc4))); err == nil {
+		t.Error("46 allocs/op accepted, want zero-alloc-gate failure")
+	}
+	if _, err := LoadBulkDPBench(strings.NewReader(doc(8, 8, base))); err == nil {
+		t.Error("multi-core doc without a workers=4 row accepted")
+	}
+	// Relaxed floor on a 2-core box: 1.4x passes, 1.1x fails.
+	relaxedOK := base + `,{"workers":2,"nsPerOp":71,"nodesPerSec":7,"allocsPerOp":0,"speedup":1.4}`
+	if _, err := LoadBulkDPBench(strings.NewReader(doc(2, 2, relaxedOK))); err != nil {
+		t.Errorf("2-core 1.4x rejected: %v", err)
+	}
+	if _, err := LoadBulkDPBench(strings.NewReader(doc(2, 2, slow4))); err == nil {
+		t.Error("2-core 1.1x accepted, want relaxed-gate failure")
+	}
+	// Single-core recording box: no speedup is measurable — the gate
+	// skips regardless of the recorded ratios, and the note says so.
+	b, err := LoadBulkDPBench(strings.NewReader(doc(1, 1, slow4)))
+	if err != nil {
+		t.Fatalf("single-core doc rejected: %v", err)
+	}
+	if note := b.SpeedupGateNote(); !strings.Contains(note, "skipped") || !strings.Contains(note, "numCPU=1") {
+		t.Errorf("single-core note = %q, want skip explanation", note)
+	}
+	if b, err := LoadBulkDPBench(strings.NewReader(doc(8, 8, fast4))); err != nil || b.SpeedupGateNote() != "" {
+		t.Errorf("multi-core note = %q (err %v), want empty", b.SpeedupGateNote(), err)
+	}
+	// The alloc gates hold even where the speedup gate skips.
+	if _, err := LoadBulkDPBench(strings.NewReader(doc(1, 1, alloc4))); err == nil {
+		t.Error("single-core 46 allocs/op accepted, want zero-alloc-gate failure")
+	}
+	rowAllocs := `{"dataset":"small","users":100,"k":5,"treeKind":"binary","nodes":50,
+		"gomaxprocs":1,"numCPU":1,"cpuModel":"x","goVersion":"go1.23",
+		"computeRowAllocsPerOp":3,"sweep":[` + base + `]}`
+	if _, err := LoadBulkDPBench(strings.NewReader(rowAllocs)); err == nil {
+		t.Error("computeRowAllocsPerOp=3 accepted, want zero-alloc-gate failure")
+	}
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"time"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/server"
+)
+
+// This file implements the tracked serving-throughput benchmark: the
+// amortized hot path of POST /v1/request/batch (one snapshot
+// acquisition, parallel item resolution, CSP singleflight) against the
+// per-request baseline of sequential POST /v1/request calls, written as
+// BENCH_serve.json. The acceptance gate is that batch serving sustains
+// at least ServeBatchSpeedupFloor times the single-request throughput;
+// -check-bench re-validates the tracked document in CI.
+
+// ServeBatchSpeedupFloor is the required throughput ratio of batch over
+// single-request serving. The batch path amortizes the HTTP round trip
+// and the server's snapshot acquisition over every item, so the floor
+// holds even on a single-core box — it gates protocol amortization, not
+// hardware parallelism.
+const ServeBatchSpeedupFloor = 2.0
+
+// ServeBenchRow is one serving mode's measurement.
+type ServeBenchRow struct {
+	Mode      string  `json:"mode"`                // "single" or "batch"
+	BatchSize int     `json:"batchSize,omitempty"` // requests per POST (batch mode)
+	Requests  int64   `json:"requests"`            // user requests served
+	ReqPerSec float64 `json:"reqPerSec"`
+	NsPerReq  float64 `json:"nsPerReq"`
+	// P50Ms/P99Ms are per-POST wall-time percentiles: one request's
+	// latency in single mode, one whole batch's in batch mode.
+	P50Ms float64 `json:"p50Ms"`
+	P99Ms float64 `json:"p99Ms"`
+}
+
+// ServeBench is the BENCH_serve.json document.
+type ServeBench struct {
+	// Bench discriminates benchmark documents for -check-bench; always
+	// "serve" here.
+	Bench   string `json:"bench"`
+	Dataset string `json:"dataset"` // lbsbench scale name
+	Users   int    `json:"users"`
+	K       int    `json:"k"`
+	Engine  string `json:"engine"`
+	// Machine metadata, as in BENCH_bulkdp.json.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numCPU"`
+	CPUModel   string `json:"cpuModel"`
+	GoVersion  string `json:"goVersion"`
+	// Single and Batch measure the same request mix request-by-request
+	// and in batches; Speedup is Batch.ReqPerSec / Single.ReqPerSec.
+	Single  ServeBenchRow `json:"single"`
+	Batch   ServeBenchRow `json:"batch"`
+	Speedup float64       `json:"speedup"`
+	// Singleflight counters accumulated during the batch run, from
+	// /v1/stats: how many provider lookups actually started and how many
+	// requests piggybacked on another's in-flight lookup.
+	CoalesceFlights   int64 `json:"coalesceFlights"`
+	CoalesceCoalesced int64 `json:"coalesceCoalesced"`
+}
+
+// ServeSweep benchmarks single-request and batched serving against a
+// real HTTP server and returns the tracked document. batchSize is the
+// number of requests per batch POST; minTime is the measurement budget
+// per mode.
+func ServeSweep(d Dataset, users, k, batchSize int, minTime time.Duration) (*ServeBench, error) {
+	if batchSize < 2 {
+		return nil, fmt.Errorf("experiments: serve batch size %d < 2", batchSize)
+	}
+	db, err := d.Sample(users)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	side := d.Bounds.MaxX
+	snap := server.SnapshotRequest{K: k, MapSide: side, Users: make([]server.UserJSON, db.Len())}
+	for i := 0; i < db.Len(); i++ {
+		rec := db.At(i)
+		snap.Users[i] = server.UserJSON{ID: rec.UserID, X: rec.Loc.X, Y: rec.Loc.Y}
+	}
+	if err := postJSON(client, ts.URL+"/v1/snapshot", snap); err != nil {
+		return nil, fmt.Errorf("experiments: serve bench snapshot: %w", err)
+	}
+	pois := struct {
+		MapSide int32            `json:"mapSide"`
+		POIs    []server.POIJSON `json:"pois"`
+	}{MapSide: side}
+	for i := 0; i < 16; i++ {
+		p := geo.Point{X: int32(i) * side / 16, Y: int32(i) * side / 16}
+		pois.POIs = append(pois.POIs, server.POIJSON{ID: fmt.Sprintf("poi%d", i), X: p.X, Y: p.Y, Category: "gas"})
+	}
+	if err := postJSON(client, ts.URL+"/v1/pois", pois); err != nil {
+		return nil, fmt.Errorf("experiments: serve bench pois: %w", err)
+	}
+
+	// The same cycle of users drives both modes, so the cache and
+	// coalescing regimes they see are comparable.
+	nReqs := db.Len()
+	if nReqs > 256 {
+		nReqs = 256
+	}
+	reqs := make([]server.ServiceRequestJSON, nReqs)
+	for i := range reqs {
+		rec := db.At(i)
+		reqs[i] = server.ServiceRequestJSON{User: rec.UserID, X: rec.Loc.X, Y: rec.Loc.Y}
+	}
+	singleBodies := make([][]byte, nReqs)
+	for i, rq := range reqs {
+		if singleBodies[i], err = json.Marshal(rq); err != nil {
+			return nil, err
+		}
+	}
+	var batchBodies [][]byte
+	for at := 0; at < nReqs; at += batchSize {
+		end := at + batchSize
+		if end > nReqs {
+			end = nReqs
+		}
+		body, err := json.Marshal(server.BatchRequestJSON{Requests: reqs[at:end]})
+		if err != nil {
+			return nil, err
+		}
+		batchBodies = append(batchBodies, body)
+	}
+
+	post := func(path string, body []byte) (time.Duration, error) {
+		start := time.Now()
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("%s status %s", path, resp.Status)
+		}
+		return time.Since(start), nil
+	}
+
+	// measure drives bodies[i%len] POSTs at path until minTime elapses;
+	// perPost is how many user requests one POST carries.
+	measure := func(mode, path string, bodies [][]byte, perPost func(i int) int) (ServeBenchRow, error) {
+		for i := 0; i < 8; i++ { // warm connections and caches
+			if _, err := post(path, bodies[i%len(bodies)]); err != nil {
+				return ServeBenchRow{}, err
+			}
+		}
+		var lat []time.Duration
+		var requests int64
+		start := time.Now()
+		var elapsed time.Duration
+		for i := 0; elapsed < minTime; i++ {
+			d, err := post(path, bodies[i%len(bodies)])
+			if err != nil {
+				return ServeBenchRow{}, err
+			}
+			lat = append(lat, d)
+			requests += int64(perPost(i % len(bodies)))
+			elapsed = time.Since(start)
+		}
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		pct := func(p float64) float64 {
+			idx := int(p * float64(len(lat)-1))
+			return float64(lat[idx].Nanoseconds()) / 1e6
+		}
+		return ServeBenchRow{
+			Mode:      mode,
+			Requests:  requests,
+			ReqPerSec: float64(requests) / elapsed.Seconds(),
+			NsPerReq:  float64(elapsed.Nanoseconds()) / float64(requests),
+			P50Ms:     pct(0.50),
+			P99Ms:     pct(0.99),
+		}, nil
+	}
+
+	single, err := measure("single", "/v1/request", singleBodies, func(int) int { return 1 })
+	if err != nil {
+		return nil, err
+	}
+	statsBefore, err := fetchServeStats(client, ts.URL)
+	if err != nil {
+		return nil, err
+	}
+	batchLens := make([]int, len(batchBodies))
+	for i := range batchBodies {
+		end := (i + 1) * batchSize
+		if end > nReqs {
+			end = nReqs
+		}
+		batchLens[i] = end - i*batchSize
+	}
+	batch, err := measure("batch", "/v1/request/batch", batchBodies, func(i int) int { return batchLens[i] })
+	if err != nil {
+		return nil, err
+	}
+	batch.BatchSize = batchSize
+	statsAfter, err := fetchServeStats(client, ts.URL)
+	if err != nil {
+		return nil, err
+	}
+
+	return &ServeBench{
+		Bench:             "serve",
+		Users:             db.Len(),
+		K:                 k,
+		Engine:            srv.DefaultEngine(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
+		CPUModel:          cpuModel(),
+		GoVersion:         runtime.Version(),
+		Single:            single,
+		Batch:             batch,
+		Speedup:           batch.ReqPerSec / single.ReqPerSec,
+		CoalesceFlights:   statsAfter.CoalesceFlights - statsBefore.CoalesceFlights,
+		CoalesceCoalesced: statsAfter.CoalesceCoalesced - statsBefore.CoalesceCoalesced,
+	}, nil
+}
+
+// serveStats is the slice of /v1/stats the serve benchmark records.
+type serveStats struct {
+	CoalesceFlights   int64 `json:"coalesceFlights"`
+	CoalesceCoalesced int64 `json:"coalesceCoalesced"`
+}
+
+func fetchServeStats(client *http.Client, base string) (serveStats, error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return serveStats{}, err
+	}
+	defer resp.Body.Close()
+	var st serveStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return serveStats{}, err
+	}
+	return st, nil
+}
+
+// LoadServeBench decodes and validates a BENCH_serve.json document,
+// enforcing the ServeBatchSpeedupFloor throughput gate; CI uses it to
+// fail on malformed or regressed benchmark output.
+func LoadServeBench(r io.Reader) (*ServeBench, error) {
+	var b ServeBench
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("experiments: decode BENCH_serve.json: %w", err)
+	}
+	if b.Bench != "serve" {
+		return nil, fmt.Errorf("experiments: BENCH_serve.json bench = %q, want \"serve\"", b.Bench)
+	}
+	if b.Users < 1 || b.K < 1 {
+		return nil, fmt.Errorf("experiments: BENCH_serve.json metadata invalid: users=%d k=%d", b.Users, b.K)
+	}
+	if b.GOMAXPROCS < 1 || b.GoVersion == "" {
+		return nil, fmt.Errorf("experiments: BENCH_serve.json machine metadata missing")
+	}
+	for _, row := range []ServeBenchRow{b.Single, b.Batch} {
+		if row.Requests < 1 || row.ReqPerSec <= 0 || row.NsPerReq <= 0 || row.P50Ms <= 0 || row.P99Ms < row.P50Ms {
+			return nil, fmt.Errorf("experiments: BENCH_serve.json row invalid: %+v", row)
+		}
+	}
+	if b.Batch.BatchSize < 2 {
+		return nil, fmt.Errorf("experiments: BENCH_serve.json batch row has batchSize %d < 2", b.Batch.BatchSize)
+	}
+	if b.Speedup < ServeBatchSpeedupFloor {
+		return nil, fmt.Errorf("experiments: batch serving speedup %.2fx below the %.1fx gate",
+			b.Speedup, ServeBatchSpeedupFloor)
+	}
+	return &b, nil
+}
+
+// ServeBenchTable renders the measurement for the lbsbench table formats.
+func ServeBenchTable(b *ServeBench) Table {
+	tbl := Table{
+		Name:   "serve_throughput",
+		Header: []string{"mode", "batch_size", "requests", "req_per_sec", "p50_ms", "p99_ms"},
+	}
+	for _, r := range []ServeBenchRow{b.Single, b.Batch} {
+		size := r.BatchSize
+		if size == 0 {
+			size = 1
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Mode,
+			fmt.Sprintf("%d", size),
+			fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%.0f", r.ReqPerSec),
+			fmt.Sprintf("%.3f", r.P50Ms),
+			fmt.Sprintf("%.3f", r.P99Ms),
+		})
+	}
+	return tbl
+}
+
+// PrintServeBench writes the human table plus the speedup summary line.
+func PrintServeBench(w io.Writer, b *ServeBench) {
+	fmt.Fprintf(w, "%-8s %10s %10s %14s %10s %10s\n", "mode", "batch", "requests", "req/sec", "p50 ms", "p99 ms")
+	for _, r := range []ServeBenchRow{b.Single, b.Batch} {
+		size := r.BatchSize
+		if size == 0 {
+			size = 1
+		}
+		fmt.Fprintf(w, "%-8s %10d %10d %14.0f %10.3f %10.3f\n", r.Mode, size, r.Requests, r.ReqPerSec, r.P50Ms, r.P99Ms)
+	}
+	fmt.Fprintln(w, ServeSpeedupSummary(b))
+}
+
+// ServeSpeedupSummary renders the one-line gate summary, e.g.
+// "serve throughput: single 1234 req/s, batch(64) 5678 req/s — 4.60x
+// (gate 2.0x); singleflight: 12 flights, 340 coalesced".
+func ServeSpeedupSummary(b *ServeBench) string {
+	return fmt.Sprintf("serve throughput: single %.0f req/s, batch(%d) %.0f req/s — %.2fx (gate %.1fx); singleflight: %d flights, %d coalesced",
+		b.Single.ReqPerSec, b.Batch.BatchSize, b.Batch.ReqPerSec, b.Speedup, ServeBatchSpeedupFloor,
+		b.CoalesceFlights, b.CoalesceCoalesced)
+}

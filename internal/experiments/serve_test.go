@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"policyanon/internal/workload"
+)
+
+func TestServeSweepProducesValidDoc(t *testing.T) {
+	d := NewDataset(workload.Config{
+		MapSide: 1 << 12, Intersections: 400, UsersPerIntersection: 5, SpreadSigma: 60,
+	}, 5)
+	bench, err := ServeSweep(d, 500, 10, 16, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Bench != "serve" {
+		t.Errorf("bench discriminator = %q", bench.Bench)
+	}
+	if bench.Single.Requests < 1 || bench.Batch.Requests < 1 {
+		t.Fatalf("no requests measured: %+v", bench)
+	}
+	if bench.Batch.BatchSize != 16 {
+		t.Errorf("batch row batchSize = %d, want 16", bench.Batch.BatchSize)
+	}
+	for _, row := range []ServeBenchRow{bench.Single, bench.Batch} {
+		if row.ReqPerSec <= 0 || row.NsPerReq <= 0 || row.P50Ms <= 0 || row.P99Ms < row.P50Ms {
+			t.Errorf("row %s inconsistent: %+v", row.Mode, row)
+		}
+	}
+	if bench.Speedup <= 0 {
+		t.Errorf("speedup = %v", bench.Speedup)
+	}
+	// The batch run drives the CSP singleflight: at least one flight must
+	// have started (the counters are a delta across the batch phase).
+	if bench.CoalesceFlights < 0 || bench.CoalesceCoalesced < 0 {
+		t.Errorf("negative coalesce counters: %+v", bench)
+	}
+	if bench.GOMAXPROCS < 1 || bench.GoVersion == "" || bench.CPUModel == "" {
+		t.Errorf("machine metadata incomplete: %+v", bench)
+	}
+	tbl := ServeBenchTable(bench)
+	if len(tbl.Rows) != 2 || len(tbl.Rows[0]) != len(tbl.Header) {
+		t.Errorf("table shape wrong: %+v", tbl)
+	}
+	var buf bytes.Buffer
+	PrintServeBench(&buf, bench)
+	if !strings.Contains(buf.String(), "serve throughput:") {
+		t.Errorf("print output missing summary: %q", buf.String())
+	}
+
+	if _, err := ServeSweep(d, 500, 10, 1, time.Millisecond); err == nil {
+		t.Error("batch size 1 accepted")
+	}
+}
+
+// TestLoadServeBenchGates exercises the BENCH_serve.json CI gate on
+// synthetic documents: the speedup floor, the structural checks, and the
+// discriminator.
+func TestLoadServeBenchGates(t *testing.T) {
+	doc := func(speedup float64, batchSize int) string {
+		b := ServeBench{
+			Bench: "serve", Dataset: "small", Users: 100, K: 10, Engine: "bulkdp-binary",
+			GOMAXPROCS: 4, NumCPU: 4, CPUModel: "test", GoVersion: "go1.x",
+			Single: ServeBenchRow{Mode: "single", Requests: 1000, ReqPerSec: 1000, NsPerReq: 1e6, P50Ms: 1, P99Ms: 2},
+			Batch: ServeBenchRow{Mode: "batch", BatchSize: batchSize, Requests: 1000,
+				ReqPerSec: 1000 * speedup, NsPerReq: 1e6 / speedup, P50Ms: 1, P99Ms: 2},
+			Speedup: speedup,
+		}
+		raw, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+
+	if _, err := LoadServeBench(strings.NewReader(doc(3.5, 64))); err != nil {
+		t.Errorf("healthy document rejected: %v", err)
+	}
+	if _, err := LoadServeBench(strings.NewReader(doc(1.4, 64))); err == nil {
+		t.Error("speedup 1.4x passed the 2.0x gate")
+	} else if !strings.Contains(err.Error(), "below the 2.0x gate") {
+		t.Errorf("wrong gate error: %v", err)
+	}
+	if _, err := LoadServeBench(strings.NewReader(doc(3.5, 1))); err == nil {
+		t.Error("batchSize 1 accepted")
+	}
+	bad := strings.Replace(doc(3.5, 64), `"bench":"serve"`, `"bench":"nope"`, 1)
+	if _, err := LoadServeBench(strings.NewReader(bad)); err == nil {
+		t.Error("wrong discriminator accepted")
+	}
+	if _, err := LoadServeBench(strings.NewReader(`{"bench":"serve"}`)); err == nil {
+		t.Error("empty document accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"policyanon/internal/obs"
 )
@@ -90,19 +91,59 @@ func (p *POIProvider) Billing() map[string]int64 {
 // duplicate anonymized requests within a cache epoch, so it cannot count
 // them; FlushCache starts a new epoch and reports the suppressed request
 // count so the CSP can settle billing in aggregate.
+//
+// The serving hot path is built for concurrency: the policy and the
+// request-ID counter are atomics (no lock), the answer cache is sharded
+// by cloak hash (cloaks are jurisdiction-aligned spatial regions, so
+// shards split the keyspace geographically and concurrent requests from
+// different areas never contend), and concurrent misses for the same
+// (assignment version, cloak, params) coalesce into ONE provider lookup —
+// the singleflight — whose answer every coalesced caller shares, exactly
+// as a cache hit would.
 type CSP struct {
-	mu       sync.Mutex
-	policy   *Assignment
+	policy   atomic.Pointer[Assignment]
 	provider Provider
-	nextRID  uint64
-	cache    map[cacheKey][]POI
-	hits     int64
-	misses   int64
+	nextRID  atomic.Uint64
+	shards   [cacheShards]cspShard
+}
+
+// cacheShards is the shard count of the answer cache; a power of two so
+// the hash folds with a mask. 16 shards keep contention negligible well
+// past the worker counts the serving benchmarks sweep.
+const cacheShards = 16
+
+// cspShard is one cache shard: its slice of the answer map, the in-flight
+// singleflight table, and its share of the counters (summed on read).
+type cspShard struct {
+	mu        sync.Mutex
+	cache     map[cacheKey][]POI
+	flight    map[flightKey]*flight
+	hits      int64
+	misses    int64
+	flights   int64 // singleflight leaders (provider lookups started)
+	coalesced int64 // callers who piggybacked on another's lookup
 }
 
 type cacheKey struct {
 	cloak  string
 	params string
+}
+
+// flightKey scopes coalescing to one published assignment version: after
+// a policy swap, new requests must not piggyback on a lookup started
+// under the old policy.
+type flightKey struct {
+	version uint64
+	key     cacheKey
+}
+
+// flight is one in-progress provider lookup. The leader fills answer/err
+// before closing done; waiters read after <-done (the close is the
+// happens-before edge).
+type flight struct {
+	done   chan struct{}
+	answer []POI
+	err    error
 }
 
 func keyOf(ar AnonymizedRequest) cacheKey {
@@ -113,18 +154,39 @@ func keyOf(ar AnonymizedRequest) cacheKey {
 	return k
 }
 
+// shardOf picks the cache shard: FNV-1a over the cloak and parameter
+// strings, folded to the shard mask.
+func shardOf(key cacheKey) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key.cloak); i++ {
+		h = (h ^ uint64(key.cloak[i])) * prime64
+	}
+	for i := 0; i < len(key.params); i++ {
+		h = (h ^ uint64(key.params[i])) * prime64
+	}
+	return int(h & (cacheShards - 1))
+}
+
 // NewCSP wires a policy to a provider.
 func NewCSP(policy *Assignment, provider Provider) *CSP {
-	return &CSP{policy: policy, provider: provider, cache: make(map[cacheKey][]POI)}
+	c := &CSP{provider: provider}
+	c.policy.Store(policy)
+	for i := range c.shards {
+		c.shards[i].cache = make(map[cacheKey][]POI)
+		c.shards[i].flight = make(map[flightKey]*flight)
+	}
+	return c
 }
 
 // SetPolicy installs the policy for a new snapshot. The cache is kept: for
 // stationary points of interest the paper recommends flushing only at
 // infrequent intervals.
 func (c *CSP) SetPolicy(policy *Assignment) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.policy = policy
+	c.policy.Store(policy)
 }
 
 // Serve handles one user request end to end: validate, anonymize, answer
@@ -136,32 +198,30 @@ func (c *CSP) Serve(sr ServiceRequest) (AnonymizedRequest, []POI, error) {
 
 // ServeContext is Serve with tracing: when ctx carries an obs.Tracer the
 // request is recorded as a "csp.serve" span annotated with the cache
-// outcome ("hit" or "miss") and the candidate count, making cache
-// effectiveness visible per request in traces and per phase in metrics.
+// outcome ("hit", "miss", or "coalesced") and the candidate count, making
+// cache effectiveness visible per request in traces and per phase in
+// metrics.
 func (c *CSP) ServeContext(ctx context.Context, sr ServiceRequest) (AnonymizedRequest, []POI, error) {
 	_, sp := obs.Start(ctx, "csp.serve")
-	c.mu.Lock()
-	policy := c.policy
-	c.nextRID++
-	rid := c.nextRID
-	c.mu.Unlock()
+	policy := c.policy.Load()
 	if policy == nil {
 		sp.End()
 		return AnonymizedRequest{}, nil, fmt.Errorf("lbs: no policy installed")
 	}
+	rid := c.nextRID.Add(1)
 	ar, err := policy.Anonymize(rid, sr)
 	if err != nil {
 		sp.End()
 		return AnonymizedRequest{}, nil, err
 	}
 	key := keyOf(ar)
-	c.mu.Lock()
-	cached, ok := c.cache[key]
-	if ok {
-		c.hits++
-	}
-	c.mu.Unlock()
-	if ok {
+	sh := &c.shards[shardOf(key)]
+	fk := flightKey{version: policy.Version(), key: key}
+
+	sh.mu.Lock()
+	if cached, ok := sh.cache[key]; ok {
+		sh.hits++
+		sh.mu.Unlock()
 		if sp != nil {
 			sp.SetAttr("cache", "hit")
 			sp.SetInt("candidates", int64(len(cached)))
@@ -169,15 +229,43 @@ func (c *CSP) ServeContext(ctx context.Context, sr ServiceRequest) (AnonymizedRe
 		}
 		return ar, cached, nil
 	}
+	if f, ok := sh.flight[fk]; ok {
+		// Someone is already asking the provider for this exact cloak
+		// and parameters under this policy version: wait for their
+		// answer instead of duplicating the lookup.
+		sh.coalesced++
+		sh.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			sp.End()
+			return ar, nil, fmt.Errorf("lbs: provider: %w", f.err)
+		}
+		if sp != nil {
+			sp.SetAttr("cache", "coalesced")
+			sp.SetInt("candidates", int64(len(f.answer)))
+			sp.End()
+		}
+		return ar, f.answer, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.flight[fk] = f
+	sh.flights++
+	sh.mu.Unlock()
+
 	answer, err := c.provider.Answer(ar)
+	f.answer, f.err = answer, err
+	sh.mu.Lock()
+	delete(sh.flight, fk) // errors are not cached; a retry starts fresh
+	if err == nil {
+		sh.misses++
+		sh.cache[key] = answer
+	}
+	sh.mu.Unlock()
+	close(f.done)
 	if err != nil {
 		sp.End()
 		return ar, nil, fmt.Errorf("lbs: provider: %w", err)
 	}
-	c.mu.Lock()
-	c.misses++
-	c.cache[key] = answer
-	c.mu.Unlock()
 	if sp != nil {
 		sp.SetAttr("cache", "miss")
 		sp.SetInt("candidates", int64(len(answer)))
@@ -186,20 +274,46 @@ func (c *CSP) ServeContext(ctx context.Context, sr ServiceRequest) (AnonymizedRe
 	return ar, answer, nil
 }
 
-// CacheStats returns the cache hit and miss counts since the last flush.
+// CacheStats returns the cache hit and miss counts since the last flush,
+// summed over the shards.
 func (c *CSP) CacheStats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		sh.mu.Unlock()
+	}
+	return hits, misses
+}
+
+// CoalesceStats returns the singleflight counters since the last flush:
+// flights is the number of provider lookups started by a coalescing
+// leader, coalesced the number of callers who shared another caller's
+// in-flight lookup instead of issuing their own.
+func (c *CSP) CoalesceStats() (flights, coalesced int64) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		flights += sh.flights
+		coalesced += sh.coalesced
+		sh.mu.Unlock()
+	}
+	return flights, coalesced
 }
 
 // FlushCache starts a new cache epoch and returns the number of provider
-// round-trips the cache suppressed during the ending epoch.
+// round-trips the cache suppressed during the ending epoch (hits plus
+// coalesced requests — neither reached the provider).
 func (c *CSP) FlushCache() (suppressed int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	suppressed = c.hits
-	c.cache = make(map[cacheKey][]POI)
-	c.hits, c.misses = 0, 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		suppressed += sh.hits + sh.coalesced
+		sh.cache = make(map[cacheKey][]POI)
+		sh.hits, sh.misses = 0, 0
+		sh.flights, sh.coalesced = 0, 0
+		sh.mu.Unlock()
+	}
 	return suppressed
 }

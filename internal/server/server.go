@@ -18,6 +18,11 @@
 //	                           (&engine=NAME serves an alternative engine's
 //	                           policy over the same snapshot)
 //	POST /v1/request           anonymize a service request and answer it
+//	POST /v1/request/batch     anonymize and answer many requests in one
+//	                           round trip: one snapshot acquisition,
+//	                           parallel per-user resolution, per-item
+//	                           errors (identical concurrent lookups
+//	                           coalesce into one provider round trip)
 //	GET  /v1/audit             rolling privacy report: achieved anonymity
 //	                           under both attacker classes, breach totals
 //	GET  /v1/audit/root        latest sealed ledger checkpoint: the signed
@@ -28,7 +33,14 @@
 //	                           verifiable offline against the chain root
 //	                           (409 while the event is pending a seal,
 //	                           410 when its batch aged out of retention)
-//	GET  /v1/stats             snapshot, policy and cache statistics
+//	GET  /v1/motion            streaming-ingest pipeline statistics
+//	                           ({"enabled": false} when motion is off)
+//	GET  /v1/checkpoint        stream the current state as a checkpoint
+//	POST /v1/restore           install a previously saved checkpoint
+//	GET  /v1/stats             snapshot, policy, cache and coalescing
+//	                           statistics
+//	GET  /v1/metrics           metrics registry (JSON; ?format=prometheus
+//	                           for text exposition), pprof on the side mux
 //
 // /healthz is a readiness probe: it answers 503 until the first snapshot
 // is installed, 200 with snapshot facts afterwards. /healthz?probe=live
@@ -50,6 +62,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -120,11 +133,17 @@ type Stats struct {
 	AnonymizeMs    float64 `json:"anonymizeMs"`
 	POIs           int     `json:"pois"`
 	RequestsServed int64   `json:"requestsServed"`
+	BatchesServed  int64   `json:"batchesServed"`
 	CacheHits      int64   `json:"cacheHits"`
 	CacheMisses    int64   `json:"cacheMisses"`
-	MovesApplied   int64   `json:"movesApplied"`
-	RowsRecomputed int64   `json:"rowsRecomputed"`
-	MaintenanceMs  float64 `json:"maintenanceMs"`
+	// CoalesceFlights counts provider lookups started by a singleflight
+	// leader; CoalesceCoalesced counts requests that shared another
+	// request's in-flight lookup instead of issuing their own.
+	CoalesceFlights   int64   `json:"coalesceFlights"`
+	CoalesceCoalesced int64   `json:"coalesceCoalesced"`
+	MovesApplied      int64   `json:"movesApplied"`
+	RowsRecomputed    int64   `json:"rowsRecomputed"`
+	MaintenanceMs     float64 `json:"maintenanceMs"`
 }
 
 // New returns an empty server; install a snapshot before serving requests.
@@ -226,6 +245,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/restore", s.handleCheckpointRestore)
 	mux.HandleFunc("GET /v1/cloak", s.handleCloak)
 	mux.HandleFunc("POST /v1/request", s.handleRequest)
+	mux.HandleFunc("POST /v1/request/batch", s.handleRequestBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/motion", s.handleMotion)
 	return s.instrument(mux)
@@ -741,9 +761,10 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		// candidate scans per sampled request, nothing on the rest.
 		s.aud.MaybeObserveRequest(ctx, engineName, policy, ar.Cloak, k)
 	}
+	s.reg.Counter("serve_requests:single").Inc()
 	s.mu.Lock()
 	s.stats.RequestsServed++
-	s.stats.CacheHits, s.stats.CacheMisses = csp.CacheStats()
+	s.updateServeStatsLocked(csp)
 	s.mu.Unlock()
 	out := make([]POIJSON, len(answer))
 	for i, p := range answer {
@@ -754,6 +775,127 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		"cloak":      rectJSON(ar.Cloak),
 		"candidates": out,
 	})
+}
+
+// updateServeStatsLocked folds the CSP's cumulative cache and coalesce
+// counters into the stats snapshot and the coalesce_* metric families.
+// Callers hold s.mu. The CSP's counters reset on FlushCache and when a
+// snapshot or POI install replaces the CSP; counterDelta keeps the
+// monotonic registry counters sane across such epochs.
+func (s *Server) updateServeStatsLocked(csp *lbs.CSP) {
+	hits, misses := csp.CacheStats()
+	flights, coalesced := csp.CoalesceStats()
+	s.reg.Counter("coalesce_flights").Add(counterDelta(s.stats.CoalesceFlights, flights))
+	s.reg.Counter("coalesce_coalesced").Add(counterDelta(s.stats.CoalesceCoalesced, coalesced))
+	s.stats.CacheHits, s.stats.CacheMisses = hits, misses
+	s.stats.CoalesceFlights, s.stats.CoalesceCoalesced = flights, coalesced
+}
+
+// counterDelta returns the increment from last to cur for a cumulative
+// source counter that may have been reset to a new epoch (cur < last), in
+// which case everything cur has counted is new.
+func counterDelta(last, cur int64) int64 {
+	if cur >= last {
+		return cur - last
+	}
+	return cur
+}
+
+// maxBatchRequests bounds one POST /v1/request/batch body; larger
+// pipelines should split across calls.
+const maxBatchRequests = 10000
+
+// BatchRequestJSON is the POST /v1/request/batch body: many user
+// requests answered in one round trip against ONE serving snapshot.
+type BatchRequestJSON struct {
+	Requests []ServiceRequestJSON `json:"requests"`
+}
+
+// BatchItemJSON is one request's result within a batch response, in the
+// order submitted. A failed item carries Error and nothing else; the
+// batch itself still answers 200 — per-item failures (unknown user,
+// spoofed location) must not void its neighbours.
+type BatchItemJSON struct {
+	RID        uint64    `json:"rid,omitempty"`
+	Cloak      *RectJSON `json:"cloak,omitempty"`
+	Candidates []POIJSON `json:"candidates,omitempty"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// handleRequestBatch serves POST /v1/request/batch: the serving snapshot
+// (CSP, policy, engine) is acquired once for the whole batch, then the
+// items resolve in parallel on a bounded worker set. Concurrent items
+// that share a cloak and parameters coalesce inside the CSP into one
+// provider lookup, which is where the batch's throughput advantage over
+// N sequential /v1/request calls comes from.
+func (s *Server) handleRequestBatch(w http.ResponseWriter, r *http.Request) {
+	s.refreshMotion()
+	var req BatchRequestJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(req.Requests) > maxBatchRequests {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds the %d-request limit", len(req.Requests), maxBatchRequests))
+		return
+	}
+	// One snapshot acquisition for the whole batch.
+	s.mu.RLock()
+	csp, policy, engineName, k := s.csp, s.policy, s.snapEngine, s.k
+	s.mu.RUnlock()
+	if csp == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("snapshot and POIs must be installed first"))
+		return
+	}
+	ctx := s.obsCtx(r)
+	items := make([]BatchItemJSON, len(req.Requests))
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(req.Requests) {
+		nw = len(req.Requests)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for range nw {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(req.Requests) {
+					return
+				}
+				rq := req.Requests[i]
+				sr := lbs.ServiceRequest{UserID: rq.User, Loc: geo.Point{X: rq.X, Y: rq.Y}, Params: rq.Params}
+				ar, answer, err := csp.ServeContext(ctx, sr)
+				if err != nil {
+					items[i] = BatchItemJSON{Error: err.Error()}
+					continue
+				}
+				if policy != nil {
+					s.aud.MaybeObserveRequest(ctx, engineName, policy, ar.Cloak, k)
+				}
+				out := make([]POIJSON, len(answer))
+				for j, p := range answer {
+					out[j] = POIJSON{ID: p.ID, X: p.Loc.X, Y: p.Loc.Y, Category: p.Category}
+				}
+				cl := rectJSON(ar.Cloak)
+				items[i] = BatchItemJSON{RID: ar.RID, Cloak: &cl, Candidates: out}
+			}
+		}()
+	}
+	wg.Wait()
+	s.reg.Counter("serve_batches").Inc()
+	s.reg.Counter("serve_requests:batch").Add(int64(len(req.Requests)))
+	s.mu.Lock()
+	s.stats.RequestsServed += int64(len(req.Requests))
+	s.stats.BatchesServed++
+	s.updateServeStatsLocked(csp)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"results": items})
 }
 
 // CheckpointTo streams the current state as a checkpoint; it fails when

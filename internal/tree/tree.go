@@ -46,6 +46,9 @@ const (
 	Quad
 )
 
+// MaxChildren is the largest branching factor any Kind produces (Quad).
+const MaxChildren = 4
+
 // String names the tree kind.
 func (k Kind) String() string {
 	switch k {
