@@ -18,6 +18,8 @@
 //	GET  /v1/audit          privacy observatory rolling report
 //	GET  /v1/audit/root     latest signed ledger checkpoint (-ledger)
 //	GET  /v1/audit/proof    Merkle inclusion proof for one event (-ledger)
+//	GET  /v1/debug/flightrecorder  flight recorder dump: retained traces + events
+//	GET  /v1/debug/trace    one retained trace by ?rid= or ?tid= (&format=chrome)
 //	GET  /debug/pprof/      Go profiling endpoints (unless -pprof=false)
 //
 // Usage:
@@ -66,6 +68,16 @@
 // header so log lines, trace spans, and metrics correlate. Unless
 // -pprof=false, the Go profiling endpoints are mounted under
 // /debug/pprof/ (CPU: /debug/pprof/profile, heap: /debug/pprof/heap).
+//
+// Serving requests are additionally traced end to end: every
+// /v1/request and /v1/request/batch call gets a root span and an
+// X-Trace-Id, and tail-based sampling retains the full span tree of
+// interesting requests (slow against a rolling p99 threshold, errored,
+// audit breaches, motion fallbacks, cache-miss flights, forced via
+// X-Debug-Trace) into an in-memory flight recorder, dumpable at
+// GET /v1/debug/flightrecorder and GET /v1/debug/trace?rid=... (JSON or
+// ?format=chrome for chrome://tracing). -trace-requests=false disables
+// the capture layer; -flight-traces/-flight-events resize the rings.
 // See docs/OBSERVABILITY.md.
 //
 // Quick exercise:
@@ -99,6 +111,7 @@ import (
 	"policyanon/internal/engine"
 	"policyanon/internal/ledger"
 	"policyanon/internal/motion"
+	"policyanon/internal/obs/flight"
 	_ "policyanon/internal/parallel" // register the "parallel" engine
 	"policyanon/internal/server"
 )
@@ -122,6 +135,8 @@ const endpointList = `  GET  /healthz           readiness (200 once a snapshot i
   GET  /v1/audit          privacy observatory rolling report
   GET  /v1/audit/root     latest signed ledger checkpoint (-ledger)
   GET  /v1/audit/proof    Merkle inclusion proof for one event (-ledger)
+  GET  /v1/debug/flightrecorder  flight recorder dump: retained traces + events
+  GET  /v1/debug/trace    one retained trace by ?rid= or ?tid= (&format=chrome)
   GET  /debug/pprof/      Go profiling endpoints (unless -pprof=false)
 `
 
@@ -133,6 +148,10 @@ func main() {
 		withPprof = flag.Bool("pprof", true, "mount Go profiling endpoints under /debug/pprof/")
 		logLevel  = flag.String("log-level", "info", "log floor: debug, info, warn, or error")
 		auditRate = flag.Float64("audit-rate", audit.DefaultRate, "fraction of /v1/request calls audited for achieved anonymity (0 disables)")
+
+		traceReqs    = flag.Bool("trace-requests", true, "per-request tracing with tail sampling into the flight recorder (/v1/debug/flightrecorder)")
+		flightTraces = flag.Int("flight-traces", 0, "flight recorder trace ring capacity (0 = flight default)")
+		flightEvents = flag.Int("flight-events", 0, "flight recorder event ring capacity (0 = flight default)")
 
 		ledgerOn     = flag.Bool("ledger", false, "tamper-evident audit ledger: Merkle-batched hash chain over audit events, served at /v1/audit/root and /v1/audit/proof")
 		ledgerAnchor = flag.String("ledger-anchor", "", "append-only anchor file for sealed ledger batches (empty = in-memory anchor; verify offline with anoncli verify-ledger)")
@@ -173,6 +192,10 @@ func main() {
 	srv := server.New()
 	srv.SetLogger(logger)
 	srv.SetAuditRate(*auditRate)
+	srv.SetRequestTracing(*traceReqs)
+	if *flightTraces > 0 || *flightEvents > 0 {
+		srv.SetFlightRecorder(flight.New(*flightTraces, *flightEvents))
+	}
 	if err := srv.SetDefaultEngine(*engName); err != nil {
 		fatal("engine selection failed", "err", err)
 	}

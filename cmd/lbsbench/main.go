@@ -24,12 +24,15 @@
 // writes the tracked BENCH_churn.json — see -churn-out), serve (amortized
 // serving hot path: POST /v1/request/batch throughput and p50/p99 vs
 // sequential /v1/request, with CSP singleflight counters; writes the
-// tracked BENCH_serve.json — see -serve-out, -batch-size), all.
+// tracked BENCH_serve.json — see -serve-out, -batch-size), trace
+// (always-on observability overhead: /v1/request throughput with
+// tail-sampled request tracing off vs on, plus flight-recorder retention
+// accounting; writes the tracked BENCH_trace.json — see -trace-out), all.
 //
 // -check-bench validates any tracked benchmark document: it sniffs the
 // "bench" discriminator field and dispatches to the matching loader, so
-// CI can gate BENCH_bulkdp.json, BENCH_audit.json, BENCH_churn.json, and
-// BENCH_serve.json with one mode. A negative measured overhead (the audited run out-ran
+// CI can gate BENCH_bulkdp.json, BENCH_audit.json, BENCH_churn.json,
+// BENCH_serve.json, and BENCH_trace.json with one mode. A negative measured overhead (the audited run out-ran
 // its baseline) passes with a note — it is measurement noise, not a
 // speedup. -check-bench-all validates every BENCH_*.json in the working
 // directory in a single pass, for the CI bench-smoke job.
@@ -69,7 +72,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|engines|workers|audit|churn|serve|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4a|fig4b|fig5a|fig5b|parallel|utility|hilbert|adaptive|trajectory|engines|workers|audit|churn|serve|trace|all")
 		scale      = flag.String("scale", "small", "dataset scale: small (~50k users) or paper (1.75M users)")
 		k          = flag.Int("k", 50, "anonymity parameter k")
 		seed       = flag.Int64("seed", 42, "dataset seed")
@@ -85,7 +88,10 @@ func main() {
 		auditRate  = flag.Float64("audit-rate", audit.DefaultRate, "request sampling rate for -exp audit's sampled mode")
 		serveOut   = flag.String("serve-out", "BENCH_serve.json", "output file for the -exp serve throughput benchmark")
 		batchSize  = flag.Int("batch-size", 64, "requests per batch POST for -exp serve")
-		checkBench    = flag.String("check-bench", "", "validate an existing BENCH file (bulkdp, audit, churn, or serve) and exit (CI gate)")
+		// -trace is already the Chrome trace_event output; the tracked
+		// tracing-overhead document gets its own flag.
+		traceBenchOut = flag.String("trace-out", "BENCH_trace.json", "output file for the -exp trace overhead benchmark")
+		checkBench    = flag.String("check-bench", "", "validate an existing BENCH file (bulkdp, audit, churn, serve, or trace) and exit (CI gate)")
 		checkBenchAll = flag.Bool("check-bench-all", false, "validate every tracked BENCH_*.json in the working directory in one pass and exit (CI gate)")
 	)
 	flag.Parse()
@@ -107,7 +113,7 @@ func main() {
 	}
 	if err := run(*exp, *scale, *k, *seed, *format, *engines, *traceOut, *phases,
 		*benchOut, *workerList, *benchTime, *auditOut, *auditRate, *churnOut,
-		*serveOut, *batchSize); err != nil {
+		*serveOut, *batchSize, *traceBenchOut); err != nil {
 		fmt.Fprintln(os.Stderr, "lbsbench:", err)
 		os.Exit(1)
 	}
@@ -148,6 +154,12 @@ func checkBenchFile(path string) (string, error) {
 		_, err = experiments.LoadChurnBench(bytes.NewReader(data))
 	case "serve":
 		_, err = experiments.LoadServeBench(bytes.NewReader(data))
+	case "trace":
+		var b *experiments.TraceBench
+		b, err = experiments.LoadTraceBench(bytes.NewReader(data))
+		if err == nil && b.OverheadPct < 0 {
+			note += fmt.Sprintf(" (note: overheadPct %.2f%% < 0 is measurement noise, treated as 0)", b.OverheadPct)
+		}
 	case "":
 		var b *experiments.BulkDPBench
 		b, err = experiments.LoadBulkDPBench(bytes.NewReader(data))
@@ -235,7 +247,7 @@ func sweepEngines(flagVal string) []string {
 
 func run(exp, scale string, k int, seed int64, format, engineList, traceOut string, phases bool,
 	benchOut, workerList string, benchTime time.Duration, auditOut string, auditRate float64,
-	churnOut, serveOut string, batchSize int) error {
+	churnOut, serveOut string, batchSize int, traceBenchOut string) error {
 	switch format {
 	case "table", "csv", "markdown":
 	default:
@@ -497,6 +509,24 @@ func run(exp, scale string, k int, seed int64, format, engineList, traceOut stri
 		}
 		fmt.Fprintln(os.Stderr, "lbsbench:", experiments.ServeSpeedupSummary(bench))
 		fmt.Fprintf(os.Stderr, "lbsbench: serve benchmark written to %s\n", serveOut)
+	}
+	if want("trace") {
+		ran = true
+		banner(fmt.Sprintf("== Always-on observability: /v1/request tracing overhead, |D|=%d, k=%d ==",
+			sizes[0], k))
+		bench, err := experiments.TraceSweep(d, sizes[0], k, benchTime)
+		if err != nil {
+			return err
+		}
+		bench.Dataset = scale
+		if err := writeBench(traceBenchOut, bench); err != nil {
+			return err
+		}
+		if err := emit(experiments.TraceBenchTable(bench), func() { experiments.PrintTraceBench(os.Stdout, bench) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "lbsbench:", experiments.TraceOverheadSummary(bench))
+		fmt.Fprintf(os.Stderr, "lbsbench: trace benchmark written to %s\n", traceBenchOut)
 	}
 	if want("parallel") {
 		ran = true

@@ -11,16 +11,16 @@ import (
 // wiring covered; heavy paths run at paper scale only when invoked
 // explicitly.
 func TestRunUnknownInputs(t *testing.T) {
-	if err := run("fig3", "nope", 10, 1, "table", "", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64); err == nil {
+	if err := run("fig3", "nope", 10, 1, "table", "", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64, ""); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run("figZZ", "small", 10, 1, "table", "", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64); err == nil {
+	if err := run("figZZ", "small", 10, 1, "table", "", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64, ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("fig2", "small", 10, 1, "xml", "", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64); err == nil {
+	if err := run("fig2", "small", 10, 1, "xml", "", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64, ""); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if err := run("engines", "small", 10, 1, "table", "no-such-engine", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64); err == nil {
+	if err := run("engines", "small", 10, 1, "table", "no-such-engine", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64, ""); err == nil {
 		t.Error("unknown engine name accepted")
 	}
 }
@@ -53,15 +53,15 @@ func TestRunSingleExperimentSmall(t *testing.T) {
 	}
 	os.Stdout = devnull
 	defer func() { os.Stdout = old; devnull.Close() }()
-	if err := run("fig3", "small", 50, 1, "table", "", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64); err != nil {
+	if err := run("fig3", "small", 50, 1, "table", "", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("fig2", "small", 50, 1, "csv", "", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64); err != nil {
+	if err := run("fig2", "small", 50, 1, "csv", "", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64, ""); err != nil {
 		t.Fatal(err)
 	}
 	// Tracing path: fig3 builds anonymizers, so the trace must be non-empty.
 	trace := t.TempDir() + "/trace.json"
-	if err := run("fig3", "small", 50, 1, "csv", "", trace, false, "", "1", time.Millisecond, "", 0.5, "", "", 64); err != nil {
+	if err := run("fig3", "small", 50, 1, "csv", "", trace, false, "", "1", time.Millisecond, "", 0.5, "", "", 64, ""); err != nil {
 		t.Fatal(err)
 	}
 	if st, err := os.Stat(trace); err != nil || st.Size() == 0 {
@@ -69,7 +69,7 @@ func TestRunSingleExperimentSmall(t *testing.T) {
 	}
 	// The registry sweep over the two k-inside baselines stays cheap and
 	// exercises the engines experiment end to end.
-	if err := run("engines", "small", 50, 1, "csv", "casper,puq", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64); err != nil {
+	if err := run("engines", "small", 50, 1, "csv", "casper,puq", "", false, "", "1", time.Millisecond, "", 0.5, "", "", 64, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -86,14 +86,14 @@ func TestRunWorkersSweep(t *testing.T) {
 	os.Stdout = devnull
 	defer func() { os.Stdout = old; devnull.Close() }()
 	out := t.TempDir() + "/BENCH_bulkdp.json"
-	if err := run("workers", "small", 50, 1, "csv", "", "", false, out, "1,2", time.Millisecond, "", 0.5, "", "", 64); err != nil {
+	if err := run("workers", "small", 50, 1, "csv", "", "", false, out, "1,2", time.Millisecond, "", 0.5, "", "", 64, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := checkBenchFile(out); err != nil {
 		t.Fatalf("emitted sweep fails validation: %v", err)
 	}
 	// Malformed worker lists are rejected before any measurement.
-	if err := run("workers", "small", 50, 1, "csv", "", "", false, out, "1,zero", time.Millisecond, "", 0.5, "", "", 64); err == nil {
+	if err := run("workers", "small", 50, 1, "csv", "", "", false, out, "1,zero", time.Millisecond, "", 0.5, "", "", 64, ""); err == nil {
 		t.Error("malformed -workers accepted")
 	}
 }
@@ -112,7 +112,7 @@ func TestRunAuditBench(t *testing.T) {
 	os.Stdout = devnull
 	defer func() { os.Stdout = old; devnull.Close() }()
 	out := t.TempDir() + "/BENCH_audit.json"
-	if err := run("audit", "small", 50, 1, "csv", "", "", false, "", "1", 5*time.Millisecond, out, 0.5, "", "", 64); err != nil {
+	if err := run("audit", "small", 50, 1, "csv", "", "", false, "", "1", 5*time.Millisecond, out, 0.5, "", "", 64, ""); err != nil {
 		t.Fatal(err)
 	}
 	_, err = checkBenchFile(out)
@@ -120,7 +120,7 @@ func TestRunAuditBench(t *testing.T) {
 		t.Fatalf("emitted audit bench fails validation: %v", err)
 	}
 	// An out-of-range rate is rejected before any measurement.
-	if err := run("audit", "small", 50, 1, "csv", "", "", false, "", "1", time.Millisecond, out, 1.5, "", "", 64); err == nil {
+	if err := run("audit", "small", 50, 1, "csv", "", "", false, "", "1", time.Millisecond, out, 1.5, "", "", 64, ""); err == nil {
 		t.Error("audit rate 1.5 accepted")
 	}
 }
@@ -222,7 +222,7 @@ func TestRunServeBench(t *testing.T) {
 	os.Stdout = devnull
 	defer func() { os.Stdout = old; devnull.Close() }()
 	out := t.TempDir() + "/BENCH_serve.json"
-	if err := run("serve", "small", 50, 1, "csv", "", "", false, "", "1", 5*time.Millisecond, "", 0.5, "", out, 16); err != nil {
+	if err := run("serve", "small", 50, 1, "csv", "", "", false, "", "1", 5*time.Millisecond, "", 0.5, "", out, 16, ""); err != nil {
 		t.Fatal(err)
 	}
 	_, err = checkBenchFile(out)
@@ -230,7 +230,7 @@ func TestRunServeBench(t *testing.T) {
 		t.Fatalf("emitted serve bench fails validation: %v", err)
 	}
 	// A degenerate batch size is rejected before any measurement.
-	if err := run("serve", "small", 50, 1, "csv", "", "", false, "", "1", time.Millisecond, "", 0.5, "", out, 1); err == nil {
+	if err := run("serve", "small", 50, 1, "csv", "", "", false, "", "1", time.Millisecond, "", 0.5, "", out, 1, ""); err == nil {
 		t.Error("batch size 1 accepted")
 	}
 }

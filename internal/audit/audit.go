@@ -30,10 +30,12 @@ package audit
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"policyanon/internal/attacker"
 	"policyanon/internal/geo"
@@ -41,6 +43,7 @@ import (
 	"policyanon/internal/ledger"
 	"policyanon/internal/metrics"
 	"policyanon/internal/obs"
+	"policyanon/internal/obs/flight"
 )
 
 // DefaultRate is the default request-path sampling rate: one audited
@@ -136,6 +139,10 @@ type Auditor struct {
 	// a.mu just to discover the ledger is disabled.
 	led atomic.Pointer[ledger.Ledger]
 
+	// rec, when set, receives every breach as a flight-recorder event,
+	// pinning the incident to its retained trace (see SetFlight).
+	rec atomic.Pointer[flight.Recorder]
+
 	mu            sync.Mutex
 	rate          float64
 	sampler       *Sampler
@@ -226,6 +233,14 @@ func (a *Auditor) SetLedger(l *ledger.Ledger) {
 // Ledger returns the attached ledger, or nil.
 func (a *Auditor) Ledger() *ledger.Ledger {
 	return a.led.Load()
+}
+
+// SetFlight attaches a flight recorder: every breach is emitted as a
+// notable event carrying the request and trace IDs, and the enclosing
+// capture (if a traced request is in flight) is marked "breach" so the
+// tail sampler retains its span tree. nil detaches.
+func (a *Auditor) SetFlight(rec *flight.Recorder) {
+	a.rec.Store(rec)
 }
 
 // record appends an audit outcome to the attached ledger, if any. Ledger
@@ -465,6 +480,17 @@ func (a *Auditor) breach(ctx context.Context, logger *slog.Logger, engineName st
 	if sp := obs.Current(ctx); sp != nil {
 		sp.SetAttr("audit.breach", aw.String())
 		sp.SetInt("audit.achievedK", int64(achieved))
+	}
+	// Vote the enclosing traced request interesting and pin the incident
+	// to its trace in the flight recorder's event ring.
+	obs.MarkCapture(ctx, flight.ReasonBreach)
+	if rec := a.rec.Load(); rec != nil {
+		rec.Emit(&flight.Event{
+			Time: time.Now(), Kind: "breach",
+			RID: RequestID(ctx), TraceID: obs.CaptureFrom(ctx).TraceID(),
+			Detail: fmt.Sprintf("%s/%s achievedK=%d wantK=%d groups=%d expected=%v",
+				engineName, aw, achieved, want, groups, expected),
+		})
 	}
 	a.record(ctx, ledger.KindBreach, engineName, breachEvent{
 		Engine: engineName, Awareness: aw.String(),

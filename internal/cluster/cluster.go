@@ -30,6 +30,7 @@ import (
 	"policyanon/internal/location"
 	"policyanon/internal/metrics"
 	"policyanon/internal/obs"
+	"policyanon/internal/obs/flight"
 	"policyanon/internal/parallel"
 	"policyanon/internal/verify"
 )
@@ -165,12 +166,22 @@ func (c *Coordinator) AuditReport(ctx context.Context) (audit.Report, error) {
 	return audit.Merge(reports...), nil
 }
 
-// forwardRequestID propagates the coordinator's request ID to a worker
-// RPC, so one ID correlates a request's log lines and spans across every
-// server that touched it.
+// forwardRequestID propagates the coordinator's request ID — and, when
+// the call tree runs inside a trace capture, its trace context — to a
+// worker RPC. The worker adopts the X-Trace-ID as its own capture
+// identity (and always retains the resulting trace, because propagated
+// legs must be fetchable later), and records X-Parent-Span as the
+// coordinator-side span its call tree hangs under, which is what lets
+// StitchTrace reassemble one tree from many processes.
 func forwardRequestID(ctx context.Context, req *http.Request) {
 	if rid := audit.RequestID(ctx); rid != "" {
 		req.Header.Set("X-Request-ID", rid)
+	}
+	if cap := obs.CaptureFrom(ctx); cap != nil {
+		req.Header.Set(flight.TraceIDHeader, cap.TraceID())
+		if sp := obs.Current(ctx); sp != nil {
+			req.Header.Set(flight.ParentSpanHeader, strconv.FormatUint(sp.ID(), 10))
+		}
 	}
 }
 
@@ -621,8 +632,15 @@ func (c *Coordinator) ServeBatch(ctx context.Context, reqs []lbs.ServiceRequest)
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
+			// A lane span per shard leg: it is the parent the worker's
+			// remote call tree stitches under, and its lane keeps the
+			// concurrent legs on separate rows in Chrome dumps.
+			sctx, ssp := obs.StartLane(ctx, "cluster.serve_shard")
+			ssp.SetAttr("worker", routes[j].worker)
+			ssp.SetInt("requests", int64(len(groups[j])))
 			start := time.Now()
-			errs[j] = c.serveShard(ctx, routes[j], groups[j], reqs, results)
+			errs[j] = c.serveShard(sctx, routes[j], groups[j], reqs, results)
+			ssp.End()
 			c.reg.Histogram("cluster_serve:" + routes[j].worker).Observe(time.Since(start))
 			c.reg.Counter("cluster_batches:" + routes[j].worker).Inc()
 		}(j)

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"policyanon/internal/obs"
+	"policyanon/internal/obs/flight"
+)
+
+// StitchTrace reassembles one distributed trace: the coordinator-side
+// spans captured in cap plus, fetched from every routed worker's
+// GET /v1/debug/trace, the shard-side spans recorded under the same
+// propagated trace ID. Shard span and lane IDs are remapped into
+// per-worker ranges so they cannot collide with coordinator IDs, and
+// each shard's root spans are re-parented onto the coordinator span
+// whose ID was propagated as X-Parent-Span — the resulting span list is
+// one tree, dumpable as JSON or via obs.WriteChromeSpans.
+//
+// Call it after the traced operation (e.g. ServeBatch) completes, while
+// the workers still retain the trace: propagated traces are always
+// retained on the worker side, but ring eviction is real — stitch
+// promptly. A worker with no retained trace for the ID contributes
+// nothing rather than failing the stitch (its leg may have been evicted),
+// but a transport error does fail it.
+func (c *Coordinator) StitchTrace(ctx context.Context, cap *obs.Capture) (*flight.Trace, error) {
+	if cap == nil {
+		return nil, fmt.Errorf("cluster: no capture to stitch")
+	}
+	c.routeMu.RLock()
+	routes := append([]route(nil), c.routes...)
+	c.routeMu.RUnlock()
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("cluster: no deployment: call Anonymize first")
+	}
+	out := &flight.Trace{
+		TraceID:      cap.TraceID(),
+		Route:        "cluster.stitched",
+		Start:        cap.Epoch(),
+		Reasons:      []string{"stitched"},
+		RemoteParent: cap.RemoteParent(),
+		Spans:        cap.Spans(),
+		SpansDropped: cap.Dropped(),
+	}
+	seen := make(map[string]bool, len(routes))
+	shard := uint64(0)
+	for _, rt := range routes {
+		if seen[rt.worker] {
+			continue
+		}
+		seen[rt.worker] = true
+		shard++
+		t, err := c.fetchTrace(ctx, rt.worker, cap.TraceID())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %s trace: %w", rt.worker, err)
+		}
+		if t == nil {
+			continue
+		}
+		// Remap shard-local span/lane IDs into this worker's private
+		// range; shard roots (parent 0 in the worker's process) hang
+		// under the coordinator span the worker saw as X-Parent-Span.
+		idBase := shard << 48
+		laneBase := shard << 32
+		for _, sp := range t.Spans {
+			sp.ID += idBase
+			if sp.Parent == 0 {
+				sp.Parent = t.RemoteParent
+			} else {
+				sp.Parent += idBase
+			}
+			sp.Lane += laneBase
+			sp.Attrs = append(sp.Attrs, obs.Attr{Key: "worker", Value: rt.worker})
+			out.Spans = append(out.Spans, sp)
+		}
+		out.SpansDropped += t.SpansDropped
+	}
+	return out, nil
+}
+
+// fetchTrace pulls one worker's retained trace by ID; a 404 (never
+// retained, or already evicted) returns nil without error.
+func (c *Coordinator) fetchTrace(ctx context.Context, worker, tid string) (*flight.Trace, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		worker+"/v1/debug/trace?tid="+url.QueryEscape(tid), nil)
+	if err != nil {
+		return nil, err
+	}
+	forwardRequestID(ctx, req)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("trace fetch rejected: %s: %s", resp.Status, msg)
+	}
+	var t flight.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"policyanon/internal/lbs"
+	"policyanon/internal/obs"
+	"policyanon/internal/obs/flight"
+)
+
+// TestStitchTrace is the distributed-tracing oracle: a traced ServeBatch
+// propagates the coordinator's trace context to every shard, each worker
+// retains its leg (reason "propagated"), and StitchTrace reassembles the
+// shard span trees under the coordinator's cluster.serve_shard spans —
+// one tree, spans from at least two workers, every parent resolvable.
+func TestStitchTrace(t *testing.T) {
+	db, bounds := testSnapshot(t, 2000)
+	coord, err := New(pool(t, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stitching with no capture or no deployment must fail cleanly.
+	if _, err := coord.StitchTrace(context.Background(), nil); err == nil {
+		t.Fatal("StitchTrace with nil capture succeeded")
+	}
+	if _, err := coord.StitchTrace(context.Background(), obs.NewCapture("t-none", 0)); err == nil {
+		t.Fatal("StitchTrace without a deployment succeeded")
+	}
+
+	if _, err := coord.Anonymize(context.Background(), db, bounds, 15); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.SeedPOIs(context.Background(), seedTestPOIs(t, db)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Open a coordinator-side capture and serve a batch spanning
+	// jurisdictions under it, exactly as an instrumented caller would.
+	cap := obs.NewCapture(flight.MintTraceID(), 0)
+	ctx := obs.WithCapture(obs.WithTracer(context.Background(), obs.NewTracer()), cap)
+	ctx, root := obs.Start(ctx, "test.serve_batch")
+	var reqs []lbs.ServiceRequest
+	for i := 0; i < db.Len(); i += 97 {
+		rec := db.At(i)
+		reqs = append(reqs, lbs.ServiceRequest{UserID: rec.UserID, Loc: rec.Loc})
+	}
+	results, err := coord.ServeBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := map[string]bool{}
+	for n, res := range results {
+		if res.Err != nil {
+			t.Fatalf("request %d: %v", n, res.Err)
+		}
+		workers[res.Worker] = true
+	}
+	if len(workers) < 2 {
+		t.Fatalf("batch fanned out to %d workers, want >= 2", len(workers))
+	}
+	root.End()
+
+	stitched, err := coord.StitchTrace(context.Background(), cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stitched.TraceID != cap.TraceID() {
+		t.Fatalf("stitched trace ID %q, capture says %q", stitched.TraceID, cap.TraceID())
+	}
+
+	// Index the coordinator-side spans: the shard legs must hang under
+	// cluster.serve_shard span IDs, which live in the capture itself.
+	ids := make(map[uint64]string)
+	shardSpans := map[uint64]bool{}
+	for _, sp := range cap.Spans() {
+		ids[sp.ID] = sp.Name
+		if sp.Name == "cluster.serve_shard" {
+			shardSpans[sp.ID] = true
+		}
+	}
+	if len(shardSpans) < 2 {
+		t.Fatalf("coordinator captured %d cluster.serve_shard spans, want >= 2", len(shardSpans))
+	}
+
+	// Walk the stitched tree: every span's parent must resolve to another
+	// stitched span (or 0 for coordinator roots), worker-side spans carry
+	// the worker attr, and shard roots land on serve_shard spans.
+	all := make(map[uint64]bool, len(stitched.Spans))
+	for _, sp := range stitched.Spans {
+		all[sp.ID] = true
+	}
+	shardWorkers := map[string]bool{}
+	rootsOnShards := 0
+	for _, sp := range stitched.Spans {
+		if sp.Parent != 0 && !all[sp.Parent] {
+			t.Fatalf("span %d (%s) has dangling parent %d", sp.ID, sp.Name, sp.Parent)
+		}
+		var worker string
+		for _, a := range sp.Attrs {
+			if a.Key == "worker" {
+				worker = a.Value
+			}
+		}
+		if sp.ID>>48 != 0 { // remapped, i.e. fetched from a worker
+			if worker == "" {
+				t.Fatalf("worker span %d (%s) lost its worker attr", sp.ID, sp.Name)
+			}
+			shardWorkers[worker] = true
+			if shardSpans[sp.Parent] {
+				rootsOnShards++
+			}
+		}
+	}
+	if len(shardWorkers) < 2 {
+		t.Fatalf("stitched spans from %d workers, want >= 2", len(shardWorkers))
+	}
+	if rootsOnShards < 2 {
+		t.Fatalf("%d shard roots parented under cluster.serve_shard spans, want >= 2", rootsOnShards)
+	}
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"policyanon/internal/geo"
+	"policyanon/internal/obs/flight"
+	"policyanon/internal/server"
+)
+
+// This file implements the tracked tracing-overhead benchmark: the
+// /v1/request hot path with always-on tail-sampled tracing (per-request
+// capture, flight-recorder latency window, exemplar wiring) against the
+// same server with request tracing disabled, written as
+// BENCH_trace.json. The acceptance gate is that the observability layer
+// costs less than TraceOverheadGate percent of baseline throughput —
+// "always-on" is only honest if nobody is tempted to turn it off.
+
+// TraceOverheadGate is the throughput-loss budget of always-on request
+// tracing, in percent.
+const TraceOverheadGate = 5.0
+
+// TraceBenchRow is one tracing mode's measurement.
+type TraceBenchRow struct {
+	Mode      string  `json:"mode"` // "off" or "on"
+	Requests  int64   `json:"requests"`
+	ReqPerSec float64 `json:"reqPerSec"`
+	NsPerReq  float64 `json:"nsPerReq"`
+}
+
+// TraceBench is the BENCH_trace.json document.
+type TraceBench struct {
+	// Bench discriminates benchmark documents for -check-bench; always
+	// "trace" here.
+	Bench   string `json:"bench"`
+	Dataset string `json:"dataset"` // lbsbench scale name
+	Users   int    `json:"users"`
+	K       int    `json:"k"`
+	Engine  string `json:"engine"`
+	// Machine metadata, as in BENCH_bulkdp.json.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numCPU"`
+	CPUModel   string `json:"cpuModel"`
+	GoVersion  string `json:"goVersion"`
+	// Off and On measure the same request cycle with tracing disabled
+	// and enabled; OverheadPct is the relative throughput loss.
+	Off         TraceBenchRow `json:"off"`
+	On          TraceBenchRow `json:"on"`
+	OverheadPct float64       `json:"overheadPct"`
+	// Recorder accounting from the traced run: how many traces the tail
+	// sampler retained (at least the one forced request) and the rolling
+	// p99-derived slow threshold it converged to.
+	Retained    int64   `json:"retained"`
+	ThresholdMs float64 `json:"slowThresholdMs"`
+}
+
+// TraceSweep benchmarks the /v1/request path with tracing off and on
+// against a real HTTP server and returns the tracked document. minTime
+// is the measurement budget per mode.
+func TraceSweep(d Dataset, users, k int, minTime time.Duration) (*TraceBench, error) {
+	db, err := d.Sample(users)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	side := d.Bounds.MaxX
+	snap := server.SnapshotRequest{K: k, MapSide: side, Users: make([]server.UserJSON, db.Len())}
+	for i := 0; i < db.Len(); i++ {
+		rec := db.At(i)
+		snap.Users[i] = server.UserJSON{ID: rec.UserID, X: rec.Loc.X, Y: rec.Loc.Y}
+	}
+	if err := postJSON(client, ts.URL+"/v1/snapshot", snap); err != nil {
+		return nil, fmt.Errorf("experiments: trace bench snapshot: %w", err)
+	}
+	pois := struct {
+		MapSide int32            `json:"mapSide"`
+		POIs    []server.POIJSON `json:"pois"`
+	}{MapSide: side}
+	for i := 0; i < 16; i++ {
+		p := geo.Point{X: int32(i) * side / 16, Y: int32(i) * side / 16}
+		pois.POIs = append(pois.POIs, server.POIJSON{ID: fmt.Sprintf("poi%d", i), X: p.X, Y: p.Y, Category: "gas"})
+	}
+	if err := postJSON(client, ts.URL+"/v1/pois", pois); err != nil {
+		return nil, fmt.Errorf("experiments: trace bench pois: %w", err)
+	}
+
+	// Pre-marshal a cycle of request bodies so the driver measures the
+	// server, not the encoder.
+	nBodies := db.Len()
+	if nBodies > 256 {
+		nBodies = 256
+	}
+	bodies := make([][]byte, nBodies)
+	for i := range bodies {
+		rec := db.At(i)
+		bodies[i], err = json.Marshal(server.ServiceRequestJSON{User: rec.UserID, X: rec.Loc.X, Y: rec.Loc.Y})
+		if err != nil {
+			return nil, err
+		}
+	}
+	next := 0
+	doRequest := func(force bool) error {
+		body := bodies[next%len(bodies)]
+		next++
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/request", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if force {
+			req.Header.Set(flight.ForceHeader, "1")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("request status %s", resp.Status)
+		}
+		return nil
+	}
+
+	measure := func(mode string, tracing bool) (TraceBenchRow, error) {
+		srv.SetRequestTracing(tracing)
+		for i := 0; i < 32; i++ { // warm connections and caches
+			if err := doRequest(false); err != nil {
+				return TraceBenchRow{}, err
+			}
+		}
+		start := time.Now()
+		var n int64
+		var elapsed time.Duration
+		for elapsed < minTime {
+			if err := doRequest(false); err != nil {
+				return TraceBenchRow{}, err
+			}
+			n++
+			elapsed = time.Since(start)
+		}
+		return TraceBenchRow{
+			Mode:      mode,
+			Requests:  n,
+			ReqPerSec: float64(n) / elapsed.Seconds(),
+			NsPerReq:  float64(elapsed.Nanoseconds()) / float64(n),
+		}, nil
+	}
+
+	// Alternate off/on passes and keep the best of each: a single pass
+	// per mode conflates the tracing delta with whichever pass the
+	// scheduler or a GC cycle happened to lean on, and best-of-N only
+	// discards one-sided slowdowns — it cannot flatter either mode.
+	var off, on TraceBenchRow
+	for pass := 0; pass < 2; pass++ {
+		o, err := measure("off", false)
+		if err != nil {
+			return nil, err
+		}
+		t, err := measure("on", true)
+		if err != nil {
+			return nil, err
+		}
+		if pass == 0 || o.ReqPerSec > off.ReqPerSec {
+			off = o
+		}
+		if pass == 0 || t.ReqPerSec > on.ReqPerSec {
+			on = t
+		}
+	}
+	// One forced request proves the retention path end to end: the
+	// document's Retained count must be at least this trace.
+	if err := doRequest(true); err != nil {
+		return nil, err
+	}
+
+	stats := srv.FlightRecorder().Stats()
+	return &TraceBench{
+		Bench:       "trace",
+		Users:       db.Len(),
+		K:           k,
+		Engine:      srv.DefaultEngine(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		CPUModel:    cpuModel(),
+		GoVersion:   runtime.Version(),
+		Off:         off,
+		On:          on,
+		OverheadPct: (off.ReqPerSec - on.ReqPerSec) / off.ReqPerSec * 100,
+		Retained:    stats.Retained,
+		ThresholdMs: stats.ThresholdMs,
+	}, nil
+}
+
+// LoadTraceBench decodes and validates a BENCH_trace.json document,
+// enforcing the TraceOverheadGate budget; CI uses it to fail on
+// malformed or regressed benchmark output.
+func LoadTraceBench(r io.Reader) (*TraceBench, error) {
+	var b TraceBench
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("experiments: decode BENCH_trace.json: %w", err)
+	}
+	if b.Bench != "trace" {
+		return nil, fmt.Errorf("experiments: BENCH_trace.json bench = %q, want \"trace\"", b.Bench)
+	}
+	if b.Users < 1 || b.K < 1 {
+		return nil, fmt.Errorf("experiments: BENCH_trace.json metadata invalid: users=%d k=%d", b.Users, b.K)
+	}
+	if b.GOMAXPROCS < 1 || b.GoVersion == "" {
+		return nil, fmt.Errorf("experiments: BENCH_trace.json machine metadata missing")
+	}
+	for _, row := range []TraceBenchRow{b.Off, b.On} {
+		if row.Requests < 1 || row.ReqPerSec <= 0 || row.NsPerReq <= 0 {
+			return nil, fmt.Errorf("experiments: BENCH_trace.json row invalid: %+v", row)
+		}
+	}
+	if b.OverheadPct >= TraceOverheadGate {
+		return nil, fmt.Errorf("experiments: tracing overhead %.2f%% exceeds the %.1f%% budget",
+			b.OverheadPct, TraceOverheadGate)
+	}
+	if b.Retained < 1 {
+		return nil, fmt.Errorf("experiments: BENCH_trace.json retained %d traces; the forced request never landed", b.Retained)
+	}
+	return &b, nil
+}
+
+// TraceBenchTable renders the measurement for the lbsbench table formats.
+func TraceBenchTable(b *TraceBench) Table {
+	tbl := Table{
+		Name:   "trace_overhead",
+		Header: []string{"mode", "requests", "req_per_sec", "ns_per_req"},
+	}
+	for _, r := range []TraceBenchRow{b.Off, b.On} {
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Mode,
+			fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%.0f", r.ReqPerSec),
+			fmt.Sprintf("%.0f", r.NsPerReq),
+		})
+	}
+	return tbl
+}
+
+// PrintTraceBench writes the human table plus the overhead summary line.
+func PrintTraceBench(w io.Writer, b *TraceBench) {
+	fmt.Fprintf(w, "%-6s %10s %14s %14s\n", "mode", "requests", "req/sec", "ns/req")
+	for _, r := range []TraceBenchRow{b.Off, b.On} {
+		fmt.Fprintf(w, "%-6s %10d %14.0f %14.0f\n", r.Mode, r.Requests, r.ReqPerSec, r.NsPerReq)
+	}
+	fmt.Fprintln(w, TraceOverheadSummary(b))
+}
+
+// TraceOverheadSummary renders the one-line gate summary, e.g.
+// "trace overhead: off 1234 req/s, on 1200 req/s — 2.75% (budget 5.0%);
+// 3 traces retained, slow threshold 1.82ms".
+func TraceOverheadSummary(b *TraceBench) string {
+	return fmt.Sprintf("trace overhead: off %.0f req/s, on %.0f req/s — %.2f%% (budget %.1f%%); %d traces retained, slow threshold %.2fms",
+		b.Off.ReqPerSec, b.On.ReqPerSec, b.OverheadPct, TraceOverheadGate, b.Retained, b.ThresholdMs)
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"policyanon/internal/workload"
+)
+
+func TestTraceSweepProducesValidDoc(t *testing.T) {
+	d := NewDataset(workload.Config{
+		MapSide: 1 << 12, Intersections: 400, UsersPerIntersection: 5, SpreadSigma: 60,
+	}, 5)
+	bench, err := TraceSweep(d, 500, 10, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Bench != "trace" {
+		t.Errorf("bench discriminator = %q", bench.Bench)
+	}
+	for _, row := range []TraceBenchRow{bench.Off, bench.On} {
+		if row.Requests < 1 || row.ReqPerSec <= 0 || row.NsPerReq <= 0 {
+			t.Errorf("row %s inconsistent: %+v", row.Mode, row)
+		}
+	}
+	// The sweep's closing forced request must have been retained — that
+	// is what proves the sampling path end to end.
+	if bench.Retained < 1 {
+		t.Errorf("retained = %d, want >= 1", bench.Retained)
+	}
+	if bench.GOMAXPROCS < 1 || bench.GoVersion == "" || bench.CPUModel == "" {
+		t.Errorf("machine metadata incomplete: %+v", bench)
+	}
+	tbl := TraceBenchTable(bench)
+	if len(tbl.Rows) != 2 || len(tbl.Rows[0]) != len(tbl.Header) {
+		t.Errorf("table shape wrong: %+v", tbl)
+	}
+	var buf bytes.Buffer
+	PrintTraceBench(&buf, bench)
+	if !strings.Contains(buf.String(), "trace overhead:") {
+		t.Errorf("print output missing summary: %q", buf.String())
+	}
+}
+
+// TestLoadTraceBenchGates exercises the BENCH_trace.json CI gate on
+// synthetic documents: the overhead budget, the retention proof, the
+// structural checks, and the discriminator.
+func TestLoadTraceBenchGates(t *testing.T) {
+	doc := func(overhead float64, retained int64) string {
+		b := TraceBench{
+			Bench: "trace", Dataset: "small", Users: 100, K: 10, Engine: "bulkdp-binary",
+			GOMAXPROCS: 4, NumCPU: 4, CPUModel: "test", GoVersion: "go1.x",
+			Off:         TraceBenchRow{Mode: "off", Requests: 1000, ReqPerSec: 1000, NsPerReq: 1e6},
+			On:          TraceBenchRow{Mode: "on", Requests: 1000, ReqPerSec: 1000 * (1 - overhead/100), NsPerReq: 1e6},
+			OverheadPct: overhead,
+			Retained:    retained,
+			ThresholdMs: 1.5,
+		}
+		raw, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+
+	if _, err := LoadTraceBench(strings.NewReader(doc(2.5, 3))); err != nil {
+		t.Errorf("healthy document rejected: %v", err)
+	}
+	// A faster traced run is measurement noise, not a failure.
+	if _, err := LoadTraceBench(strings.NewReader(doc(-1.2, 3))); err != nil {
+		t.Errorf("negative overhead rejected: %v", err)
+	}
+	if _, err := LoadTraceBench(strings.NewReader(doc(7.5, 3))); err == nil {
+		t.Error("overhead 7.5% passed the 5% budget")
+	} else if !strings.Contains(err.Error(), "exceeds the 5.0% budget") {
+		t.Errorf("wrong gate error: %v", err)
+	}
+	if _, err := LoadTraceBench(strings.NewReader(doc(2.5, 0))); err == nil {
+		t.Error("zero retained traces accepted")
+	}
+	bad := strings.Replace(doc(2.5, 3), `"bench":"trace"`, `"bench":"nope"`, 1)
+	if _, err := LoadTraceBench(strings.NewReader(bad)); err == nil {
+		t.Error("wrong discriminator accepted")
+	}
+	if _, err := LoadTraceBench(strings.NewReader(`{"bench":"trace"}`)); err == nil {
+		t.Error("empty document accepted")
+	}
+	if _, err := LoadTraceBench(strings.NewReader(doc(2.5, 3) + `x`)); err != nil {
+		t.Errorf("trailing data rejected: %v", err)
+	}
+}

@@ -19,7 +19,7 @@ func deltaAssignment(t testing.TB, n int) *Assignment {
 	recs := make([]location.Record, n)
 	cloaks := make([]geo.Rect, n)
 	for i := range recs {
-		p := geo.Point{X: 2 + rng.Int31n(1 << 12), Y: 2 + rng.Int31n(1 << 12)}
+		p := geo.Point{X: 2 + rng.Int31n(1<<12), Y: 2 + rng.Int31n(1<<12)}
 		recs[i] = location.Record{UserID: "u" + strconv.Itoa(i), Loc: p}
 		cloaks[i] = geo.NewRect(p.X-2, p.Y-2, p.X+2, p.Y+2)
 	}

@@ -252,6 +252,10 @@ func (c *CSP) ServeContext(ctx context.Context, sr ServiceRequest) (AnonymizedRe
 	sh.flights++
 	sh.mu.Unlock()
 
+	// This request leads a cache-miss provider lookup: vote its trace
+	// interesting (the tail sampler's "flight" retention reason) — flights
+	// are exactly where serving latency escapes the in-memory fast path.
+	obs.MarkCapture(ctx, "flight")
 	answer, err := c.provider.Answer(ar)
 	f.answer, f.err = answer, err
 	sh.mu.Lock()

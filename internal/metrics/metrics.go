@@ -48,12 +48,13 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // ready to use and lazily adopts DefaultLatencyBounds on the first
 // observation; use NewHistogram to choose custom bounds.
 type Histogram struct {
-	mu      sync.Mutex
-	bounds  []time.Duration // upper bounds, ascending; implicit +inf last
-	counts  []int64         // len(bounds)+1
-	total   int64
-	sum     time.Duration
-	maxSeen time.Duration
+	mu        sync.Mutex
+	bounds    []time.Duration // upper bounds, ascending; implicit +inf last
+	counts    []int64         // len(bounds)+1
+	exemplars []string        // last exemplar per bucket ("" = none); nil until one is set
+	total     int64
+	sum       time.Duration
+	maxSeen   time.Duration
 }
 
 // DefaultLatencyBounds covers microseconds to seconds.
@@ -90,6 +91,14 @@ func (h *Histogram) lazyInit() {
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveExemplar(d, "")
+}
+
+// ObserveExemplar records one duration and, when exemplar is non-empty,
+// remembers it as the bucket's latest exemplar — in practice a retained
+// trace ID, so a latency outlier in the histogram links straight to its
+// flight-recorder trace. An empty exemplar is a plain Observe.
+func (h *Histogram) ObserveExemplar(d time.Duration, exemplar string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.lazyInit()
@@ -100,6 +109,12 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d > h.maxSeen {
 		h.maxSeen = d
 	}
+	if exemplar != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]string, len(h.bounds)+1)
+		}
+		h.exemplars[i] = exemplar
+	}
 }
 
 // Time runs fn and records its duration.
@@ -109,12 +124,18 @@ func (h *Histogram) Time(fn func()) {
 	h.Observe(time.Since(start))
 }
 
-// Summary reports the aggregate view of a histogram.
+// Summary reports the aggregate view of a histogram. Exemplars maps a
+// bucket's upper bound ("inf" for the overflow bucket) to the latest
+// exemplar recorded in it — the trace-ID hook from latency buckets into
+// GET /v1/debug/trace. It is omitted while no exemplar has been set and
+// is deliberately absent from the Prometheus exposition, which stays
+// byte-stable.
 type Summary struct {
-	Count int64            `json:"count"`
-	Mean  time.Duration    `json:"meanNs"`
-	Max   time.Duration    `json:"maxNs"`
-	Under map[string]int64 `json:"under"`
+	Count     int64             `json:"count"`
+	Mean      time.Duration     `json:"meanNs"`
+	Max       time.Duration     `json:"maxNs"`
+	Under     map[string]int64  `json:"under"`
+	Exemplars map[string]string `json:"exemplars,omitempty"`
 }
 
 // Summary returns the aggregate view.
@@ -132,6 +153,19 @@ func (h *Histogram) Summary() Summary {
 		s.Under[b.String()] = cum
 	}
 	s.Under["inf"] = h.total
+	if h.exemplars != nil {
+		s.Exemplars = make(map[string]string)
+		for i, ex := range h.exemplars {
+			if ex == "" {
+				continue
+			}
+			if i < len(h.bounds) {
+				s.Exemplars[h.bounds[i].String()] = ex
+			} else {
+				s.Exemplars["inf"] = ex
+			}
+		}
+	}
 	return s
 }
 

@@ -81,6 +81,30 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramExemplars(t *testing.T) {
+	h, _ := NewHistogram(nil)
+	h.Observe(50 * time.Microsecond)
+	if s := h.Summary(); s.Exemplars != nil {
+		t.Fatalf("Exemplars = %v before any exemplar set", s.Exemplars)
+	}
+	h.ObserveExemplar(5*time.Millisecond, "t-old")
+	h.ObserveExemplar(5*time.Millisecond, "t-new") // latest wins per bucket
+	h.ObserveExemplar(time.Minute, "t-slow")       // overflow bucket
+	s := h.Summary()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Exemplars["10ms"] != "t-new" {
+		t.Errorf("10ms exemplar = %q, want t-new", s.Exemplars["10ms"])
+	}
+	if s.Exemplars["inf"] != "t-slow" {
+		t.Errorf("inf exemplar = %q, want t-slow", s.Exemplars["inf"])
+	}
+	if _, ok := s.Exemplars["100µs"]; ok {
+		t.Error("plain Observe bucket gained an exemplar")
+	}
+}
+
 func TestHistogramBadBounds(t *testing.T) {
 	if _, err := NewHistogram([]time.Duration{time.Second, time.Millisecond}); err == nil {
 		t.Fatal("descending bounds accepted")

@@ -56,6 +56,7 @@ import (
 	"policyanon/internal/location"
 	"policyanon/internal/metrics"
 	"policyanon/internal/obs"
+	"policyanon/internal/obs/flight"
 	"policyanon/internal/tree"
 )
 
@@ -201,6 +202,12 @@ type Config struct {
 	Registry *metrics.Registry
 	// Logger receives apply/drain diagnostics (nil disables logging).
 	Logger *slog.Logger
+	// Flight, when set (and BaseContext carries an obs tracer), opens a
+	// trace capture around every applied batch and retains its span tree
+	// into the recorder when the batch fell back to a full rebuild or the
+	// apply errored — the motion analogue of the server's tail sampling.
+	// Fallbacks and errors are also pinned to the recorder's event ring.
+	Flight *flight.Recorder
 	// BaseContext is the maintenance loop's context, e.g. to carry an
 	// obs.Tracer (default context.Background()).
 	BaseContext context.Context
@@ -617,9 +624,56 @@ func (p *Pipeline) loop() {
 }
 
 // apply coalesces one batch per user (last write wins), applies it through
-// the maintainer, and publishes the resulting snapshot.
+// the maintainer, and publishes the resulting snapshot. With a flight
+// recorder configured, the batch runs inside a trace capture whose span
+// tree is retained when the batch is interesting (fallback or error).
 func (p *Pipeline) apply(batch []queued) {
-	ctx, sp := obs.Start(p.cfg.BaseContext, "motion.apply")
+	base := p.cfg.BaseContext
+	var cap *obs.Capture
+	if p.cfg.Flight != nil && obs.TracerFrom(base) != nil {
+		cap = obs.NewCapture(flight.MintTraceID(), 0)
+		base = obs.WithCapture(base, cap)
+	}
+	wallStart := time.Now()
+	fellBack, applyErr := p.applyBatch(base, batch)
+	if cap != nil {
+		p.recordFlight(cap, wallStart, time.Since(wallStart), len(batch), fellBack, applyErr)
+	}
+}
+
+// recordFlight is the motion side of tail-based sampling: fallbacks and
+// apply errors land in the flight recorder's event ring, and their
+// batch's full span tree is retained for GET /v1/debug/trace.
+func (p *Pipeline) recordFlight(cap *obs.Capture, start time.Time, elapsed time.Duration, batchLen int, fellBack bool, applyErr error) {
+	rec := p.cfg.Flight
+	var reasons []string
+	if applyErr != nil {
+		reasons = append(reasons, flight.ReasonError)
+		rec.Emit(&flight.Event{
+			Time: time.Now(), Kind: "motion_apply_error",
+			TraceID: cap.TraceID(), Detail: applyErr.Error(),
+		})
+	}
+	if fellBack {
+		reasons = append(reasons, flight.ReasonFallback)
+		rec.Emit(&flight.Event{
+			Time: time.Now(), Kind: "motion_fallback",
+			TraceID: cap.TraceID(), Detail: fmt.Sprintf("batch of %d fell back to full rebuild", batchLen),
+		})
+	}
+	reasons = append(reasons, cap.Marks()...)
+	if len(reasons) == 0 {
+		return
+	}
+	rec.Retain(&flight.Trace{
+		TraceID: cap.TraceID(), Route: "motion.batch",
+		Start: start, Dur: elapsed, Reasons: reasons,
+		Spans: cap.Spans(), SpansDropped: cap.Dropped(),
+	})
+}
+
+func (p *Pipeline) applyBatch(base context.Context, batch []queued) (fellBack bool, applyErr error) {
+	ctx, sp := obs.Start(base, "motion.apply")
 	if sp != nil {
 		sp.SetInt("batch", int64(len(batch)))
 		defer sp.End()
@@ -642,7 +696,7 @@ func (p *Pipeline) apply(batch []queued) {
 		if p.cfg.Logger != nil {
 			p.cfg.Logger.Error("motion apply failed", "err", err, "batch", len(batch))
 		}
-		return
+		return false, err
 	}
 	elapsed := time.Since(start)
 	prev := p.front.Load()
@@ -724,6 +778,7 @@ func (p *Pipeline) apply(batch []queued) {
 	if n := p.cfg.CheckpointEvery; n > 0 && p.cfg.Checkpoint != nil && p.batches.Load()%int64(n) == 0 {
 		p.checkpoint(next)
 	}
+	return res.fallback, nil
 }
 
 // publish swaps the snapshot front buffer and notifies the observer.

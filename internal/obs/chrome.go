@@ -31,7 +31,13 @@ type chromeTrace struct {
 // parent/child structure because children start and end inside their
 // parents.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	spans := t.Spans()
+	return WriteChromeSpans(w, t.Spans())
+}
+
+// WriteChromeSpans exports an arbitrary span list — a Tracer buffer, one
+// flight-recorder capture, or a stitched cluster trace — in the same
+// Chrome trace_event form as WriteChromeTrace.
+func WriteChromeSpans(w io.Writer, spans []SpanRecord) error {
 	events := make([]chromeEvent, 0, len(spans))
 	for _, s := range spans {
 		ev := chromeEvent{

@@ -1,0 +1,7 @@
+//go:build !race
+
+package flight
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation-count assertions skip under it.
+const raceEnabled = false

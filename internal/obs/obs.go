@@ -37,12 +37,23 @@ type Attr struct {
 // method is a no-op, which is how the disabled-tracing path stays free.
 type Span struct {
 	tracer *Tracer
+	cap    *Capture
 	name   string
 	id     uint64
 	parent uint64
 	lane   uint64
 	start  time.Time
 	attrs  []Attr
+}
+
+// ID returns the span's tracer-unique identifier (0 for a nil span or
+// the placeholder installed by WithTracer). It is what cross-process
+// callers propagate as a parent-span reference.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // ctxKey carries the current *Span (whose tracer field identifies the
@@ -74,6 +85,12 @@ type phaseAgg struct {
 	count      int64
 	total, min time.Duration
 	max        time.Duration
+
+	// hist and cnt cache the registry series for this phase so the
+	// per-span-finish hot path neither concatenates "phase:"+name nor
+	// re-resolves the registry maps. Invalidated by SetRegistry.
+	hist *metrics.Histogram
+	cnt  *metrics.Counter
 }
 
 // NewTracer returns a tracer that retains up to DefaultSpanLimit spans.
@@ -94,6 +111,9 @@ func (t *Tracer) SetRegistry(reg *metrics.Registry) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.reg = reg
+	for _, a := range t.agg {
+		a.hist, a.cnt = nil, nil
+	}
 }
 
 // KeepSpans toggles span retention for trace export. With keep=false only
@@ -186,6 +206,7 @@ func startUnder(ctx context.Context, parent *Span, name string, newLane bool) (c
 	}
 	sp := &Span{
 		tracer: tr,
+		cap:    parent.cap,
 		name:   name,
 		id:     tr.nextID.Add(1),
 		parent: parent.id,
@@ -200,6 +221,11 @@ func (s *Span) SetAttr(key, value string) {
 	if s == nil {
 		return
 	}
+	if s.attrs == nil {
+		// Spans that get one attr usually get a few; skip the 1→2→4
+		// append-growth allocs on the serving hot path.
+		s.attrs = make([]Attr, 0, 4)
+	}
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
 }
 
@@ -208,7 +234,7 @@ func (s *Span) SetInt(key string, value int64) {
 	if s == nil {
 		return
 	}
-	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(value, 10)})
+	s.SetAttr(key, strconv.FormatInt(value, 10))
 }
 
 // End finishes the span, recording its duration into the tracer. No-op on
@@ -234,6 +260,12 @@ type SpanRecord struct {
 }
 
 func (t *Tracer) finish(s *Span, dur time.Duration) {
+	if s.cap != nil {
+		s.cap.add(SpanRecord{
+			ID: s.id, Parent: s.parent, Lane: s.lane, Name: s.name,
+			Start: s.start.Sub(s.cap.epoch), Dur: dur, Attrs: s.attrs,
+		})
+	}
 	t.mu.Lock()
 	a, ok := t.agg[s.name]
 	if !ok {
@@ -258,11 +290,19 @@ func (t *Tracer) finish(s *Span, dur time.Duration) {
 			t.dropped++
 		}
 	}
-	reg := t.reg
+	var hist *metrics.Histogram
+	var cnt *metrics.Counter
+	if t.reg != nil {
+		if a.hist == nil {
+			a.hist = t.reg.Histogram("phase:" + s.name)
+			a.cnt = t.reg.Counter("phase_spans:" + s.name)
+		}
+		hist, cnt = a.hist, a.cnt
+	}
 	t.mu.Unlock()
-	if reg != nil {
-		reg.Histogram("phase:" + s.name).Observe(dur)
-		reg.Counter("phase_spans:" + s.name).Inc()
+	if hist != nil {
+		hist.Observe(dur)
+		cnt.Inc()
 	}
 }
 

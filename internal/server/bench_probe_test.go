@@ -1,0 +1,59 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchRequest drives POST /v1/request through the handler directly
+// (no network round trip), isolating the server-side cost of the
+// always-on tracing layer. The Off/On pair below is the measurement
+// behind the BENCH_trace.json overhead gate: their ns/op delta is the
+// per-request price of capture + root span + tail decision.
+func benchRequest(b *testing.B, tracing bool) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	installBenchSnapshot(b, ts.URL)
+	srv.SetRequestTracing(tracing)
+	h := srv.Handler()
+	x, y := seedLoc(7)
+	body, _ := json.Marshal(ServiceRequestJSON{User: "u7", X: x, Y: y})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/request", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+func installBenchSnapshot(b *testing.B, base string) {
+	users := make([]UserJSON, 40)
+	for i := range users {
+		x, y := seedLoc(i)
+		users[i] = UserJSON{ID: "u" + itoa(i), X: x, Y: y}
+	}
+	buf, _ := json.Marshal(SnapshotRequest{K: 5, MapSide: 64, Users: users})
+	resp, err := http.Post(base+"/v1/snapshot", "application/json", bytes.NewReader(buf))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		b.Fatalf("snapshot: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	buf, _ = json.Marshal(map[string]any{"mapSide": 64, "pois": []POIJSON{{ID: "g", X: 10, Y: 10, Category: "gas"}}})
+	resp, err = http.Post(base+"/v1/pois", "application/json", bytes.NewReader(buf))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		b.Fatalf("pois: %v %v", err, resp)
+	}
+	resp.Body.Close()
+}
+
+func BenchmarkRequestTracingOff(b *testing.B) { benchRequest(b, false) }
+func BenchmarkRequestTracingOn(b *testing.B)  { benchRequest(b, true) }

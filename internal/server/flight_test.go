@@ -1,0 +1,396 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"policyanon/internal/lbs"
+	"policyanon/internal/motion"
+	"policyanon/internal/obs/flight"
+)
+
+// dump fetches GET /v1/debug/flightrecorder and decodes it.
+func dump(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, body := get(t, base+"/v1/debug/flightrecorder")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flightrecorder: %d %v", resp.StatusCode, body)
+	}
+	return body
+}
+
+// summaries pulls the trace summary list out of a flightrecorder dump.
+func summaries(t *testing.T, body map[string]any) []map[string]any {
+	t.Helper()
+	raw, ok := body["traces"].([]any)
+	if !ok {
+		t.Fatalf("dump has no traces list: %v", body)
+	}
+	out := make([]map[string]any, len(raw))
+	for i, r := range raw {
+		out[i] = r.(map[string]any)
+	}
+	return out
+}
+
+func reasonsOf(s map[string]any) []string {
+	var out []string
+	if rs, ok := s["reasons"].([]any); ok {
+		for _, r := range rs {
+			out = append(out, r.(string))
+		}
+	}
+	return out
+}
+
+func hasReason(s map[string]any, want string) bool {
+	for _, r := range reasonsOf(s) {
+		if r == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFlightRecorderForcedSlow is half of the recorder's acceptance
+// test: with the slow threshold pinned at 1ns every request is "slow"
+// and must surface in GET /v1/debug/flightrecorder; with the threshold
+// pinned absurdly high, a warm-cache repeat of the same request must
+// NOT be retained — tail sampling, not log-everything.
+func TestFlightRecorderForcedSlow(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	installSnapshot(t, ts.URL, 5)
+	installPOIs(t, ts.URL)
+
+	x7, y7 := seedLoc(7)
+	srv.FlightRecorder().SetThreshold(time.Nanosecond)
+	resp, body := post(t, ts.URL+"/v1/request", ServiceRequestJSON{User: "u07", X: x7, Y: y7, Params: []lbs.Param{{Name: "cat", Value: "gas"}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request: %d %v", resp.StatusCode, body)
+	}
+	rid := resp.Header.Get("X-Request-ID")
+	tid := resp.Header.Get("X-Trace-ID")
+	if rid == "" || tid == "" {
+		t.Fatalf("request not traced: rid=%q tid=%q", rid, tid)
+	}
+
+	d := dump(t, ts.URL)
+	var slow map[string]any
+	for _, s := range summaries(t, d) {
+		if s["rid"] == rid {
+			slow = s
+		}
+	}
+	if slow == nil {
+		t.Fatalf("forced-slow request %s not in flight recorder: %v", rid, d)
+	}
+	if !hasReason(slow, flight.ReasonSlow) {
+		t.Fatalf("trace reasons %v, want %q", reasonsOf(slow), flight.ReasonSlow)
+	}
+	if slow["traceID"] != tid {
+		t.Fatalf("recorder traceID %v, header says %s", slow["traceID"], tid)
+	}
+	if slow["spans"].(float64) < 1 {
+		t.Fatalf("retained trace has no spans: %v", slow)
+	}
+	stats := d["stats"].(map[string]any)
+	if stats["thresholdPinned"] != true || stats["retained"].(float64) < 1 {
+		t.Fatalf("recorder stats: %v", stats)
+	}
+
+	// Same request again with an unreachable threshold: warm cache, no
+	// flight, nothing slow — the trace must be discarded.
+	srv.FlightRecorder().SetThreshold(time.Hour)
+	before := int64(stats["retained"].(float64))
+	resp2, _ := post(t, ts.URL+"/v1/request", ServiceRequestJSON{User: "u07", X: x7, Y: y7, Params: []lbs.Param{{Name: "cat", Value: "gas"}}})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: %d", resp2.StatusCode)
+	}
+	d = dump(t, ts.URL)
+	after := int64(d["stats"].(map[string]any)["retained"].(float64))
+	if after != before {
+		t.Fatalf("uninteresting request retained: %d -> %d", before, after)
+	}
+	// The latency histogram carries the retained trace as an exemplar.
+	snap := srv.Metrics().Snapshot()
+	h, ok := snap.Histograms["latency:POST /v1/request"]
+	if !ok {
+		t.Fatal("no request latency histogram")
+	}
+	found := false
+	for _, ex := range h.Exemplars {
+		if ex == tid {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("latency exemplars %v missing retained trace %s", h.Exemplars, tid)
+	}
+}
+
+// TestFlightRecorderBreach is the other half: a served request whose
+// cloak breaches k under the policy-aware attacker (casper on the
+// paper's Example 1 snapshot, audit rate 1) must be retained with
+// reason "breach" and emit a breach event pinned to its trace ID.
+func TestFlightRecorderBreach(t *testing.T) {
+	srv := New()
+	srv.SetAuditRate(1)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, body := post(t, ts.URL+"/v1/snapshot", SnapshotRequest{K: 2, MapSide: 8, Engine: "casper", Users: example1Users})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d %v", resp.StatusCode, body)
+	}
+	post(t, ts.URL+"/v1/pois", map[string]any{
+		"mapSide": 8,
+		"pois":    []POIJSON{{ID: "gas1", X: 2, Y: 2, Category: "gas"}},
+	})
+	for _, u := range example1Users {
+		resp, body := post(t, ts.URL+"/v1/request", ServiceRequestJSON{User: u.ID, X: u.X, Y: u.Y})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %s: %d %v", u.ID, resp.StatusCode, body)
+		}
+	}
+
+	d := dump(t, ts.URL)
+	var breached map[string]any
+	for _, s := range summaries(t, d) {
+		if hasReason(s, flight.ReasonBreach) {
+			breached = s
+		}
+	}
+	if breached == nil {
+		t.Fatalf("no breach-retained trace in flight recorder: %v", d)
+	}
+	tid := breached["traceID"].(string)
+
+	// The breach event rides the event ring, pinned to the same trace.
+	var ev map[string]any
+	for _, e := range d["events"].([]any) {
+		em := e.(map[string]any)
+		if em["kind"] == "breach" && em["traceID"] == tid {
+			ev = em
+		}
+	}
+	if ev == nil {
+		t.Fatalf("no breach event pinned to trace %s: %v", tid, d["events"])
+	}
+	if !strings.Contains(ev["detail"].(string), "casper") {
+		t.Fatalf("breach event detail %q does not name the engine", ev["detail"])
+	}
+
+	// The full span tree is fetchable by trace ID.
+	resp2, full := get(t, ts.URL+"/v1/debug/trace?tid="+tid)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("debug/trace: %d %v", resp2.StatusCode, full)
+	}
+	if len(full["spans"].([]any)) < 1 {
+		t.Fatalf("breach trace has no spans: %v", full)
+	}
+}
+
+// TestDebugTraceEndpoint drives GET /v1/debug/trace's contract: forced
+// retention via X-Debug-Trace, lookup by rid, Chrome trace_event
+// export, and clean 400/404 error shapes.
+func TestDebugTraceEndpoint(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	installSnapshot(t, ts.URL, 5)
+	installPOIs(t, ts.URL)
+
+	buf, _ := json.Marshal(func() ServiceRequestJSON { x, y := seedLoc(3); return ServiceRequestJSON{User: "u03", X: x, Y: y} }())
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/request", bytes.NewReader(buf))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(flight.ForceHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forced request: %d", resp.StatusCode)
+	}
+	rid := resp.Header.Get("X-Request-ID")
+
+	resp2, full := get(t, ts.URL+"/v1/debug/trace?rid="+rid)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("debug/trace by rid: %d %v", resp2.StatusCode, full)
+	}
+	if full["route"] != "POST /v1/request" {
+		t.Fatalf("trace route %v", full["route"])
+	}
+	foundForced := false
+	for _, r := range full["reasons"].([]any) {
+		if r == flight.ReasonForced {
+			foundForced = true
+		}
+	}
+	if !foundForced {
+		t.Fatalf("forced trace reasons %v", full["reasons"])
+	}
+	// The span tree includes the request root with the rid attr.
+	if len(full["spans"].([]any)) < 1 {
+		t.Fatalf("no spans: %v", full)
+	}
+
+	// Chrome export of the same trace.
+	cresp, err := http.Get(ts.URL + "/v1/debug/trace?rid=" + rid + "&format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chrome, _ := io.ReadAll(cresp.Body)
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK || !strings.Contains(string(chrome), "traceEvents") {
+		t.Fatalf("chrome export: %d %s", cresp.StatusCode, chrome)
+	}
+	// And of the whole recorder.
+	cresp, err = http.Get(ts.URL + "/v1/debug/flightrecorder?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chrome, _ = io.ReadAll(cresp.Body)
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK || !strings.Contains(string(chrome), "http.request") {
+		t.Fatalf("recorder chrome export: %d %s", cresp.StatusCode, chrome)
+	}
+
+	// Error shapes: no selector -> 400, unknown -> 404, bad format -> 400.
+	if resp, _ := get(t, ts.URL+"/v1/debug/trace"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bare debug/trace: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/debug/trace?rid=nope"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown rid: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/debug/flightrecorder?format=nope"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format: %d", resp.StatusCode)
+	}
+}
+
+// TestBatchItemRequestIDs: every batch item answers with its derived
+// per-item request ID "<batch-rid>-<index>" — errored items included —
+// and an item rid resolves to its batch's trace in the debug endpoint.
+func TestBatchItemRequestIDs(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	installSnapshot(t, ts.URL, 5)
+	installPOIs(t, ts.URL)
+
+	x1, y1 := seedLoc(1)
+	x5, y5 := seedLoc(5)
+	batch := BatchRequestJSON{Requests: []ServiceRequestJSON{
+		{User: "u01", X: x1, Y: y1}, {User: "nobody"}, {User: "u05", X: x5, Y: y5},
+	}}
+	buf, _ := json.Marshal(batch)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/request/batch", bytes.NewReader(buf))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(flight.ForceHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d", resp.StatusCode)
+	}
+	rid := resp.Header.Get("X-Request-ID")
+	var reply struct {
+		Results []BatchItemJSON `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Results) != 3 {
+		t.Fatalf("got %d results", len(reply.Results))
+	}
+	for i, item := range reply.Results {
+		want := fmt.Sprintf("%s-%d", rid, i)
+		if item.RequestID != want {
+			t.Fatalf("item %d requestID %q, want %q", i, item.RequestID, want)
+		}
+	}
+	if reply.Results[1].Error == "" {
+		t.Fatal("unknown user served")
+	}
+
+	// An item rid addresses its batch's retained trace.
+	resp2, full := get(t, ts.URL+"/v1/debug/trace?rid="+rid+"-1")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("debug/trace by item rid: %d %v", resp2.StatusCode, full)
+	}
+	if full["rid"] != rid {
+		t.Fatalf("item rid resolved to trace %v, want batch %s", full["rid"], rid)
+	}
+	// The per-item serve spans are in the tree, tagged with item rids.
+	itemSpans := 0
+	for _, sp := range full["spans"].([]any) {
+		if sp.(map[string]any)["name"] == "serve.item" {
+			itemSpans++
+		}
+	}
+	if itemSpans != 3 {
+		t.Fatalf("batch trace has %d serve.item spans, want 3", itemSpans)
+	}
+}
+
+// TestStatsLiveCounters: /v1/stats alone now answers "what is the
+// serving stack doing right now" — live CSP coalesce/cache counters
+// without waiting for the next batch, and motion queue gauges.
+func TestStatsLiveCounters(t *testing.T) {
+	srv, base := newMotionServer(t, motion.Config{
+		MaxBatch:      8,
+		FlushInterval: time.Millisecond,
+		MaxMoveMeters: 64,
+	})
+	installSnapshot(t, base, 5)
+	installPOIs(t, base)
+
+	x2, y2 := seedLoc(2)
+	// One served request: a cold-cache singleflight the stats must show
+	// immediately (live CSP fold, not the post-batch refresh).
+	resp, body := post(t, base+"/v1/request", ServiceRequestJSON{User: "u02", X: x2, Y: y2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request: %d %v", resp.StatusCode, body)
+	}
+	_, st := get(t, base+"/v1/stats")
+	if st["cacheMisses"].(float64) < 1 || st["coalesceFlights"].(float64) < 1 {
+		t.Fatalf("stats missing live CSP counters: misses=%v flights=%v", st["cacheMisses"], st["coalesceFlights"])
+	}
+	if _, ok := st["motionQueueDepth"]; !ok {
+		t.Fatalf("stats missing motion gauges: %v", st)
+	}
+	if st["motionEpoch"].(float64) < 1 {
+		t.Fatalf("motion epoch %v, want >= 1", st["motionEpoch"])
+	}
+
+	// Queue a move and wait for it to apply; the epoch gauge advances.
+	x, y := seedLoc(2)
+	resp, body = post(t, base+"/v1/moves", StreamMovesRequest{Moves: []MoveUpdateJSON{{ID: "u02", X: float64(x + 1), Y: float64(y)}}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("moves: %d %v", resp.StatusCode, body)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, st = get(t, base+"/v1/stats")
+		if st["movesApplied"].(float64) >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st["movesApplied"].(float64) < 1 {
+		t.Fatalf("move never applied: %v", st)
+	}
+	_ = srv
+}

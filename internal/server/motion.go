@@ -74,6 +74,7 @@ func (s *Server) startMotionLocked() error {
 	cfg.Opts = s.snapOpts
 	cfg.Registry = s.reg
 	cfg.Logger = s.logger
+	cfg.Flight = s.recorder
 	cfg.BaseContext = obs.WithTracer(context.Background(), s.tracer)
 	name, k, userSwap := s.snapEngine, s.k, cfg.OnSwap
 	baseCtx := cfg.BaseContext

@@ -41,6 +41,14 @@
 //	                           statistics
 //	GET  /v1/metrics           metrics registry (JSON; ?format=prometheus
 //	                           for text exposition), pprof on the side mux
+//	GET  /v1/debug/flightrecorder  flight recorder dump: stats, retained
+//	                           trace summaries, notable events (JSON;
+//	                           ?format=chrome for a chrome://tracing view
+//	                           of every retained trace)
+//	GET  /v1/debug/trace       one retained trace with its full span tree,
+//	                           by ?rid= (request ID, batch item IDs
+//	                           included) or ?tid= (trace ID); JSON or
+//	                           ?format=chrome
 //
 // /healthz is a readiness probe: it answers 503 until the first snapshot
 // is installed, 200 with snapshot facts afterwards. /healthz?probe=live
@@ -52,6 +60,17 @@
 // trace spans, and forwarded by the cluster coordinator to its shard
 // RPCs — one ID correlates a request across log, trace, and metric on
 // every server that touched it.
+//
+// The serving routes (/v1/request and /v1/request/batch) additionally
+// run an always-on tracing layer: each request opens an obs.Capture with
+// a trace ID (the incoming X-Trace-Id, or a minted one, echoed in the
+// response), and at request end tail-based sampling retains the span
+// tree of interesting requests — slow against the flight recorder's
+// rolling p99-derived threshold, status >= 400, audit breaches, motion
+// fallbacks, CSP cache-miss flights, propagated cluster legs, or forced
+// with an X-Debug-Trace header — into the flight recorder the debug
+// endpoints serve. Latency histograms carry the retained trace ID as an
+// exemplar, linking any latency spike to a concrete trace.
 package server
 
 import (
@@ -63,6 +82,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,6 +98,7 @@ import (
 	"policyanon/internal/metrics"
 	"policyanon/internal/motion"
 	"policyanon/internal/obs"
+	"policyanon/internal/obs/flight"
 )
 
 // Server is the HTTP anonymization service. Create with New and mount via
@@ -121,6 +142,13 @@ type Server struct {
 	// behind /v1/audit/root and /v1/audit/proof. Atomic: the serving path
 	// reads it without touching s.mu.
 	led atomic.Pointer[ledger.Ledger]
+
+	// recorder is the always-on flight recorder behind tail-based request
+	// sampling (GET /v1/debug/flightrecorder); traceReqs gates the
+	// per-request capture machinery — off, serving runs exactly as before
+	// this layer existed, which is what the trace benchmark compares.
+	recorder  *flight.Recorder
+	traceReqs atomic.Bool
 }
 
 // Stats reports the server's state.
@@ -144,6 +172,11 @@ type Stats struct {
 	MovesApplied      int64   `json:"movesApplied"`
 	RowsRecomputed    int64   `json:"rowsRecomputed"`
 	MaintenanceMs     float64 `json:"maintenanceMs"`
+	// Live motion-pipeline gauges (zero when streaming ingest is off), so
+	// /v1/stats alone gives the full serving picture without /v1/motion.
+	MotionEpoch      int64 `json:"motionEpoch"`
+	MotionQueueDepth int   `json:"motionQueueDepth"`
+	MotionFallbacks  int64 `json:"motionFallbacks"`
 }
 
 // New returns an empty server; install a snapshot before serving requests.
@@ -165,7 +198,11 @@ func New() *Server {
 			return !ok || info.PolicyAware
 		},
 	})
-	return &Server{reg: reg, tracer: tracer, aud: aud}
+	rec := flight.New(0, 0)
+	aud.SetFlight(rec)
+	s := &Server{reg: reg, tracer: tracer, aud: aud, recorder: rec}
+	s.traceReqs.Store(true)
+	return s
 }
 
 // SetDefaultEngine selects the engine used when a snapshot request names
@@ -221,9 +258,38 @@ func (s *Server) Logger() *slog.Logger {
 // on shutdown.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
-// obsCtx threads the server's tracer into a request-scoped context.
+// FlightRecorder exposes the server's flight recorder — the retention
+// side of tail-based request sampling.
+func (s *Server) FlightRecorder() *flight.Recorder { return s.recorder }
+
+// SetFlightRecorder replaces the flight recorder (to resize its rings
+// before serving). It re-points the auditor's breach-event sink too.
+func (s *Server) SetFlightRecorder(rec *flight.Recorder) {
+	if rec == nil {
+		return
+	}
+	s.recorder = rec
+	s.aud.SetFlight(rec)
+}
+
+// SetRequestTracing toggles the always-on per-request capture layer.
+// Off, serving skips trace-context minting, root spans, and tail
+// sampling entirely — the baseline leg of the trace overhead benchmark.
+func (s *Server) SetRequestTracing(on bool) { s.traceReqs.Store(on) }
+
+// RequestTracing reports whether per-request tracing is enabled.
+func (s *Server) RequestTracing() bool { return s.traceReqs.Load() }
+
+// obsCtx threads the server's tracer into a request-scoped context. When
+// instrument already installed it (traced serving routes carry a capture
+// and a root span), the request context is returned unchanged so the
+// handler's spans stay inside the request's call tree.
 func (s *Server) obsCtx(r *http.Request) context.Context {
-	return obs.WithTracer(r.Context(), s.tracer)
+	ctx := r.Context()
+	if obs.TracerFrom(ctx) == s.tracer {
+		return ctx
+	}
+	return obs.WithTracer(ctx, s.tracer)
 }
 
 // Handler returns the HTTP handler tree. Every endpoint is wrapped with
@@ -248,6 +314,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/request/batch", s.handleRequestBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/motion", s.handleMotion)
+	mux.HandleFunc("GET /v1/debug/flightrecorder", s.handleFlightRecorder)
+	mux.HandleFunc("GET /v1/debug/trace", s.handleDebugTrace)
 	return s.instrument(mux)
 }
 
@@ -287,25 +355,68 @@ func (w *statusRecorder) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
+// tracedRoute reports whether route gets the always-on per-request
+// capture: the serving hot paths, where tail sampling pays for itself.
+func tracedRoute(route string) bool {
+	return route == "POST /v1/request" || route == "POST /v1/request/batch"
+}
+
 // instrument wraps the handler tree with per-route metrics and request-ID
 // correlation: the incoming X-Request-ID (or a minted one) is carried in
 // the request context — where audit breach logs and spans pick it up —
 // and echoed in the response header.
+//
+// On the serving routes it also runs the always-on tracing layer: a
+// capture and a root span are opened per request (adopting an incoming
+// X-Trace-ID, so cluster shard legs join their coordinator's trace), and
+// at request end the tail-sampling decision either retains the full span
+// tree into the flight recorder or discards it, leaving only aggregates.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rid := r.Header.Get("X-Request-ID")
 		if rid == "" {
 			rid = audit.MintRequestID()
 		}
-		r = r.WithContext(audit.WithRequestID(r.Context(), rid))
-		w.Header().Set("X-Request-ID", rid)
+		ctx := audit.WithRequestID(r.Context(), rid)
 		route := r.Method + " " + r.URL.Path
+
+		var cap *obs.Capture
+		var root *obs.Span
+		remote := false
+		if s.traceReqs.Load() && tracedRoute(route) {
+			tid := r.Header.Get(flight.TraceIDHeader)
+			remote = tid != ""
+			if tid == "" {
+				tid = flight.MintTraceID()
+			}
+			cap = obs.NewCapture(tid, 0)
+			if remote {
+				if pp, err := strconv.ParseUint(r.Header.Get(flight.ParentSpanHeader), 10, 64); err == nil {
+					cap.SetRemoteParent(pp)
+				}
+			}
+			ctx, root = obs.StartRootCaptured(ctx, s.tracer, cap, "http.request")
+			root.SetAttr("route", route)
+			root.SetAttr("rid", rid)
+			w.Header().Set(flight.TraceIDHeader, tid)
+		}
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Request-ID", rid)
 		s.reg.Counter("requests:" + route).Inc()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
 		elapsed := time.Since(start)
-		s.reg.Histogram("latency:" + route).Observe(elapsed)
+		exemplar := ""
+		if cap != nil {
+			root.SetAttr("status", statusLabel(rec.status))
+			root.End()
+			forced := r.Header.Get(flight.ForceHeader) != ""
+			if s.tailDecision(cap, rid, route, rec.status, start, elapsed, remote, forced) {
+				exemplar = cap.TraceID()
+			}
+		}
+		s.reg.Histogram("latency:"+route).ObserveExemplar(elapsed, exemplar)
 		if l := s.Logger(); l != nil {
 			l.LogAttrs(r.Context(), slog.LevelDebug, "request",
 				slog.String("rid", rid),
@@ -316,6 +427,24 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			)
 		}
 	})
+}
+
+// statusLabel renders an HTTP status for a span attribute without a
+// per-request formatting allocation on the common codes.
+func statusLabel(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusConflict:
+		return "409"
+	case http.StatusInternalServerError:
+		return "500"
+	}
+	return strconv.Itoa(code)
 }
 
 // handleMetrics exports the registry: JSON snapshot by default, or
@@ -812,10 +941,14 @@ type BatchRequestJSON struct {
 }
 
 // BatchItemJSON is one request's result within a batch response, in the
-// order submitted. A failed item carries Error and nothing else; the
-// batch itself still answers 200 — per-item failures (unknown user,
-// spoofed location) must not void its neighbours.
+// order submitted. A failed item carries Error (plus its RequestID) and
+// nothing else; the batch itself still answers 200 — per-item failures
+// (unknown user, spoofed location) must not void its neighbours.
+// RequestID is the item's derived X-Request-ID ("<batch-rid>-<i>"),
+// which also appears in the item's slog lines, breach records, and
+// spans, so batch failures are correlatable like single requests.
 type BatchItemJSON struct {
+	RequestID  string    `json:"requestID,omitempty"`
 	RID        uint64    `json:"rid,omitempty"`
 	Cloak      *RectJSON `json:"cloak,omitempty"`
 	Candidates []POIJSON `json:"candidates,omitempty"`
@@ -852,6 +985,8 @@ func (s *Server) handleRequestBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := s.obsCtx(r)
+	batchRID := audit.RequestID(ctx)
+	logger := s.Logger()
 	items := make([]BatchItemJSON, len(req.Requests))
 	nw := runtime.GOMAXPROCS(0)
 	if nw > len(req.Requests) {
@@ -869,21 +1004,37 @@ func (s *Server) handleRequestBatch(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				rq := req.Requests[i]
+				// Each item gets a derived request ID so its breach
+				// records, log lines, and spans correlate individually.
+				itemRID := batchRID + "-" + strconv.Itoa(i)
+				ictx := audit.WithRequestID(ctx, itemRID)
+				ictx, isp := obs.Start(ictx, "serve.item")
+				isp.SetAttr("rid", itemRID)
 				sr := lbs.ServiceRequest{UserID: rq.User, Loc: geo.Point{X: rq.X, Y: rq.Y}, Params: rq.Params}
-				ar, answer, err := csp.ServeContext(ctx, sr)
+				ar, answer, err := csp.ServeContext(ictx, sr)
 				if err != nil {
-					items[i] = BatchItemJSON{Error: err.Error()}
+					isp.SetAttr("error", err.Error())
+					isp.End()
+					items[i] = BatchItemJSON{RequestID: itemRID, Error: err.Error()}
+					if logger != nil {
+						logger.LogAttrs(ictx, slog.LevelDebug, "batch item failed",
+							slog.String("rid", itemRID),
+							slog.String("user", rq.User),
+							slog.String("error", err.Error()),
+						)
+					}
 					continue
 				}
 				if policy != nil {
-					s.aud.MaybeObserveRequest(ctx, engineName, policy, ar.Cloak, k)
+					s.aud.MaybeObserveRequest(ictx, engineName, policy, ar.Cloak, k)
 				}
 				out := make([]POIJSON, len(answer))
 				for j, p := range answer {
 					out[j] = POIJSON{ID: p.ID, X: p.Loc.X, Y: p.Loc.Y, Category: p.Category}
 				}
 				cl := rectJSON(ar.Cloak)
-				items[i] = BatchItemJSON{RID: ar.RID, Cloak: &cl, Candidates: out}
+				items[i] = BatchItemJSON{RequestID: itemRID, RID: ar.RID, Cloak: &cl, Candidates: out}
+				isp.End()
 			}
 		}()
 	}
@@ -977,9 +1128,21 @@ func (s *Server) handleCheckpointRestore(w http.ResponseWriter, r *http.Request)
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.refreshMotion()
-	s.mu.RLock()
+	s.mu.Lock()
+	// Fold in the CSP's live cache/coalesce counters so the endpoint is
+	// current even when no request has been served since the last read.
+	if s.csp != nil {
+		s.updateServeStatsLocked(s.csp)
+	}
 	st := s.stats
-	s.mu.RUnlock()
+	pl := s.pipeline
+	s.mu.Unlock()
+	if pl != nil {
+		ms := pl.Stats()
+		st.MotionEpoch = ms.Epoch
+		st.MotionQueueDepth = ms.QueueDepth
+		st.MotionFallbacks = ms.Fallbacks
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 
